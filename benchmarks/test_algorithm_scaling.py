@@ -1,0 +1,56 @@
+"""Micro-benchmarks: runtime of the heuristics and of the LP lower bound.
+
+The paper argues the eight heuristics are worst-case quadratic in the
+problem size ``s = |C| + |N|`` and that the mixed lower bound is solvable
+"within ten seconds" for trees of several hundred elements.  These
+benchmarks time the individual building blocks on a mid-size tree so
+regressions in the algorithmic complexity show up as timing regressions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import get_heuristic
+from repro.core.problem import replica_counting_problem
+from repro.lp.bounds import lp_lower_bound
+from repro.workloads.generator import GeneratorConfig, TreeGenerator
+
+SIZE = 200
+LOAD = 0.4
+
+
+@pytest.fixture(scope="module")
+def scaling_problem():
+    tree = TreeGenerator(4242).generate(
+        GeneratorConfig(size=SIZE, target_load=LOAD, homogeneous=True)
+    )
+    return replica_counting_problem(tree)
+
+
+@pytest.mark.benchmark(group="heuristic-runtime")
+@pytest.mark.parametrize(
+    "name", ["CTDA", "CTDLF", "CBU", "UTD", "UBCF", "MTD", "MBU", "MG", "MixedBest"]
+)
+def test_heuristic_runtime(benchmark, scaling_problem, name):
+    heuristic = get_heuristic(name)
+    solution = benchmark(heuristic.try_solve, scaling_problem)
+    benchmark.extra_info["solved"] = solution is not None
+    benchmark.extra_info["size"] = SIZE
+
+
+@pytest.mark.benchmark(group="optimal-runtime")
+def test_optimal_multiple_homogeneous_runtime(benchmark, scaling_problem):
+    heuristic = get_heuristic("MultipleOptimalHomogeneous")
+    solution = benchmark(heuristic.try_solve, scaling_problem)
+    assert solution is not None
+    benchmark.extra_info["replicas"] = solution.replica_count()
+
+
+@pytest.mark.benchmark(group="lower-bound-runtime")
+def test_lp_lower_bound_runtime(benchmark, scaling_problem):
+    bound = benchmark.pedantic(
+        lp_lower_bound, args=(scaling_problem,), rounds=1, iterations=1
+    )
+    assert bound.feasible
+    benchmark.extra_info["bound"] = bound.value

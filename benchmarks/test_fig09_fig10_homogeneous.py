@@ -1,0 +1,72 @@
+"""Benchmarks regenerating paper Figures 9 and 10 (homogeneous platforms).
+
+Figure 9 plots, for every load value lambda, the fraction of random trees on
+which each heuristic finds a valid solution (the ``LP`` row counts the trees
+that admit any solution); Figure 10 plots the relative cost of each
+heuristic against the LP-based lower bound on the solvable trees.
+
+Expected shape (the paper's qualitative findings, asserted below):
+
+* MG and MixedBest succeed exactly on the solvable trees (same curve as LP);
+* the Closest heuristics collapse as lambda grows;
+* MixedBest's relative cost stays high (>= 0.75 on this reduced plan).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import (
+    figure9_homogeneous_success,
+    figure10_homogeneous_cost,
+)
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_homogeneous_success(benchmark, homogeneous_campaign):
+    figure = run_once(
+        benchmark, figure9_homogeneous_success, campaign=homogeneous_campaign
+    )
+    print("\n=== Figure 9: percentage of success (homogeneous) ===")
+    print(figure.table())
+
+    series = figure.series
+    lambdas = sorted(series["LP"])
+    low, high = lambdas[0], lambdas[-1]
+    # MG / MixedBest find a solution whenever one exists.
+    assert series["MG"] == series["LP"]
+    assert series["MixedBest"] == series["LP"]
+    # Closest collapses at high load while the LP still finds solutions at low load.
+    assert series["LP"][low] >= 0.8
+    assert series["CTDA"][high] <= series["LP"][high]
+    assert series["CTDA"][high] <= series["CTDA"][low]
+    # Closest heuristics share the same success curve (paper observation).
+    assert series["CTDA"] == series["CTDLF"] == series["CBU"]
+    benchmark.extra_info["lp_success"] = series["LP"]
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_homogeneous_relative_cost(benchmark, homogeneous_campaign):
+    figure = run_once(
+        benchmark, figure10_homogeneous_cost, campaign=homogeneous_campaign
+    )
+    print("\n=== Figure 10: relative cost vs LP bound (homogeneous) ===")
+    print(figure.table())
+
+    series = figure.series
+    solvable = [
+        load
+        for load, value in figure.campaign.success_series()["LP"].items()
+        if value > 0
+    ]
+    for load in solvable:
+        mixed = series["MixedBest"][load]
+        # MixedBest picks the best component, hence dominates each of them.
+        for name in ("CTDA", "CTDLF", "CBU", "UTD", "UBCF", "MG", "MTD", "MBU"):
+            assert mixed >= series[name][load] - 1e-9
+        assert 0.0 <= mixed <= 1.0 + 1e-9
+    # Aggregate quality: MixedBest stays close to the lower bound on solvable loads.
+    mixed_values = [series["MixedBest"][load] for load in solvable]
+    assert sum(mixed_values) / len(mixed_values) >= 0.75
+    benchmark.extra_info["mixed_best_relative_cost"] = series["MixedBest"]

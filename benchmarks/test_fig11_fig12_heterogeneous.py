@@ -1,0 +1,59 @@
+"""Benchmarks regenerating paper Figures 11 and 12 (heterogeneous platforms).
+
+Same quantities as Figures 9/10 but with mixed server classes and the
+Replica Cost objective (cost = capacity of the chosen servers).  The paper's
+observation is that the heterogeneous results closely mirror the homogeneous
+ones -- the heuristics are "not much sensitive to the heterogeneity of the
+platform".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import (
+    figure11_heterogeneous_success,
+    figure12_heterogeneous_cost,
+)
+
+
+@pytest.mark.benchmark(group="figure11")
+def test_figure11_heterogeneous_success(benchmark, heterogeneous_campaign):
+    figure = run_once(
+        benchmark, figure11_heterogeneous_success, campaign=heterogeneous_campaign
+    )
+    print("\n=== Figure 11: percentage of success (heterogeneous) ===")
+    print(figure.table())
+
+    series = figure.series
+    lambdas = sorted(series["LP"])
+    low, high = lambdas[0], lambdas[-1]
+    assert series["MG"] == series["LP"]
+    assert series["MixedBest"] == series["LP"]
+    assert series["LP"][low] >= 0.8
+    assert series["CTDA"][high] <= series["CTDA"][low]
+    benchmark.extra_info["lp_success"] = series["LP"]
+
+
+@pytest.mark.benchmark(group="figure12")
+def test_figure12_heterogeneous_relative_cost(benchmark, heterogeneous_campaign):
+    figure = run_once(
+        benchmark, figure12_heterogeneous_cost, campaign=heterogeneous_campaign
+    )
+    print("\n=== Figure 12: relative cost vs LP bound (heterogeneous) ===")
+    print(figure.table())
+
+    series = figure.series
+    solvable = [
+        load
+        for load, value in figure.campaign.success_series()["LP"].items()
+        if value > 0
+    ]
+    for load in solvable:
+        mixed = series["MixedBest"][load]
+        for name in ("CTDA", "CTDLF", "CBU", "UTD", "UBCF", "MG", "MTD", "MBU"):
+            assert mixed >= series[name][load] - 1e-9
+    mixed_values = [series["MixedBest"][load] for load in solvable]
+    assert sum(mixed_values) / len(mixed_values) >= 0.7
+    benchmark.extra_info["mixed_best_relative_cost"] = series["MixedBest"]

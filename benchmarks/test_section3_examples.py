@@ -1,0 +1,83 @@
+"""Benchmark reproducing the Section 3 example families (Figures 1-5).
+
+For each parametric family the exact optimum is computed per policy and the
+paper's claimed gaps are checked:
+
+* Figure 1: the feasibility matrix of the three policies;
+* Figure 2: Upwards needs 3 replicas, Closest ``n + 2``;
+* Figure 3: Multiple needs ``n + 1`` replicas, Upwards ``2n``;
+* Figure 4: heterogeneous gap growing with ``K``;
+* Figure 5: optimal cost ``n + 1`` against the ``ceil(sum r / W) = 2`` bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.costs import request_lower_bound
+from repro.core.exceptions import InfeasibleError
+from repro.core.policies import Policy
+from repro.core.problem import replica_cost_problem, replica_counting_problem
+from repro.experiments.reporting import ascii_table
+from repro.lp.exact import exact_cost
+from repro.workloads import reference_trees as rt
+
+
+def _cost(problem, policy):
+    try:
+        return exact_cost(problem, policy)
+    except InfeasibleError:
+        return math.inf
+
+
+def section3_sweep(n: int = 4, big_factor: float = 20.0):
+    """Exact per-policy costs of every Section 3 family."""
+    rows = []
+    for variant in ("a", "b", "c"):
+        problem = replica_counting_problem(rt.figure1_tree(variant))
+        rows.append(
+            (f"Figure 1({variant})",)
+            + tuple(_cost(problem, p) for p in Policy.ordered())
+        )
+    fig2 = replica_counting_problem(rt.figure2_tree(n))
+    fig3 = replica_counting_problem(rt.figure3_tree(n))
+    fig4 = replica_cost_problem(rt.figure4_tree(n, big_factor))
+    fig5 = replica_counting_problem(rt.figure5_tree(n, 4.0 * n))
+    for label, problem in (
+        ("Figure 2", fig2),
+        ("Figure 3", fig3),
+        ("Figure 4", fig4),
+        ("Figure 5", fig5),
+    ):
+        rows.append((label,) + tuple(_cost(problem, p) for p in Policy.ordered()))
+    return rows
+
+
+@pytest.mark.benchmark(group="section3")
+def test_section3_example_gaps(benchmark):
+    n, big_factor = 4, 20.0
+    rows = run_once(benchmark, section3_sweep, n, big_factor)
+    print("\n=== Section 3 examples: exact cost per policy ===")
+    print(ascii_table(["instance", "closest", "upwards", "multiple"], rows))
+
+    by_label = {row[0]: row[1:] for row in rows}
+    # Figure 1 feasibility matrix.
+    assert by_label["Figure 1(a)"] == (1, 1, 1)
+    assert math.isinf(by_label["Figure 1(b)"][0]) and by_label["Figure 1(b)"][1:] == (2, 2)
+    assert math.isinf(by_label["Figure 1(c)"][0])
+    assert math.isinf(by_label["Figure 1(c)"][1])
+    assert by_label["Figure 1(c)"][2] == 2
+    # Figure 2: Upwards 3 vs Closest n + 2.
+    assert by_label["Figure 2"][1] == 3 and by_label["Figure 2"][0] == n + 2
+    # Figure 3: Multiple n + 1 vs Upwards 2n.
+    assert by_label["Figure 3"][2] == n + 1 and by_label["Figure 3"][1] == 2 * n
+    # Figure 4: heterogeneous gap at least K/2.
+    assert by_label["Figure 4"][1] / by_label["Figure 4"][2] >= big_factor / 2
+    # Figure 5: every policy needs n + 1 replicas, far above the bound of 2.
+    fig5_tree = rt.figure5_tree(n, 4.0 * n)
+    assert request_lower_bound(fig5_tree) == 2
+    assert set(by_label["Figure 5"]) == {n + 1}
+    benchmark.extra_info["rows"] = [list(map(str, row)) for row in rows]

@@ -1,0 +1,27 @@
+"""Benchmark regenerating the evidence behind paper Table 1.
+
+Table 1 classifies the complexity of the Replica Cost problem per access
+policy and platform type.  The benchmark runs the computational checks that
+back each cell (optimal greedy == ILP for Multiple/homogeneous, reduction
+instances solvable exactly at the target cost iff the underlying partition
+instance is a yes-instance) and prints them as a table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import table1_evidence, table1_table
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_complexity_evidence(benchmark):
+    rows = run_once(benchmark, table1_evidence, instances=4, seed=2007)
+    print("\n=== Table 1: complexity evidence ===")
+    print(table1_table(rows))
+
+    assert len(rows) == 6
+    for row in rows:
+        assert row.consistent, f"inconsistent evidence for {row.policy} / {row.platform}"
+    benchmark.extra_info["cells_checked"] = len(rows)

@@ -1,0 +1,63 @@
+"""Quickstart: build a tree, place replicas under the three access policies.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a small content-distribution tree by hand, solves it under
+the Closest, Upwards and Multiple access policies, compares the costs with
+the LP-based lower bound and prints where the replicas end up.
+"""
+
+from __future__ import annotations
+
+from repro import Policy, TreeBuilder, compare_policies, lower_bound, replica_counting_problem
+
+
+def build_tree():
+    """A tiny two-level distribution tree (homogeneous, W = 10)."""
+    return (
+        TreeBuilder()
+        .add_node("root", capacity=10)
+        .add_node("east", capacity=10, parent="root")
+        .add_node("west", capacity=10, parent="root")
+        .add_client("c_east_1", requests=6, parent="east")
+        .add_client("c_east_2", requests=7, parent="east")
+        .add_client("c_west_1", requests=4, parent="west")
+        .add_client("c_root", requests=3, parent="root")
+        .build()
+    )
+
+
+def main() -> None:
+    tree = build_tree()
+    problem = replica_counting_problem(tree)
+
+    print(f"Platform: {tree}")
+    print(f"Total requests: {tree.total_requests():g}, "
+          f"total capacity: {tree.total_capacity():g}, "
+          f"load factor lambda = {tree.load_factor():.2f}")
+    print(f"LP lower bound on the number of replicas: {lower_bound(problem):g}")
+    print()
+
+    results = compare_policies(problem)
+    for policy in Policy.ordered():
+        solution = results[policy]
+        if solution is None:
+            print(f"{policy.value:>9}: no valid solution (the policy is too restrictive here)")
+            continue
+        placement = ", ".join(str(node) for node in solution.placement.sorted())
+        print(
+            f"{policy.value:>9}: {solution.replica_count()} replicas "
+            f"({placement}) found by {solution.algorithm}"
+        )
+        for node_id in solution.placement.sorted():
+            load = solution.assignment.server_load(node_id)
+            print(f"{'':>11}- {node_id}: serving {load:g}/{problem.capacity(node_id):g} requests")
+    print()
+    print("The Multiple policy needs the fewest replicas: splitting a client's")
+    print("requests over several ancestors makes every unit of capacity usable.")
+
+
+if __name__ == "__main__":
+    main()

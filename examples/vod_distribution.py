@@ -1,0 +1,74 @@
+"""Video-on-demand distribution tree: policy comparison at increasing load.
+
+The paper motivates replica placement with electronic/ISP/VOD service
+delivery: a root server holds the original content and a fixed distribution
+tree provides hierarchical access to replicas.  This example generates a
+mid-size VOD-like tree, sweeps the request load and shows how the three
+access policies behave:
+
+* how often each policy still admits a solution,
+* how many replicas (servers) it needs,
+* how far from the LP lower bound it lands,
+* what the clients experience (mean service distance), using the
+  request-flow simulation.
+
+Run with::
+
+    python examples/vod_distribution.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import Policy, lower_bound, replica_counting_problem, solve
+from repro.core.exceptions import InfeasibleError
+from repro.experiments.reporting import ascii_table
+from repro.simulation import simulate_solution
+from repro.workloads import generate_tree
+
+LOADS = (0.2, 0.4, 0.6, 0.8)
+SIZE = 90
+SEED = 2007
+
+
+def evaluate(load: float):
+    """Solve one VOD tree at the given load under the three policies."""
+    tree = generate_tree(size=SIZE, target_load=load, homogeneous=True, seed=SEED)
+    problem = replica_counting_problem(tree)
+    bound = lower_bound(problem)
+    row = [f"{load:.1f}", f"{bound:g}" if math.isfinite(bound) else "infeasible"]
+    for policy in Policy.ordered():
+        try:
+            solution = solve(problem, policy=policy)
+        except InfeasibleError:
+            row.append("-")
+            continue
+        simulation = simulate_solution(problem, solution)
+        row.append(
+            f"{solution.replica_count()} replicas / dist {simulation.mean_latency:.1f}"
+        )
+    return row
+
+
+def main() -> None:
+    print(f"VOD distribution tree, {SIZE} elements, homogeneous edge servers (W = 100)")
+    print("For each load: replicas used and mean client-to-server distance (hops).")
+    print()
+    rows = [evaluate(load) for load in LOADS]
+    print(
+        ascii_table(
+            ["lambda", "LP bound", "closest", "upwards", "multiple"],
+            rows,
+        )
+    )
+    print()
+    print("Reading the table:")
+    print(" * Closest keeps requests near the clients but stops finding solutions")
+    print("   once the per-subtree demand exceeds a single server's capacity.")
+    print(" * Upwards and Multiple keep working at higher load; Multiple matches")
+    print("   the LP bound most closely, at the price of serving farther away.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro - Replica placement strategies in tree networks.
+
+This package reproduces the system described in
+
+    Anne Benoit, Veronika Rehn, Yves Robert,
+    "Strategies for Replica Placement in Tree Networks",
+    INRIA RR-6040 / IPDPS 2007.
+
+It provides:
+
+* a tree-network substrate (clients, internal nodes, links, QoS and
+  bandwidth attributes) in :mod:`repro.core`,
+* the three access policies *Closest*, *Upwards* and *Multiple*,
+* the optimal polynomial algorithm for the Multiple policy on homogeneous
+  platforms (paper Section 4.1) in :mod:`repro.algorithms`,
+* the eight polynomial heuristics of paper Section 6 plus the MixedBest
+  combiner,
+* integer/rational linear-programming formulations and the LP-based lower
+  bound of paper Section 5 in :mod:`repro.lp`,
+* workload generators and the paper's reference trees in
+  :mod:`repro.workloads`,
+* the experiment harness regenerating paper Figures 9-12 and Table 1 in
+  :mod:`repro.experiments`,
+* extensions of paper Section 8 (multiple objects, richer objective
+  functions) in :mod:`repro.multiobject` and :mod:`repro.objectives`.
+
+Quickstart
+----------
+
+>>> from repro import TreeBuilder, Policy, solve
+>>> tree = (TreeBuilder()
+...         .add_node("root", capacity=10)
+...         .add_node("n1", capacity=10, parent="root")
+...         .add_client("c1", requests=7, parent="n1")
+...         .add_client("c2", requests=5, parent="n1")
+...         .build())
+>>> solution = solve(tree, policy=Policy.MULTIPLE)
+>>> sorted(solution.placement.replicas)
+['n1', 'root']
+"""
+
+from __future__ import annotations
+
+from repro._version import __version__, __paper__
+from repro.core.tree import TreeNetwork, InternalNode, Client, Link
+from repro.core.builder import TreeBuilder
+from repro.core.policies import Policy
+from repro.core.problem import (
+    ProblemKind,
+    ReplicaPlacementProblem,
+    replica_cost_problem,
+    replica_counting_problem,
+)
+from repro.core.solution import Assignment, Placement, Solution
+from repro.core.validation import validate_solution, ValidationReport
+from repro.core.costs import placement_cost, request_lower_bound
+from repro.api import solve, compare_policies, lower_bound
+
+__all__ = [
+    "__version__",
+    "__paper__",
+    "TreeNetwork",
+    "InternalNode",
+    "Client",
+    "Link",
+    "TreeBuilder",
+    "Policy",
+    "ProblemKind",
+    "ReplicaPlacementProblem",
+    "replica_cost_problem",
+    "replica_counting_problem",
+    "Assignment",
+    "Placement",
+    "Solution",
+    "validate_solution",
+    "ValidationReport",
+    "placement_cost",
+    "request_lower_bound",
+    "solve",
+    "compare_policies",
+    "lower_bound",
+]

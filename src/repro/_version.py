@@ -1,0 +1,12 @@
+"""Version and provenance metadata for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+#: Bibliographic reference of the reproduced paper.
+__paper__ = (
+    "Anne Benoit, Veronika Rehn, Yves Robert. "
+    "Strategies for Replica Placement in Tree Networks. "
+    "INRIA Research Report RR-6040, November 2006; IPDPS 2007."
+)

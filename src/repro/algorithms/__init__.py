@@ -1,0 +1,58 @@
+"""Placement algorithms: the optimal greedy, the eight heuristics, baselines.
+
+Contents
+--------
+
+* :mod:`repro.algorithms.base` -- the :class:`PlacementHeuristic` interface,
+  the shared :class:`repro.algorithms.common.RequestState` bookkeeping and
+  the heuristic registry;
+* :mod:`repro.algorithms.multiple_homogeneous` -- the paper's optimal
+  polynomial algorithm for the Multiple policy on homogeneous platforms
+  (Section 4.1, Theorem 1);
+* :mod:`repro.algorithms.closest` -- CTDA, CTDLF and CBU (Section 6.1);
+* :mod:`repro.algorithms.upwards` -- UTD and UBCF (Section 6.2);
+* :mod:`repro.algorithms.multiple` -- MTD, MBU and MG (Section 6.3);
+* :mod:`repro.algorithms.mixed_best` -- the MixedBest combiner;
+* :mod:`repro.algorithms.exhaustive` -- brute-force optimal placements for
+  small instances, used to validate everything else.
+"""
+
+from repro.algorithms.base import (
+    PlacementHeuristic,
+    register_heuristic,
+    get_heuristic,
+    available_heuristics,
+    heuristics_for_policy,
+    solve_with,
+)
+from repro.algorithms.multiple_homogeneous import MultipleHomogeneousOptimal
+from repro.algorithms.closest import (
+    ClosestTopDownAll,
+    ClosestTopDownLargestFirst,
+    ClosestBottomUp,
+)
+from repro.algorithms.upwards import UpwardsTopDown, UpwardsBigClientFirst
+from repro.algorithms.multiple import MultipleTopDown, MultipleBottomUp, MultipleGreedy
+from repro.algorithms.mixed_best import MixedBest
+from repro.algorithms.exhaustive import ExhaustiveSearch, optimal_cost
+
+__all__ = [
+    "PlacementHeuristic",
+    "register_heuristic",
+    "get_heuristic",
+    "available_heuristics",
+    "heuristics_for_policy",
+    "solve_with",
+    "MultipleHomogeneousOptimal",
+    "ClosestTopDownAll",
+    "ClosestTopDownLargestFirst",
+    "ClosestBottomUp",
+    "UpwardsTopDown",
+    "UpwardsBigClientFirst",
+    "MultipleTopDown",
+    "MultipleBottomUp",
+    "MultipleGreedy",
+    "MixedBest",
+    "ExhaustiveSearch",
+    "optimal_cost",
+]

@@ -1,0 +1,146 @@
+"""Heuristic interface and registry.
+
+Every placement algorithm of this package implements
+:class:`PlacementHeuristic`.  The public entry point is :meth:`solve`, which
+runs the algorithm and *validates* the produced solution against the problem
+constraints before returning it; an invalid or missing solution raises
+:class:`~repro.core.exceptions.InfeasibleError`, matching the paper's
+convention that a heuristic either "finds a solution" or fails on the
+instance.
+
+Concrete heuristics register themselves with :func:`register_heuristic`,
+which powers :func:`get_heuristic`, :func:`available_heuristics` and the
+experiment harness (that iterates over every registered heuristic exactly
+like the paper's Figures 9-12 iterate over the eight heuristics plus
+MixedBest).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Type, Union
+
+from repro.core.exceptions import InfeasibleError
+from repro.core.policies import Policy
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Solution
+from repro.core.validation import validate_solution
+
+__all__ = [
+    "PlacementHeuristic",
+    "register_heuristic",
+    "get_heuristic",
+    "available_heuristics",
+    "heuristics_for_policy",
+    "solve_with",
+]
+
+
+class PlacementHeuristic(abc.ABC):
+    """Base class of every placement algorithm.
+
+    Class attributes
+    ----------------
+    name:
+        Short unique identifier (e.g. ``"CTDA"``) used by the registry, the
+        CLI and the experiment reports.
+    policy:
+        The access policy the produced assignments comply with.
+    """
+
+    #: registry identifier; subclasses must override.
+    name: str = "abstract"
+    #: access policy of the produced solutions; subclasses must override.
+    policy: Policy = Policy.MULTIPLE
+
+    def solve(self, problem: ReplicaPlacementProblem) -> Solution:
+        """Run the heuristic and return a *validated* solution.
+
+        Raises
+        ------
+        InfeasibleError
+            When the heuristic fails to produce a solution, or produces one
+            that violates the problem constraints (which the paper counts as
+            a failure of the heuristic on that instance).
+        """
+        solution = self._solve(problem)
+        if solution is None:
+            raise InfeasibleError(
+                f"{self.name} did not find a solution", policy=self.policy
+            )
+        report = validate_solution(problem, solution, policy=self.policy)
+        if not report.valid:
+            raise InfeasibleError(
+                f"{self.name} produced an invalid solution:\n  "
+                + "\n  ".join(report.violations),
+                policy=self.policy,
+            )
+        return solution
+
+    def try_solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
+        """Like :meth:`solve` but returns ``None`` instead of raising."""
+        try:
+            return self.solve(problem)
+        except InfeasibleError:
+            return None
+
+    @abc.abstractmethod
+    def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
+        """Produce a candidate solution (or ``None`` / raise when failing)."""
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, policy={self.policy.value})"
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, Type[PlacementHeuristic]] = {}
+
+
+def register_heuristic(cls: Type[PlacementHeuristic]) -> Type[PlacementHeuristic]:
+    """Class decorator adding a heuristic to the global registry."""
+    key = cls.name.lower()
+    if key in _REGISTRY and _REGISTRY[key] is not cls:
+        raise ValueError(f"a heuristic named {cls.name!r} is already registered")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def get_heuristic(name: Union[str, PlacementHeuristic, Type[PlacementHeuristic]]) -> PlacementHeuristic:
+    """Instantiate the heuristic identified by ``name``.
+
+    Accepts a registry name (case-insensitive), a heuristic class or an
+    already-built instance (returned as-is).
+    """
+    if isinstance(name, PlacementHeuristic):
+        return name
+    if isinstance(name, type) and issubclass(name, PlacementHeuristic):
+        return name()
+    key = str(name).lower()
+    try:
+        return _REGISTRY[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown heuristic {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_heuristics() -> List[str]:
+    """Registered heuristic names (canonical capitalisation)."""
+    return sorted(cls.name for cls in _REGISTRY.values())
+
+
+def heuristics_for_policy(policy: Policy) -> List[PlacementHeuristic]:
+    """Instantiate every registered heuristic producing ``policy`` solutions."""
+    policy = Policy.parse(policy)
+    return [cls() for cls in _REGISTRY.values() if cls.policy is policy]
+
+
+def solve_with(
+    name: Union[str, PlacementHeuristic, Type[PlacementHeuristic]],
+    problem: ReplicaPlacementProblem,
+) -> Solution:
+    """Convenience: instantiate heuristic ``name`` and solve ``problem``."""
+    return get_heuristic(name).solve(problem)

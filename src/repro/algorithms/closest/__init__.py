@@ -1,0 +1,21 @@
+"""Heuristics for the *Closest* access policy (paper Section 6.1).
+
+* :class:`ClosestTopDownAll` (CTDA) -- repeated breadth-first traversals
+  placing a replica on every node able to absorb its whole subtree;
+* :class:`ClosestTopDownLargestFirst` (CTDLF) -- breadth-first traversal
+  visiting the most-loaded subtree first and stopping at the first replica
+  placed, repeated until no more replicas are added;
+* :class:`ClosestBottomUp` (CBU) -- bottom-up traversal placing a replica on
+  every node able to absorb the remaining requests of its subtree.
+
+Under the Closest policy a replica automatically captures *all* requests of
+its subtree that are not already captured by a lower replica, so all three
+heuristics place a replica only when the node's capacity covers the whole
+remaining subtree load.
+"""
+
+from repro.algorithms.closest.ctda import ClosestTopDownAll
+from repro.algorithms.closest.ctdlf import ClosestTopDownLargestFirst
+from repro.algorithms.closest.cbu import ClosestBottomUp
+
+__all__ = ["ClosestTopDownAll", "ClosestTopDownLargestFirst", "ClosestBottomUp"]

@@ -1,0 +1,44 @@
+"""Closest Bottom Up (CBU) -- paper Section 6.1, Algorithm 5.
+
+The internal nodes are processed bottom-up (every child before its parent).
+A node becomes a replica as soon as it can process all requests of its
+subtree that are not yet captured by a lower replica.  Because the sweep is
+bottom-up, replicas tend to be placed close to the clients; the heuristic
+naturally respects the Closest semantics (no replica is ever placed below an
+existing one, and every client remains served by its lowest replica
+ancestor).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.base import PlacementHeuristic, register_heuristic
+from repro.algorithms.closest.ctda import closest_cover_eligible
+from repro.algorithms.common import RequestState
+from repro.core.policies import Policy
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Solution
+
+__all__ = ["ClosestBottomUp"]
+
+
+@register_heuristic
+class ClosestBottomUp(PlacementHeuristic):
+    """Bottom-up sweep placing a replica on every node able to cover its subtree."""
+
+    name = "CBU"
+    policy = Policy.CLOSEST
+
+    def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
+        state = RequestState(problem)
+        tree = problem.tree
+
+        for node_id in tree.post_order_nodes():
+            if closest_cover_eligible(state, node_id):
+                state.place(node_id)
+                state.cover(node_id)
+
+        if not state.all_requests_affected():
+            return None
+        return state.to_solution(self.policy, self.name)

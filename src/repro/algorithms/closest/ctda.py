@@ -1,0 +1,79 @@
+"""Closest Top Down All (CTDA) -- paper Section 6.1, Algorithm 4.
+
+The tree is traversed breadth-first from the root.  Every node that can
+process *all* the requests still pending in its subtree is turned into a
+replica; its subtree is then never explored again (those requests are
+captured, as the Closest policy dictates).  The traversal is repeated until
+a full pass adds no replica, because covering a subtree lowers the pending
+load (``inreq``) of every ancestor and may make previously overloaded nodes
+eligible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.algorithms.base import PlacementHeuristic, register_heuristic
+from repro.algorithms.common import RequestState
+from repro.core.policies import Policy
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Solution
+
+__all__ = ["ClosestTopDownAll", "closest_cover_eligible"]
+
+_TOL = 1e-9
+
+
+def closest_cover_eligible(state: RequestState, node_id) -> bool:
+    """Can ``node_id`` capture the whole remaining load of its subtree?
+
+    Under the Closest policy a replica automatically serves every pending
+    client of its subtree, so the node must have enough capacity for all of
+    them and (when QoS is enforced) be within the QoS bound of each.
+    """
+    pending = state.inreq[node_id]
+    if pending <= _TOL:
+        return False
+    if state.problem.capacity(node_id) + _TOL < pending:
+        return False
+    if state.problem.constraints.has_qos:
+        for client_id in state.pending_clients(node_id):
+            if not state.problem.qos_satisfied(client_id, node_id):
+                return False
+    return True
+
+
+@register_heuristic
+class ClosestTopDownAll(PlacementHeuristic):
+    """Breadth-first sweeps placing every eligible replica per sweep."""
+
+    name = "CTDA"
+    policy = Policy.CLOSEST
+
+    def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
+        state = RequestState(problem)
+        tree = problem.tree
+        passes = 0
+
+        while True:
+            passes += 1
+            added = False
+            fifo = deque([tree.root])
+            while fifo:
+                node_id = fifo.popleft()
+                if state.is_replica(node_id):
+                    # The subtree is fully captured; never look below a replica.
+                    continue
+                if closest_cover_eligible(state, node_id):
+                    state.place(node_id)
+                    state.cover(node_id)
+                    added = True
+                else:
+                    fifo.extend(tree.child_nodes(node_id))
+            if not added:
+                break
+
+        if not state.all_requests_affected():
+            return None
+        return state.to_solution(self.policy, self.name, passes=passes)

@@ -1,0 +1,199 @@
+"""Shared bookkeeping used by every placement heuristic.
+
+All eight heuristics of paper Section 6 manipulate the same few quantities:
+
+* ``inreq_j`` -- the number of requests issued in ``subtree(j)`` that are not
+  yet affected to a server and therefore "reach" node ``j``;
+* the remaining (unaffected) requests ``r'_i`` of every client;
+* the replica set built so far;
+* the explicit request affectation ``w_{s,i}`` (how many requests of client
+  ``i`` the heuristic decided server ``s`` will process).
+
+:class:`RequestState` centralises this mutable state together with the
+paper's two *delete requests* procedures (Algorithms 6 and 10): draining
+whole clients from a subtree in non-increasing or non-decreasing request
+order, with or without splitting the last client.
+
+Heuristics honour the problem's QoS constraint (when one is configured) by
+only affecting a client to a server within its QoS bound; with the default
+"no QoS" constraint set this filtering is inactive and the behaviour matches
+the paper exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.policies import Policy
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Assignment, Placement, Solution
+from repro.core.tree import NodeId
+
+__all__ = ["RequestState"]
+
+_TOL = 1e-9
+
+
+class RequestState:
+    """Mutable request-affectation state shared by the heuristics."""
+
+    def __init__(self, problem: ReplicaPlacementProblem):
+        self.problem = problem
+        self.tree = problem.tree
+        #: remaining (not yet affected) requests of every client, ``r'_i``
+        self.remaining: Dict[NodeId, float] = {
+            client.id: float(client.requests) for client in self.tree.clients()
+        }
+        #: requests still reaching each internal node, ``inreq_j``
+        self.inreq: Dict[NodeId, float] = {
+            node_id: self.tree.subtree_requests(node_id) for node_id in self.tree.node_ids
+        }
+        #: replica set built so far
+        self.replicas: set = set()
+        #: residual capacity of each internal node
+        self.residual: Dict[NodeId, float] = {
+            node_id: problem.capacity(node_id) for node_id in self.tree.node_ids
+        }
+        #: explicit affectation ``(client, server) -> requests``
+        self.amounts: Dict[Tuple[NodeId, NodeId], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # elementary operations
+    # ------------------------------------------------------------------ #
+    def place(self, node_id: NodeId) -> None:
+        """Add ``node_id`` to the replica set (idempotent)."""
+        self.replicas.add(node_id)
+
+    def is_replica(self, node_id: NodeId) -> bool:
+        """``True`` when ``node_id`` already carries a replica."""
+        return node_id in self.replicas
+
+    def assign(self, client_id: NodeId, server_id: NodeId, amount: float) -> None:
+        """Affect ``amount`` requests of ``client_id`` to ``server_id``.
+
+        Updates the client's remaining requests, the server's residual
+        capacity and the ``inreq`` of every ancestor of the client (the
+        affected requests no longer travel past their server, and by
+        convention no longer count anywhere on the path: the paper's
+        ``inreq`` bookkeeping subtracts them from *all* ancestors).
+        """
+        if amount <= _TOL:
+            return
+        self.remaining[client_id] -= amount
+        self.residual[server_id] -= amount
+        key = (client_id, server_id)
+        self.amounts[key] = self.amounts.get(key, 0.0) + amount
+        for ancestor in self.tree.ancestors(client_id):
+            self.inreq[ancestor] -= amount
+
+    # ------------------------------------------------------------------ #
+    # client queries
+    # ------------------------------------------------------------------ #
+    def pending_clients(self, node_id: NodeId) -> List[NodeId]:
+        """Clients of ``subtree(node_id)`` that still have unaffected requests."""
+        return [
+            cid
+            for cid in self.tree.subtree_clients(node_id)
+            if self.remaining[cid] > _TOL
+        ]
+
+    def eligible_pending_clients(self, server_id: NodeId) -> List[NodeId]:
+        """Pending clients of ``subtree(server_id)`` the server may serve (QoS)."""
+        return [
+            cid
+            for cid in self.pending_clients(server_id)
+            if self.problem.qos_satisfied(cid, server_id)
+        ]
+
+    def eligible_inreq(self, server_id: NodeId) -> float:
+        """Requests reaching ``server_id`` that it would be allowed to serve."""
+        return sum(self.remaining[cid] for cid in self.eligible_pending_clients(server_id))
+
+    def total_pending(self) -> float:
+        """Total number of requests not yet affected to any server."""
+        return sum(self.remaining.values())
+
+    # ------------------------------------------------------------------ #
+    # the paper's delete-requests procedures
+    # ------------------------------------------------------------------ #
+    def drain(
+        self,
+        server_id: NodeId,
+        budget: float,
+        *,
+        largest_first: bool = True,
+        split_last: bool = False,
+    ) -> float:
+        """Affect up to ``budget`` requests from ``subtree(server_id)`` to the server.
+
+        Clients are considered whole, in non-increasing (``largest_first``)
+        or non-decreasing request order, exactly like the paper's
+        ``deleteRequests`` (Algorithm 6).  With ``split_last`` the last
+        client may be affected partially to exhaust the budget, like
+        ``deleteRequestsInMTD`` (Algorithm 10).
+
+        Returns the number of requests actually affected.
+        """
+        if budget <= _TOL:
+            return 0.0
+        clients = self.eligible_pending_clients(server_id)
+        clients.sort(key=lambda cid: (-self.remaining[cid], repr(cid)))
+        if not largest_first:
+            clients.sort(key=lambda cid: (self.remaining[cid], repr(cid)))
+
+        drained = 0.0
+        for client_id in clients:
+            pending = self.remaining[client_id]
+            if pending <= budget + _TOL:
+                self.assign(client_id, server_id, pending)
+                budget -= pending
+                drained += pending
+                if budget <= _TOL:
+                    break
+            elif split_last:
+                self.assign(client_id, server_id, budget)
+                drained += budget
+                budget = 0.0
+                break
+            # Whole-client mode: a client larger than the remaining budget is
+            # simply skipped (the paper tries the next, smaller, client).
+        return drained
+
+    def cover(self, server_id: NodeId) -> float:
+        """Affect *all* eligible pending requests of ``subtree(server_id)`` to the server.
+
+        Used by the Closest heuristics once ``W_s >= inreq_s`` guarantees the
+        whole subtree fits.  Returns the amount affected.
+        """
+        covered = 0.0
+        for client_id in self.eligible_pending_clients(server_id):
+            pending = self.remaining[client_id]
+            self.assign(client_id, server_id, pending)
+            covered += pending
+        return covered
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def to_solution(self, policy: Policy, algorithm: str, **metadata) -> Solution:
+        """Freeze the current state into a :class:`~repro.core.solution.Solution`."""
+        return Solution(
+            placement=Placement(self.replicas),
+            assignment=Assignment(self.amounts),
+            policy=policy,
+            algorithm=algorithm,
+            metadata=metadata,
+        )
+
+    def all_requests_affected(self, tolerance: float = 1e-6) -> bool:
+        """``True`` when every client request has been affected to a server."""
+        return self.total_pending() <= tolerance
+
+    def unserved_summary(self) -> str:
+        """Human-readable list of clients that still have pending requests."""
+        pending = {
+            cid: round(value, 6)
+            for cid, value in self.remaining.items()
+            if value > 1e-6
+        }
+        return ", ".join(f"{cid!r}: {value:g}" for cid, value in sorted(pending.items(), key=lambda kv: repr(kv[0])))

@@ -1,0 +1,123 @@
+"""Exhaustive optimal placement search for small instances.
+
+The heterogeneous Replica Cost problem is NP-complete for all three access
+policies (paper Theorem 3), and Upwards is NP-complete even on homogeneous
+platforms (Theorem 2).  For *small* trees, however, the optimum can be found
+by enumerating candidate replica sets in order of increasing storage cost
+and returning the first feasible one.  This module provides that baseline,
+which the tests use to
+
+* certify the optimality of the three-pass Multiple/homogeneous algorithm on
+  random instances,
+* measure the optimality gap of the eight polynomial heuristics,
+* cross-check the ILP solutions of :mod:`repro.lp`.
+
+Feasibility of a candidate placement is decided per policy by
+:mod:`repro.core.feasibility` (exact for Closest and Multiple; exact
+backtracking for Upwards within the configured client limit).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Tuple
+
+from repro.algorithms.base import PlacementHeuristic, register_heuristic
+from repro.core.exceptions import InfeasibleError
+from repro.core.feasibility import assignment_for_placement
+from repro.core.policies import Policy
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Solution
+
+__all__ = ["ExhaustiveSearch", "optimal_cost", "optimal_solution"]
+
+#: Default limit on the number of internal nodes (2^n subsets are explored).
+DEFAULT_NODE_LIMIT = 16
+
+
+def _candidate_placements(problem: ReplicaPlacementProblem) -> Iterable[Tuple[float, Tuple]]:
+    """Yield ``(cost, placement)`` pairs sorted by increasing cost."""
+    node_ids = list(problem.tree.node_ids)
+    costs = {nid: problem.storage_cost(nid) for nid in node_ids}
+    candidates = []
+    for size in range(len(node_ids) + 1):
+        for subset in itertools.combinations(node_ids, size):
+            candidates.append((sum(costs[nid] for nid in subset), subset))
+    candidates.sort(key=lambda item: (item[0], len(item[1])))
+    return candidates
+
+
+def optimal_solution(
+    problem: ReplicaPlacementProblem,
+    policy: Policy,
+    *,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+    upwards_exact: bool = True,
+) -> Solution:
+    """Cheapest feasible placement found by exhaustive enumeration.
+
+    Raises
+    ------
+    ValueError
+        If the tree has more than ``node_limit`` internal nodes.
+    InfeasibleError
+        If no subset of nodes admits a valid assignment under ``policy``.
+    """
+    policy = Policy.parse(policy)
+    node_count = len(problem.tree.node_ids)
+    if node_count > node_limit:
+        raise ValueError(
+            f"exhaustive search limited to {node_limit} internal nodes "
+            f"(instance has {node_count}); raise node_limit explicitly if you "
+            "really want to wait"
+        )
+    for _cost, subset in _candidate_placements(problem):
+        try:
+            solution = assignment_for_placement(
+                problem,
+                subset,
+                policy,
+                **({"exact": True} if (policy is Policy.UPWARDS and upwards_exact) else {}),
+            )
+        except InfeasibleError:
+            continue
+        return Solution(
+            placement=solution.placement,
+            assignment=solution.assignment,
+            policy=policy,
+            algorithm=f"exhaustive-{policy.value}",
+        )
+    raise InfeasibleError(
+        f"no feasible placement exists under the {policy.value} policy", policy=policy
+    )
+
+
+def optimal_cost(
+    problem: ReplicaPlacementProblem,
+    policy: Policy,
+    *,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+) -> float:
+    """Cost of the optimal placement (see :func:`optimal_solution`)."""
+    solution = optimal_solution(problem, policy, node_limit=node_limit)
+    return solution.cost(problem)
+
+
+@register_heuristic
+class ExhaustiveSearch(PlacementHeuristic):
+    """Heuristic-interface wrapper around :func:`optimal_solution`.
+
+    The policy is chosen at construction time (default: Multiple), so the
+    experiment harness can include the exact optimum as a baseline on small
+    campaigns.
+    """
+
+    name = "Exhaustive"
+    policy = Policy.MULTIPLE
+
+    def __init__(self, policy: Policy = Policy.MULTIPLE, node_limit: int = DEFAULT_NODE_LIMIT):
+        self.policy = Policy.parse(policy)
+        self.node_limit = node_limit
+
+    def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
+        return optimal_solution(problem, self.policy, node_limit=self.node_limit)

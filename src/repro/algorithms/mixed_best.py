@@ -1,0 +1,81 @@
+"""MixedBest (MB) -- paper Section 7.3.
+
+A solution computed by a Closest or Upwards heuristic is always a valid
+solution for the Multiple policy (policy dominance), so the results of all
+eight heuristics can be mixed into a single Multiple-policy meta-heuristic
+that keeps, for every instance, the cheapest valid answer.  Because
+MultipleGreedy never fails on a feasible instance, MixedBest never fails
+either.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.algorithms.base import (
+    PlacementHeuristic,
+    get_heuristic,
+    register_heuristic,
+)
+from repro.core.policies import Policy
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Solution
+
+__all__ = ["MixedBest", "DEFAULT_COMPONENTS"]
+
+#: The eight heuristics of the paper, in the order they appear in Section 6.
+DEFAULT_COMPONENTS: Sequence[str] = (
+    "CTDA",
+    "CTDLF",
+    "CBU",
+    "UTD",
+    "UBCF",
+    "MTD",
+    "MBU",
+    "MG",
+)
+
+
+@register_heuristic
+class MixedBest(PlacementHeuristic):
+    """Run several heuristics and keep the cheapest valid solution.
+
+    Parameters
+    ----------
+    components:
+        Names (or instances) of the heuristics to combine; defaults to the
+        paper's eight heuristics.
+    """
+
+    name = "MixedBest"
+    policy = Policy.MULTIPLE
+
+    def __init__(self, components: Optional[Iterable] = None):
+        selected = components if components is not None else DEFAULT_COMPONENTS
+        self.components: List[PlacementHeuristic] = [get_heuristic(c) for c in selected]
+
+    def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
+        best: Optional[Solution] = None
+        best_cost = float("inf")
+        best_name = None
+        attempts = {}
+        for heuristic in self.components:
+            candidate = heuristic.try_solve(problem)
+            if candidate is None:
+                attempts[heuristic.name] = None
+                continue
+            cost = candidate.cost(problem)
+            attempts[heuristic.name] = cost
+            if cost < best_cost:
+                best, best_cost, best_name = candidate, cost, heuristic.name
+        if best is None:
+            return None
+        # Every component solution is valid under the (most permissive)
+        # Multiple policy, so the combined result is reported as Multiple.
+        return Solution(
+            placement=best.placement,
+            assignment=best.assignment,
+            policy=Policy.MULTIPLE,
+            algorithm=self.name,
+            metadata={"selected": best_name, "component_costs": attempts},
+        )

@@ -1,0 +1,18 @@
+"""Heuristics for the *Multiple* access policy (paper Section 6.3).
+
+* :class:`MultipleTopDown` (MTD) -- the top-down two-pass scheme of UTD with
+  a delete procedure allowed to split the last client (Algorithm 10);
+* :class:`MultipleBottomUp` (MBU) -- a bottom-up first pass placing replicas
+  on exhausted nodes and draining *small* clients first, followed by the
+  same second pass as MTD (Algorithms 11-12);
+* :class:`MultipleGreedy` (MG) -- a bottom-up saturating affectation in the
+  spirit of Pass 3 of the optimal algorithm; it always finds a solution when
+  one exists, at the price of a potentially high cost on heterogeneous
+  platforms.
+"""
+
+from repro.algorithms.multiple.mtd import MultipleTopDown
+from repro.algorithms.multiple.mbu import MultipleBottomUp
+from repro.algorithms.multiple.mg import MultipleGreedy
+
+__all__ = ["MultipleTopDown", "MultipleBottomUp", "MultipleGreedy"]

@@ -1,0 +1,70 @@
+"""Multiple Bottom Up (MBU) -- paper Section 6.3, Algorithms 11-12.
+
+The first pass traverses the tree bottom-up (as CBU does) and places a
+replica on every node *exhausted* by the requests still pending in its
+subtree (``inreq_s >= W_s``).  The server is filled by affecting clients in
+**non-decreasing** request order -- the paper's intuition being that deleting
+many small clients is preferable to deleting a few demanding ones -- and the
+last client considered may be split.
+
+If requests remain after the first pass, a second top-down pass (identical
+to MTD's) adds non-exhausted replicas on the highest free nodes that still
+see pending requests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.base import PlacementHeuristic, register_heuristic
+from repro.algorithms.common import RequestState
+from repro.core.policies import Policy
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Solution
+
+__all__ = ["MultipleBottomUp"]
+
+_TOL = 1e-9
+
+
+@register_heuristic
+class MultipleBottomUp(PlacementHeuristic):
+    """Bottom-up exhausted-node pass, then a top-down completion pass."""
+
+    name = "MBU"
+    policy = Policy.MULTIPLE
+
+    def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
+        state = RequestState(problem)
+        tree = problem.tree
+
+        # First pass: bottom-up, saturate every exhausted node with small
+        # clients first (splitting allowed).
+        for node_id in tree.post_order_nodes():
+            capacity = problem.capacity(node_id)
+            if state.inreq[node_id] >= capacity - _TOL and state.inreq[node_id] > _TOL:
+                state.place(node_id)
+                state.drain(node_id, capacity, largest_first=False, split_last=True)
+
+        # Second pass: top-down completion on the remaining requests.
+        if not state.all_requests_affected():
+            self._second_pass(state, tree, tree.root)
+
+        if not state.all_requests_affected():
+            return None
+        return state.to_solution(self.policy, self.name)
+
+    def _second_pass(self, state: RequestState, tree, node_id) -> None:
+        """Add non-exhausted replicas top-down (Algorithm 12)."""
+        if not state.is_replica(node_id) and state.inreq[node_id] > _TOL:
+            state.place(node_id)
+            state.drain(
+                node_id,
+                state.inreq[node_id],
+                largest_first=False,
+                split_last=True,
+            )
+            return
+        for child in tree.child_nodes(node_id):
+            if state.inreq[child] > _TOL:
+                self._second_pass(state, tree, child)

@@ -1,0 +1,81 @@
+"""Multiple Greedy (MG) -- paper Section 6.3.
+
+A bottom-up saturating affectation in the spirit of Pass 3 of the optimal
+homogeneous algorithm: internal nodes are processed children-first; each
+node serves as many still-pending requests of its subtree as its capacity
+allows (splitting clients freely) and becomes a replica whenever it serves
+at least one request.
+
+Serving requests as low as possible never hurts feasibility (whatever a node
+can serve, each of its ancestors could also serve), so MG finds a solution
+whenever the instance admits one under the Multiple policy -- the property
+the paper relies on for the MixedBest combiner.  Its cost can however be far
+from optimal on heterogeneous platforms, since cheap low nodes are greedily
+used regardless of the cost structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.base import PlacementHeuristic, register_heuristic
+from repro.algorithms.common import RequestState
+from repro.core.policies import Policy
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Solution
+
+__all__ = ["MultipleGreedy"]
+
+_TOL = 1e-9
+
+
+@register_heuristic
+class MultipleGreedy(PlacementHeuristic):
+    """Bottom-up saturating greedy; complete for the Multiple policy."""
+
+    name = "MG"
+    policy = Policy.MULTIPLE
+
+    def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
+        state = RequestState(problem)
+        tree = problem.tree
+
+        for node_id in tree.post_order_nodes():
+            budget = problem.capacity(node_id)
+            if budget <= _TOL:
+                continue
+            clients = state.eligible_pending_clients(node_id)
+            if not clients:
+                continue
+            # Serve the most constrained clients first: those with the fewest
+            # eligible ancestors above this node (ties broken deterministically).
+            if problem.constraints.has_qos:
+                clients.sort(
+                    key=lambda cid: (
+                        sum(
+                            1
+                            for anc in problem.eligible_servers(cid)
+                            if tree.depth(anc) < tree.depth(node_id)
+                        ),
+                        repr(cid),
+                    )
+                )
+            else:
+                clients.sort(key=lambda cid: (-state.remaining[cid], repr(cid)))
+
+            served_any = False
+            for client_id in clients:
+                if budget <= _TOL:
+                    break
+                take = min(budget, state.remaining[client_id])
+                if take <= _TOL:
+                    continue
+                state.assign(client_id, node_id, take)
+                budget -= take
+                served_any = True
+            if served_any:
+                state.place(node_id)
+
+        if not state.all_requests_affected():
+            return None
+        return state.to_solution(self.policy, self.name)

@@ -1,0 +1,34 @@
+"""Multiple Top Down (MTD) -- paper Section 6.3, Algorithm 10.
+
+MTD follows the same two-pass top-down scheme as UTD
+(:class:`repro.algorithms.upwards.UpwardsTopDown`), with one significant
+difference: since the Multiple policy allows the requests of a client to be
+split among several servers, the delete procedure may affect only *part* of
+a client's requests to the current server once no whole client fits the
+remaining capacity.  Exhausted first-pass servers are therefore always
+completely filled.
+
+Note on the paper's pseudo-code: Algorithm 10 decrements the ancestors'
+``inreq`` by the *updated* ``r_i`` after a partial deletion; the intended
+semantics (also used in the optimality discussion and in MBU) is to decrement
+by the amount actually affected to the server, which is what this
+implementation does.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import register_heuristic
+from repro.algorithms.upwards.utd import UpwardsTopDown
+from repro.core.policies import Policy
+
+__all__ = ["MultipleTopDown"]
+
+
+@register_heuristic
+class MultipleTopDown(UpwardsTopDown):
+    """UTD scheme with client splitting enabled (Multiple policy)."""
+
+    name = "MTD"
+    policy = Policy.MULTIPLE
+    split_last = True
+    largest_first = True

@@ -1,0 +1,15 @@
+"""Heuristics for the *Upwards* access policy (paper Section 6.2).
+
+* :class:`UpwardsTopDown` (UTD) -- two passes: a depth-first pass placing a
+  replica on every node exhausted by its subtree load and affecting whole
+  clients to it (largest first), then a top-down pass adding non-exhausted
+  replicas for the remaining requests;
+* :class:`UpwardsBigClientFirst` (UBCF) -- clients are processed in
+  non-increasing request order and each is affected, whole, to the ancestor
+  with the smallest residual capacity that can host it.
+"""
+
+from repro.algorithms.upwards.utd import UpwardsTopDown
+from repro.algorithms.upwards.ubcf import UpwardsBigClientFirst
+
+__all__ = ["UpwardsTopDown", "UpwardsBigClientFirst"]

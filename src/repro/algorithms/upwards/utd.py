@@ -1,0 +1,88 @@
+"""Upwards Top Down (UTD) -- paper Section 6.2, Algorithms 6-8.
+
+First pass (depth-first, top-down): every node whose pending subtree load
+``inreq_s`` reaches its capacity is turned into a replica, and whole clients
+of its subtree are affected to it in non-increasing request order until the
+capacity is filled or no remaining client fits (Algorithm 6,
+``deleteRequests``).
+
+Second pass (top-down): if requests remain, replicas are added on the
+highest free nodes that still see pending requests, and the pending clients
+of their subtrees are affected to them.  Nodes that already hold a replica
+are skipped and the search continues below them.
+
+The heuristic fails on the instance when some requests remain unaffected at
+the end (e.g. pending clients attached directly to a first-pass replica with
+no free node on their path), exactly like the paper's success-rate
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.base import PlacementHeuristic, register_heuristic
+from repro.algorithms.common import RequestState
+from repro.core.policies import Policy
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Solution
+
+__all__ = ["UpwardsTopDown"]
+
+_TOL = 1e-9
+
+
+@register_heuristic
+class UpwardsTopDown(PlacementHeuristic):
+    """Two-pass top-down heuristic for the Upwards policy."""
+
+    name = "UTD"
+    policy = Policy.UPWARDS
+
+    #: whether the last client affected to a server may be split
+    #: (``False`` for Upwards, overridden by the Multiple variant MTD).
+    split_last = False
+    #: order in which clients are drained from a subtree.
+    largest_first = True
+
+    def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
+        state = RequestState(problem)
+        tree = problem.tree
+
+        self._first_pass(state, tree, tree.root)
+        if not state.all_requests_affected():
+            self._second_pass(state, tree, tree.root)
+
+        if not state.all_requests_affected():
+            return None
+        return state.to_solution(self.policy, self.name)
+
+    # ------------------------------------------------------------------ #
+    def _first_pass(self, state: RequestState, tree, node_id) -> None:
+        """Depth-first pass placing replicas on exhausted nodes (Algorithm 7)."""
+        capacity = state.problem.capacity(node_id)
+        if state.inreq[node_id] >= capacity - _TOL and state.inreq[node_id] > _TOL:
+            state.place(node_id)
+            state.drain(
+                node_id,
+                capacity,
+                largest_first=self.largest_first,
+                split_last=self.split_last,
+            )
+        for child in tree.child_nodes(node_id):
+            self._first_pass(state, tree, child)
+
+    def _second_pass(self, state: RequestState, tree, node_id) -> None:
+        """Top-down pass adding non-exhausted replicas (Algorithm 8)."""
+        if not state.is_replica(node_id) and state.inreq[node_id] > _TOL:
+            state.place(node_id)
+            state.drain(
+                node_id,
+                state.inreq[node_id],
+                largest_first=self.largest_first,
+                split_last=self.split_last,
+            )
+            return
+        for child in tree.child_nodes(node_id):
+            if state.inreq[child] > _TOL:
+                self._second_pass(state, tree, child)

@@ -1,0 +1,16 @@
+"""Analysis helpers: tree statistics and policy comparisons."""
+
+from repro.analysis.tree_stats import tree_statistics, TreeStatistics
+from repro.analysis.comparison import (
+    policy_costs,
+    dominance_holds,
+    policy_gap,
+)
+
+__all__ = [
+    "tree_statistics",
+    "TreeStatistics",
+    "policy_costs",
+    "dominance_holds",
+    "policy_gap",
+]

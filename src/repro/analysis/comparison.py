@@ -1,0 +1,66 @@
+"""Empirical policy comparisons.
+
+The central qualitative claims of the paper are the dominance chain
+``cost(Multiple) <= cost(Upwards) <= cost(Closest)`` (for optimal costs) and
+the fact that the gaps can be arbitrarily large.  These helpers evaluate the
+chain on concrete instances, using either the exact solvers (small trees) or
+the heuristic portfolio (large trees).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.api import solve
+from repro.core.exceptions import InfeasibleError
+from repro.core.policies import Policy
+from repro.core.problem import ReplicaPlacementProblem
+
+__all__ = ["policy_costs", "dominance_holds", "policy_gap"]
+
+
+def policy_costs(
+    problem: ReplicaPlacementProblem, *, exact: bool = False
+) -> Dict[Policy, float]:
+    """Best-known cost per policy (``math.inf`` when no solution was found).
+
+    With ``exact=True`` the exact ILP is used (small instances); otherwise
+    the heuristic portfolio of :func:`repro.api.solve`.
+    """
+    costs: Dict[Policy, float] = {}
+    for policy in Policy.ordered():
+        try:
+            if exact:
+                from repro.lp.exact import exact_cost
+
+                costs[policy] = exact_cost(problem, policy)
+            else:
+                costs[policy] = solve(problem, policy=policy).cost(problem)
+        except InfeasibleError:
+            costs[policy] = math.inf
+    return costs
+
+
+def dominance_holds(costs: Dict[Policy, float], *, tolerance: float = 1e-6) -> bool:
+    """Check ``cost(Multiple) <= cost(Upwards) <= cost(Closest)``.
+
+    Infinite costs (infeasible policies) respect the chain by convention as
+    long as no *more permissive* policy is infeasible while a more
+    restrictive one is feasible.
+    """
+    closest = costs.get(Policy.CLOSEST, math.inf)
+    upwards = costs.get(Policy.UPWARDS, math.inf)
+    multiple = costs.get(Policy.MULTIPLE, math.inf)
+    return multiple <= upwards + tolerance and upwards <= closest + tolerance
+
+
+def policy_gap(
+    costs: Dict[Policy, float], better: Policy, worse: Policy
+) -> Optional[float]:
+    """Cost ratio ``worse / better`` (``None`` when either is infeasible)."""
+    better_cost = costs.get(better, math.inf)
+    worse_cost = costs.get(worse, math.inf)
+    if not math.isfinite(better_cost) or not math.isfinite(worse_cost) or better_cost <= 0:
+        return None
+    return worse_cost / better_cost

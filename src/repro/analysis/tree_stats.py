@@ -1,0 +1,72 @@
+"""Structural statistics of a distribution tree.
+
+Used by the experiment reports to characterise the generated workloads
+(depth, branching, client spread, load) and by the examples to describe the
+platform before solving it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.tree import TreeNetwork
+
+__all__ = ["TreeStatistics", "tree_statistics"]
+
+
+@dataclass(frozen=True)
+class TreeStatistics:
+    """Summary statistics of a tree network."""
+
+    size: int
+    internal_nodes: int
+    clients: int
+    height: int
+    mean_client_depth: float
+    max_branching: int
+    mean_requests: float
+    max_requests: float
+    total_requests: float
+    total_capacity: float
+    load_factor: float
+    homogeneous: bool
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary view (used by the reporting helpers)."""
+        return {
+            "size": self.size,
+            "internal_nodes": self.internal_nodes,
+            "clients": self.clients,
+            "height": self.height,
+            "mean_client_depth": self.mean_client_depth,
+            "max_branching": self.max_branching,
+            "mean_requests": self.mean_requests,
+            "max_requests": self.max_requests,
+            "total_requests": self.total_requests,
+            "total_capacity": self.total_capacity,
+            "load_factor": self.load_factor,
+            "homogeneous": float(self.homogeneous),
+        }
+
+
+def tree_statistics(tree: TreeNetwork) -> TreeStatistics:
+    """Compute :class:`TreeStatistics` for a tree network."""
+    client_depths = [tree.depth(cid) for cid in tree.client_ids]
+    requests = [c.requests for c in tree.clients()]
+    branching = [len(tree.children(nid)) for nid in tree.node_ids]
+    return TreeStatistics(
+        size=tree.size,
+        internal_nodes=len(tree.node_ids),
+        clients=len(tree.client_ids),
+        height=tree.height(),
+        mean_client_depth=statistics.fmean(client_depths) if client_depths else 0.0,
+        max_branching=max(branching) if branching else 0,
+        mean_requests=statistics.fmean(requests) if requests else 0.0,
+        max_requests=max(requests) if requests else 0.0,
+        total_requests=tree.total_requests(),
+        total_capacity=tree.total_capacity(),
+        load_factor=tree.load_factor(),
+        homogeneous=tree.is_homogeneous(),
+    )

@@ -1,0 +1,167 @@
+"""High-level convenience API.
+
+Most users only need three calls:
+
+* :func:`solve` -- place replicas on a tree under a chosen access policy,
+  automatically picking the best available algorithm (the optimal greedy for
+  Multiple on homogeneous platforms, the best of the paper's heuristics
+  otherwise);
+* :func:`lower_bound` -- the LP-based lower bound of paper Section 7.1,
+  used to judge how far a solution is from the optimum;
+* :func:`compare_policies` -- solve the same instance under Closest, Upwards
+  and Multiple and report the costs side by side (the experiment of the
+  paper in miniature).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Union
+
+from repro.core.constraints import ConstraintSet
+from repro.core.exceptions import InfeasibleError
+from repro.core.policies import Policy
+from repro.core.problem import ProblemKind, ReplicaPlacementProblem
+from repro.core.solution import Solution
+from repro.core.tree import TreeNetwork
+
+__all__ = ["solve", "lower_bound", "compare_policies", "as_problem"]
+
+#: Heuristics tried (in order) per policy when no explicit algorithm is given.
+_DEFAULT_PORTFOLIO = {
+    Policy.CLOSEST: ("CTDA", "CTDLF", "CBU"),
+    Policy.UPWARDS: ("UBCF", "UTD"),
+    Policy.MULTIPLE: ("MTD", "MBU", "MG"),
+}
+
+
+def as_problem(
+    instance: Union[TreeNetwork, ReplicaPlacementProblem],
+    *,
+    constraints: Optional[ConstraintSet] = None,
+    kind: Optional[ProblemKind] = None,
+) -> ReplicaPlacementProblem:
+    """Coerce a tree or problem into a :class:`ReplicaPlacementProblem`."""
+    if isinstance(instance, ReplicaPlacementProblem):
+        problem = instance
+        if constraints is not None:
+            problem = problem.with_constraints(constraints)
+        if kind is not None:
+            problem = problem.with_kind(kind)
+        return problem
+    return ReplicaPlacementProblem(
+        tree=instance,
+        constraints=constraints or ConstraintSet.none(),
+        kind=kind or ProblemKind.REPLICA_COST,
+    )
+
+
+def solve(
+    instance: Union[TreeNetwork, ReplicaPlacementProblem],
+    *,
+    policy: Union[Policy, str] = Policy.MULTIPLE,
+    algorithm: Optional[str] = None,
+    constraints: Optional[ConstraintSet] = None,
+    kind: Optional[ProblemKind] = None,
+) -> Solution:
+    """Solve a replica-placement instance under the given access policy.
+
+    Parameters
+    ----------
+    instance:
+        A :class:`~repro.core.tree.TreeNetwork` or a fully-specified
+        :class:`~repro.core.problem.ReplicaPlacementProblem`.
+    policy:
+        Access policy (``"closest"``, ``"upwards"`` or ``"multiple"``).
+    algorithm:
+        Name of a registered heuristic to force; by default the optimal
+        algorithm is used for Multiple on homogeneous platforms and the best
+        result of the policy's heuristic portfolio otherwise.
+
+    Raises
+    ------
+    InfeasibleError
+        When no algorithm produces a valid solution.
+    """
+    from repro.algorithms.base import get_heuristic
+
+    problem = as_problem(instance, constraints=constraints, kind=kind)
+    policy = Policy.parse(policy)
+
+    if algorithm is not None:
+        return get_heuristic(algorithm).solve(problem)
+
+    candidates = list(_DEFAULT_PORTFOLIO[policy])
+    if policy is Policy.MULTIPLE and problem.is_homogeneous:
+        candidates = ["MultipleOptimalHomogeneous"] + candidates
+
+    best: Optional[Solution] = None
+    best_cost = math.inf
+    for name in candidates:
+        candidate = get_heuristic(name).try_solve(problem)
+        if candidate is None:
+            continue
+        cost = candidate.cost(problem)
+        if cost < best_cost:
+            best, best_cost = candidate, cost
+        if name == "MultipleOptimalHomogeneous":
+            # Provably optimal: no need to try the heuristics.
+            break
+    if best is None:
+        raise InfeasibleError(
+            f"no valid solution found under the {policy.value} policy", policy=policy
+        )
+    return best
+
+
+def lower_bound(
+    instance: Union[TreeNetwork, ReplicaPlacementProblem],
+    *,
+    constraints: Optional[ConstraintSet] = None,
+    kind: Optional[ProblemKind] = None,
+    method: str = "mixed",
+) -> float:
+    """LP-based lower bound on the optimal replica cost.
+
+    ``method`` selects the refined bound of the paper (``"mixed"``: integer
+    placement variables, rational assignments), the fully rational
+    relaxation (``"rational"``) or the purely combinatorial bound
+    (``"trivial"``, no LP solve at all).
+    """
+    problem = as_problem(instance, constraints=constraints, kind=kind)
+    if method == "trivial":
+        from repro.core.costs import trivial_lower_bound
+
+        return trivial_lower_bound(problem)
+    from repro.lp.bounds import lp_lower_bound, rational_relaxation_bound
+
+    if method == "mixed":
+        return lp_lower_bound(problem).value
+    if method == "rational":
+        return rational_relaxation_bound(problem).value
+    raise ValueError(f"unknown lower-bound method {method!r}")
+
+
+def compare_policies(
+    instance: Union[TreeNetwork, ReplicaPlacementProblem],
+    *,
+    policies: Iterable[Union[Policy, str]] = Policy.ordered(),
+    constraints: Optional[ConstraintSet] = None,
+    kind: Optional[ProblemKind] = None,
+) -> Dict[Policy, Optional[Solution]]:
+    """Solve the same instance under several policies.
+
+    Returns a mapping from policy to the best solution found (or ``None``
+    when the policy admits no solution / every algorithm failed), mirroring
+    the paper's observation that Multiple solves strictly more instances
+    than Upwards, which solves strictly more than Closest.
+    """
+    problem = as_problem(instance, constraints=constraints, kind=kind)
+    results: Dict[Policy, Optional[Solution]] = {}
+    for policy in policies:
+        policy = Policy.parse(policy)
+        try:
+            results[policy] = solve(problem, policy=policy)
+        except InfeasibleError:
+            results[policy] = None
+    return results

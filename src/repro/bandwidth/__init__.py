@@ -1,0 +1,15 @@
+"""Link-capacity extension: per-link flow accounting and bandwidth checks."""
+
+from repro.bandwidth.link_capacity import (
+    link_utilisation,
+    saturated_links,
+    bandwidth_feasibility_report,
+    BandwidthReport,
+)
+
+__all__ = [
+    "link_utilisation",
+    "saturated_links",
+    "bandwidth_feasibility_report",
+    "BandwidthReport",
+]

@@ -1,0 +1,103 @@
+"""Per-link flow accounting for the bandwidth-constrained problem variants.
+
+Paper Section 2.2.1 bounds the total flow of requests traversing every tree
+link by the link's bandwidth ``BW_l``.  The solvers honour the constraint
+through :class:`~repro.core.constraints.ConstraintSet`; this module provides
+the reporting side:
+
+* :func:`link_utilisation` -- flow and utilisation of every link under a
+  given solution;
+* :func:`saturated_links` -- the links whose utilisation exceeds a
+  threshold (bottleneck detection);
+* :func:`bandwidth_feasibility_report` -- a cheap necessary-condition check:
+  the subtree hanging below a link cannot emit more requests than the link's
+  bandwidth plus the processing capacity available inside the subtree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Solution
+from repro.core.tree import NodeId, TreeNetwork
+
+__all__ = [
+    "link_utilisation",
+    "saturated_links",
+    "bandwidth_feasibility_report",
+    "BandwidthReport",
+]
+
+LinkKey = Tuple[NodeId, NodeId]
+
+
+def link_utilisation(
+    tree: TreeNetwork, solution: Solution
+) -> Dict[LinkKey, Dict[str, float]]:
+    """Flow, bandwidth and utilisation ratio of every link used by ``solution``."""
+    flows = solution.assignment.link_flows(tree)
+    report: Dict[LinkKey, Dict[str, float]] = {}
+    for link in tree.links():
+        flow = flows.get(link.key, 0.0)
+        utilisation = flow / link.bandwidth if math.isfinite(link.bandwidth) and link.bandwidth > 0 else 0.0
+        report[link.key] = {
+            "flow": flow,
+            "bandwidth": link.bandwidth,
+            "utilisation": utilisation,
+        }
+    return report
+
+
+def saturated_links(
+    tree: TreeNetwork, solution: Solution, *, threshold: float = 0.95
+) -> List[LinkKey]:
+    """Links whose utilisation reaches ``threshold`` (bottleneck candidates)."""
+    result = []
+    for key, stats in link_utilisation(tree, solution).items():
+        if math.isfinite(stats["bandwidth"]) and stats["utilisation"] >= threshold:
+            result.append(key)
+    return result
+
+
+@dataclass
+class BandwidthReport:
+    """Outcome of :func:`bandwidth_feasibility_report`."""
+
+    feasible: bool
+    overloaded_links: List[LinkKey]
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+def bandwidth_feasibility_report(problem: ReplicaPlacementProblem) -> BandwidthReport:
+    """Necessary-condition check for bandwidth feasibility.
+
+    For every link ``child -> parent``, the requests issued inside
+    ``subtree(child)`` either stay inside the subtree (bounded by the
+    subtree's total processing capacity) or cross the link (bounded by its
+    bandwidth).  A link violating
+    ``subtree_requests <= subtree_capacity + bandwidth`` makes the instance
+    infeasible for every policy, whatever the placement.
+    """
+    tree = problem.tree
+    overloaded: List[LinkKey] = []
+    if not problem.constraints.enforce_bandwidth:
+        return BandwidthReport(feasible=True, overloaded_links=[])
+    for link in tree.links():
+        if not math.isfinite(link.bandwidth):
+            continue
+        if tree.is_client(link.child):
+            subtree_requests = tree.client(link.child).requests
+            subtree_capacity = 0.0
+        else:
+            subtree_requests = tree.subtree_requests(link.child)
+            subtree_capacity = sum(
+                tree.node(nid).capacity for nid in tree.subtree_nodes(link.child)
+            )
+        if subtree_requests > subtree_capacity + link.bandwidth + 1e-9:
+            overloaded.append(link.key)
+    return BandwidthReport(feasible=not overloaded, overloaded_links=overloaded)

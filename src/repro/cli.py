@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro`` / ``repro-placement``.
+
+Sub-commands
+------------
+
+``generate``
+    Draw a random tree and write it to a JSON file.
+``solve``
+    Solve a tree (JSON file) under a chosen policy and print the placement.
+``compare``
+    Solve the same tree under all three policies and print a comparison.
+``campaign``
+    Run a (reduced) experimental campaign and print the success-rate and
+    relative-cost tables of Figures 9-12.
+``table1``
+    Print the computational evidence backing paper Table 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.api import compare_policies, solve
+from repro.core.exceptions import InfeasibleError, ReproError
+from repro.core.policies import Policy
+from repro.core.problem import ProblemKind, ReplicaPlacementProblem
+from repro.core.serialization import load_tree, save_tree
+from repro.experiments.harness import CampaignConfig, run_campaign
+from repro.workloads.generator import GeneratorConfig, TreeGenerator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-placement",
+        description="Replica placement strategies in tree networks "
+        "(Closest / Upwards / Multiple).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a random tree and save it as JSON")
+    gen.add_argument("output", help="output JSON file")
+    gen.add_argument("--size", type=int, default=50, help="problem size |C|+|N|")
+    gen.add_argument("--load", type=float, default=0.5, help="target load factor lambda")
+    gen.add_argument("--heterogeneous", action="store_true", help="mix server classes")
+    gen.add_argument("--seed", type=int, default=None, help="random seed")
+
+    slv = sub.add_parser("solve", help="solve a tree JSON file under one policy")
+    slv.add_argument("tree", help="tree JSON file (see the generate sub-command)")
+    slv.add_argument("--policy", default="multiple", help="closest | upwards | multiple")
+    slv.add_argument("--algorithm", default=None, help="force a specific heuristic")
+    slv.add_argument(
+        "--counting",
+        action="store_true",
+        help="use the Replica Counting cost (homogeneous platforms)",
+    )
+
+    cmp = sub.add_parser("compare", help="compare the three policies on a tree")
+    cmp.add_argument("tree", help="tree JSON file")
+    cmp.add_argument("--counting", action="store_true", help="Replica Counting cost")
+
+    camp = sub.add_parser("campaign", help="run an experimental campaign (Figures 9-12)")
+    camp.add_argument("--heterogeneous", action="store_true")
+    camp.add_argument("--trees-per-lambda", type=int, default=5)
+    camp.add_argument("--min-size", type=int, default=15)
+    camp.add_argument("--max-size", type=int, default=60)
+    camp.add_argument("--seed", type=int, default=2007)
+
+    sub.add_parser("table1", help="print the computational evidence for paper Table 1")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (ReproError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "generate":
+        tree = TreeGenerator(args.seed).generate(
+            GeneratorConfig(
+                size=args.size,
+                target_load=args.load,
+                homogeneous=not args.heterogeneous,
+            )
+        )
+        save_tree(tree, args.output)
+        print(f"wrote {tree!r} to {args.output}")
+        return 0
+
+    if args.command == "solve":
+        problem = _load_problem(args.tree, counting=args.counting)
+        try:
+            solution = solve(problem, policy=args.policy, algorithm=args.algorithm)
+        except InfeasibleError as error:
+            print(f"no solution: {error}")
+            return 2
+        print(solution.summary(problem))
+        for node_id in solution.placement.sorted():
+            load = solution.assignment.server_load(node_id)
+            print(f"  replica on {node_id}: load {load:g} / {problem.capacity(node_id):g}")
+        return 0
+
+    if args.command == "compare":
+        problem = _load_problem(args.tree, counting=args.counting)
+        results = compare_policies(problem)
+        for policy in Policy.ordered():
+            solution = results[policy]
+            if solution is None:
+                print(f"{policy.value:>9}: no solution")
+            else:
+                print(
+                    f"{policy.value:>9}: cost {solution.cost(problem):g} "
+                    f"with {solution.replica_count()} replicas ({solution.algorithm})"
+                )
+        return 0
+
+    if args.command == "campaign":
+        config = CampaignConfig(
+            homogeneous=not args.heterogeneous,
+            trees_per_lambda=args.trees_per_lambda,
+            size_range=(args.min_size, args.max_size),
+            seed=args.seed,
+        )
+        result = run_campaign(config)
+        print(result.describe())
+        print()
+        print("Percentage of success (Figures 9 / 11):")
+        print(result.success_table())
+        print()
+        print("Relative cost against the LP lower bound (Figures 10 / 12):")
+        print(result.relative_cost_table())
+        return 0
+
+    if args.command == "table1":
+        from repro.experiments.tables import table1_table
+
+        print(table1_table())
+        return 0
+
+    raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+def _load_problem(path: str, *, counting: bool) -> ReplicaPlacementProblem:
+    tree = load_tree(path)
+    kind = ProblemKind.REPLICA_COUNTING if counting else ProblemKind.REPLICA_COST
+    return ReplicaPlacementProblem(tree=tree, kind=kind)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Constraint configuration for replica-placement problem instances.
+
+The paper (Section 2.2) distinguishes three families of constraints:
+
+* **server capacity** -- always enforced: the requests assigned to a replica
+  never exceed its capacity ``W_j``;
+* **QoS** -- optional: the transfer time (or hop distance, in the
+  ``QoS = distance`` simplification) between a client and each of its servers
+  is bounded by the client's ``q_i``;
+* **link capacity** -- optional: the total flow of requests through a link
+  never exceeds its bandwidth ``BW_l``.
+
+:class:`ConstraintSet` records which of the optional constraints are active
+and how QoS distances are measured.  Problem simplifications of
+Section 2.2.3 (*Replica Cost*, *Replica Counting*) correspond to specific
+constraint sets exposed as convenience constructors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.tree import NodeId, TreeNetwork
+
+__all__ = ["QoSMode", "ConstraintSet"]
+
+
+class QoSMode(enum.Enum):
+    """How the client-to-server QoS metric is measured."""
+
+    #: QoS disabled (the "No QoS" simplification).
+    NONE = "none"
+    #: ``QoS = distance``: the metric is the number of hops ``d(i, s)``.
+    DISTANCE = "distance"
+    #: Latency: the metric is the sum of link communication times.
+    LATENCY = "latency"
+
+    @classmethod
+    def parse(cls, value) -> "QoSMode":
+        """Coerce a :class:`QoSMode`, name or value string into a :class:`QoSMode`."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            for member in cls:
+                if lowered in (member.value, member.name.lower()):
+                    return member
+        raise ValueError(f"cannot interpret {value!r} as a QoS mode")
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """Which optional constraints a problem instance enforces.
+
+    Parameters
+    ----------
+    qos_mode:
+        How QoS is measured (:class:`QoSMode`); :attr:`QoSMode.NONE` disables
+        the constraint entirely.
+    enforce_bandwidth:
+        Whether link bandwidths are enforced.
+    """
+
+    qos_mode: QoSMode = QoSMode.NONE
+    enforce_bandwidth: bool = False
+
+    # -- convenience constructors --------------------------------------- #
+    @classmethod
+    def none(cls) -> "ConstraintSet":
+        """Only server capacities (the *Replica Cost* setting)."""
+        return cls(qos_mode=QoSMode.NONE, enforce_bandwidth=False)
+
+    @classmethod
+    def qos_distance(cls, enforce_bandwidth: bool = False) -> "ConstraintSet":
+        """Hop-count QoS, optionally with bandwidth limits."""
+        return cls(qos_mode=QoSMode.DISTANCE, enforce_bandwidth=enforce_bandwidth)
+
+    @classmethod
+    def qos_latency(cls, enforce_bandwidth: bool = False) -> "ConstraintSet":
+        """Latency QoS, optionally with bandwidth limits."""
+        return cls(qos_mode=QoSMode.LATENCY, enforce_bandwidth=enforce_bandwidth)
+
+    @classmethod
+    def full(cls) -> "ConstraintSet":
+        """Latency QoS and bandwidth limits (the most general instance)."""
+        return cls(qos_mode=QoSMode.LATENCY, enforce_bandwidth=True)
+
+    # -- queries --------------------------------------------------------- #
+    @property
+    def has_qos(self) -> bool:
+        """``True`` when a QoS constraint is active."""
+        return self.qos_mode is not QoSMode.NONE
+
+    def qos_metric(self, tree: TreeNetwork, client_id: NodeId, server_id: NodeId) -> float:
+        """QoS metric between ``client_id`` and ``server_id`` under this mode.
+
+        Returns 0 when QoS is disabled so that any finite bound is trivially
+        satisfied.
+        """
+        if self.qos_mode is QoSMode.NONE:
+            return 0.0
+        if self.qos_mode is QoSMode.DISTANCE:
+            return float(tree.distance(client_id, server_id))
+        return tree.latency(client_id, server_id)
+
+    def allowed_servers(self, tree: TreeNetwork, client_id: NodeId):
+        """Ancestors of ``client_id`` that satisfy its QoS bound.
+
+        The result preserves the bottom-up (closest first) ancestor order,
+        which several heuristics rely on.
+        """
+        bound = tree.client(client_id).qos
+        servers = []
+        for ancestor in tree.ancestors(client_id):
+            if self.qos_metric(tree, client_id, ancestor) <= bound:
+                servers.append(ancestor)
+        return tuple(servers)
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        parts = []
+        if self.qos_mode is QoSMode.NONE:
+            parts.append("no QoS")
+        else:
+            parts.append(f"QoS={self.qos_mode.value}")
+        parts.append("bandwidth limited" if self.enforce_bandwidth else "unbounded links")
+        return ", ".join(parts)

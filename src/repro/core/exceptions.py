@@ -1,0 +1,85 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch a single base class.  More specific subclasses communicate
+*why* an operation failed:
+
+* :class:`TreeStructureError` -- the tree being built or queried is malformed
+  (duplicate identifiers, missing parent, client with children, cycles, ...);
+* :class:`InfeasibleError` -- a problem instance admits no valid solution
+  under the requested access policy (or a solver could not find one);
+* :class:`PolicyViolationError` -- an explicit assignment violates the access
+  policy semantics (e.g. a *Closest* client served above a lower replica);
+* :class:`CapacityExceededError` -- a server is assigned more requests than
+  its processing capacity;
+* :class:`QoSViolationError` -- a client is served farther away than its QoS
+  bound allows;
+* :class:`BandwidthExceededError` -- the flow routed through a link exceeds
+  its bandwidth;
+* :class:`SolverError` -- the LP/ILP backend failed unexpectedly.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` package."""
+
+
+class TreeStructureError(ReproError):
+    """The tree network is structurally invalid."""
+
+
+class InfeasibleError(ReproError):
+    """No valid solution exists (or none could be found) for the instance."""
+
+    def __init__(self, message: str = "problem instance is infeasible", *, policy=None):
+        super().__init__(message)
+        #: The access policy under which infeasibility was detected (optional).
+        self.policy = policy
+
+
+class PolicyViolationError(ReproError):
+    """An assignment does not respect the access-policy semantics."""
+
+
+class CapacityExceededError(ReproError):
+    """A server processes more requests than its capacity allows."""
+
+    def __init__(self, node, load, capacity):
+        super().__init__(
+            f"server {node!r} is assigned {load} requests but has capacity {capacity}"
+        )
+        self.node = node
+        self.load = load
+        self.capacity = capacity
+
+
+class QoSViolationError(ReproError):
+    """A client is served by a replica beyond its QoS bound."""
+
+    def __init__(self, client, server, distance, bound):
+        super().__init__(
+            f"client {client!r} served by {server!r} at distance {distance} "
+            f"exceeds its QoS bound {bound}"
+        )
+        self.client = client
+        self.server = server
+        self.distance = distance
+        self.bound = bound
+
+
+class BandwidthExceededError(ReproError):
+    """The traffic routed through a link exceeds its bandwidth."""
+
+    def __init__(self, link, flow, bandwidth):
+        super().__init__(
+            f"link {link!r} carries {flow} requests but has bandwidth {bandwidth}"
+        )
+        self.link = link
+        self.flow = flow
+        self.bandwidth = bandwidth
+
+
+class SolverError(ReproError):
+    """The linear-programming backend reported an unexpected failure."""

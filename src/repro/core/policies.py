@@ -1,0 +1,89 @@
+"""Access policies: *Closest*, *Upwards* and *Multiple* (paper Section 3).
+
+Given a replica placement, an access policy restricts **which** replicas may
+serve a client's requests:
+
+``Closest``
+    The classical policy of the literature: all requests of a client are
+    served by the first replica encountered on the path from the client up
+    to the root.  Requests may never traverse a replica to be served higher.
+
+``Upwards``
+    The general single-server policy introduced by the paper: all requests of
+    a client are served by a *single* replica which can be located anywhere
+    on the client-to-root path.
+
+``Multiple``
+    The multiple-server policy: the requests of a client may be split among
+    several replicas on its client-to-root path.
+
+Every Closest-compliant assignment is Upwards-compliant, and every
+Upwards-compliant assignment is Multiple-compliant; this dominance order is
+exposed by :meth:`Policy.is_at_least_as_permissive_as` and verified by the
+property-based tests of the package.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+__all__ = ["Policy"]
+
+
+class Policy(enum.Enum):
+    """The three access policies compared in the paper."""
+
+    CLOSEST = "closest"
+    UPWARDS = "upwards"
+    MULTIPLE = "multiple"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def single_server(self) -> bool:
+        """``True`` when each client is served by exactly one replica."""
+        return self in (Policy.CLOSEST, Policy.UPWARDS)
+
+    @property
+    def permissiveness(self) -> int:
+        """Total order of policy permissiveness (higher = more permissive)."""
+        return _PERMISSIVENESS[self]
+
+    def is_at_least_as_permissive_as(self, other: "Policy") -> bool:
+        """``True`` when any assignment valid for ``other`` is valid for ``self``.
+
+        The paper's dominance chain is ``Closest <= Upwards <= Multiple``:
+        the cost of an optimal solution never increases when moving to a more
+        permissive policy.
+        """
+        return self.permissiveness >= other.permissiveness
+
+    @classmethod
+    def ordered(cls) -> Tuple["Policy", ...]:
+        """Policies from most restrictive to most permissive."""
+        return (cls.CLOSEST, cls.UPWARDS, cls.MULTIPLE)
+
+    @classmethod
+    def parse(cls, value) -> "Policy":
+        """Coerce a :class:`Policy`, name or value string into a :class:`Policy`."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            for member in cls:
+                if lowered in (member.value, member.name.lower()):
+                    return member
+        raise ValueError(
+            f"cannot interpret {value!r} as an access policy; expected one of "
+            f"{[m.value for m in cls]}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_PERMISSIVENESS = {
+    Policy.CLOSEST: 0,
+    Policy.UPWARDS: 1,
+    Policy.MULTIPLE: 2,
+}

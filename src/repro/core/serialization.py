@@ -1,0 +1,150 @@
+"""JSON serialization of trees, placements and solutions.
+
+Experiment campaigns need to persist generated trees (so a run can be
+reproduced exactly) and solver outputs (so relative-cost tables can be
+recomputed without re-solving).  The format is deliberately plain JSON:
+
+.. code-block:: json
+
+    {
+      "nodes":   [{"id": "root", "capacity": 10, "storage_cost": 10}, ...],
+      "clients": [{"id": "c1", "requests": 7, "qos": null}, ...],
+      "links":   [{"child": "c1", "parent": "root",
+                   "comm_time": 1.0, "bandwidth": null}, ...]
+    }
+
+``null`` encodes the absence of a bound (``math.inf`` in memory).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.policies import Policy
+from repro.core.solution import Assignment, Placement, Solution
+from repro.core.tree import Client, InternalNode, Link, TreeNetwork
+
+__all__ = [
+    "tree_to_dict",
+    "tree_from_dict",
+    "save_tree",
+    "load_tree",
+    "solution_to_dict",
+    "solution_from_dict",
+]
+
+
+def _encode_bound(value: float) -> Optional[float]:
+    return None if math.isinf(value) else value
+
+
+def _decode_bound(value: Optional[float]) -> float:
+    return math.inf if value is None else float(value)
+
+
+def tree_to_dict(tree: TreeNetwork) -> Dict[str, Any]:
+    """Serialise a tree network to a JSON-compatible dictionary."""
+    return {
+        "nodes": [
+            {
+                "id": node.id,
+                "capacity": node.capacity,
+                "storage_cost": node.storage_cost,
+            }
+            for node in tree.nodes()
+        ],
+        "clients": [
+            {
+                "id": client.id,
+                "requests": client.requests,
+                "qos": _encode_bound(client.qos),
+            }
+            for client in tree.clients()
+        ],
+        "links": [
+            {
+                "child": link.child,
+                "parent": link.parent,
+                "comm_time": link.comm_time,
+                "bandwidth": _encode_bound(link.bandwidth),
+            }
+            for link in tree.links()
+        ],
+    }
+
+
+def tree_from_dict(payload: Dict[str, Any]) -> TreeNetwork:
+    """Rebuild a tree network from :func:`tree_to_dict` output."""
+    nodes = [
+        InternalNode(
+            id=entry["id"],
+            capacity=float(entry["capacity"]),
+            storage_cost=(
+                None if entry.get("storage_cost") is None else float(entry["storage_cost"])
+            ),
+        )
+        for entry in payload["nodes"]
+    ]
+    clients = [
+        Client(
+            id=entry["id"],
+            requests=float(entry["requests"]),
+            qos=_decode_bound(entry.get("qos")),
+        )
+        for entry in payload["clients"]
+    ]
+    links = [
+        Link(
+            child=entry["child"],
+            parent=entry["parent"],
+            comm_time=float(entry.get("comm_time", 1.0)),
+            bandwidth=_decode_bound(entry.get("bandwidth")),
+        )
+        for entry in payload["links"]
+    ]
+    return TreeNetwork(nodes, clients, links)
+
+
+def save_tree(tree: TreeNetwork, path: Union[str, Path]) -> Path:
+    """Write a tree network to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(tree_to_dict(tree), indent=2, sort_keys=True))
+    return path
+
+
+def load_tree(path: Union[str, Path]) -> TreeNetwork:
+    """Read a tree network previously written by :func:`save_tree`."""
+    payload = json.loads(Path(path).read_text())
+    return tree_from_dict(payload)
+
+
+def solution_to_dict(solution: Solution) -> Dict[str, Any]:
+    """Serialise a solution (placement + assignment) to a dictionary."""
+    return {
+        "algorithm": solution.algorithm,
+        "policy": solution.policy.value,
+        "replicas": list(solution.placement.sorted()),
+        "assignment": [
+            {"client": client, "server": server, "requests": amount}
+            for (client, server), amount in sorted(
+                solution.assignment.items(), key=lambda kv: (repr(kv[0][0]), repr(kv[0][1]))
+            )
+        ],
+    }
+
+
+def solution_from_dict(payload: Dict[str, Any]) -> Solution:
+    """Rebuild a solution from :func:`solution_to_dict` output."""
+    amounts = {
+        (entry["client"], entry["server"]): float(entry["requests"])
+        for entry in payload.get("assignment", [])
+    }
+    return Solution(
+        placement=Placement(payload.get("replicas", [])),
+        assignment=Assignment(amounts),
+        policy=Policy.parse(payload.get("policy", "multiple")),
+        algorithm=payload.get("algorithm", "unknown"),
+    )

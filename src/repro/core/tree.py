@@ -1,0 +1,621 @@
+"""The distribution-tree data structure.
+
+The framework of the paper (Section 2) considers a distribution tree ``T``
+whose nodes are partitioned into a set of *clients* ``C`` (the leaves) and a
+set of *internal nodes* ``N`` (candidate servers).  Each client ``i`` issues
+``r_i`` requests per time unit and carries a QoS bound ``q_i``; each internal
+node ``j`` has a processing capacity ``W_j`` and a storage cost ``s_j``;
+each tree edge ``l`` has a communication time ``comm_l`` and a bandwidth
+``BW_l``.
+
+:class:`TreeNetwork` is the single authoritative representation of such a
+tree used throughout the package.  It is immutable after construction (all
+mutating operations go through :class:`repro.core.builder.TreeBuilder` or the
+functional helpers of this module), which lets it precompute and cache the
+structural queries every algorithm relies on: parent/children lookups,
+ancestor paths, subtree client sets and subtree request sums.
+
+Node identifiers can be any hashable value; strings are used throughout the
+examples and generators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.exceptions import TreeStructureError
+
+NodeId = Hashable
+
+__all__ = ["NodeId", "InternalNode", "Client", "Link", "TreeNetwork"]
+
+
+@dataclass(frozen=True)
+class InternalNode:
+    """An internal tree node, i.e. a candidate replica server.
+
+    Parameters
+    ----------
+    id:
+        Unique identifier of the node.
+    capacity:
+        Processing capacity ``W_j``: the number of requests per time unit the
+        node can serve once equipped with a replica.
+    storage_cost:
+        Storage cost ``s_j`` paid when placing a replica on this node.  In
+        the *Replica Cost* problem the cost equals the capacity; in the
+        *Replica Counting* problem it is 1.  When left to ``None`` the cost
+        defaults to the capacity (the paper's ``s_j = W_j`` convention).
+    """
+
+    id: NodeId
+    capacity: float
+    storage_cost: Optional[float] = None
+    metadata: Mapping[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise TreeStructureError(
+                f"node {self.id!r} has negative capacity {self.capacity}"
+            )
+        if self.storage_cost is None:
+            object.__setattr__(self, "storage_cost", float(self.capacity))
+        elif self.storage_cost < 0:
+            raise TreeStructureError(
+                f"node {self.id!r} has negative storage cost {self.storage_cost}"
+            )
+
+    def with_storage_cost(self, storage_cost: float) -> "InternalNode":
+        """Return a copy of this node with a different storage cost."""
+        return replace(self, storage_cost=storage_cost)
+
+
+@dataclass(frozen=True)
+class Client:
+    """A leaf client issuing requests.
+
+    Parameters
+    ----------
+    id:
+        Unique identifier of the client.
+    requests:
+        Number of requests ``r_i`` issued per time unit.
+    qos:
+        QoS bound ``q_i``.  Interpreted either as a hop-count bound
+        (``QoS = distance`` simplification) or a latency bound, depending on
+        the problem's QoS mode.  ``math.inf`` (the default) disables the
+        constraint for this client.
+    """
+
+    id: NodeId
+    requests: float
+    qos: float = math.inf
+    metadata: Mapping[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.requests < 0:
+            raise TreeStructureError(
+                f"client {self.id!r} has negative request rate {self.requests}"
+            )
+        if self.qos <= 0:
+            raise TreeStructureError(
+                f"client {self.id!r} has non-positive QoS bound {self.qos}"
+            )
+
+
+@dataclass(frozen=True)
+class Link:
+    """A tree edge ``child -> parent`` with latency and bandwidth attributes.
+
+    Parameters
+    ----------
+    child, parent:
+        End points of the edge; requests flow from ``child`` towards
+        ``parent`` (upwards).
+    comm_time:
+        Communication time ``comm_l`` used by latency-based QoS.
+    bandwidth:
+        Maximum number of requests per time unit the link can carry
+        (``BW_l``).  ``math.inf`` disables the constraint.
+    """
+
+    child: NodeId
+    parent: NodeId
+    comm_time: float = 1.0
+    bandwidth: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.comm_time < 0:
+            raise TreeStructureError(
+                f"link {self.child!r}->{self.parent!r} has negative comm time"
+            )
+        if self.bandwidth < 0:
+            raise TreeStructureError(
+                f"link {self.child!r}->{self.parent!r} has negative bandwidth"
+            )
+
+    @property
+    def key(self) -> Tuple[NodeId, NodeId]:
+        """The ``(child, parent)`` pair identifying this link."""
+        return (self.child, self.parent)
+
+
+class TreeNetwork:
+    """An immutable distribution tree of internal nodes and leaf clients.
+
+    Instances are usually created through
+    :class:`repro.core.builder.TreeBuilder` or the generators of
+    :mod:`repro.workloads`; the constructor below accepts already-validated
+    component collections and checks the global structure (single root,
+    acyclicity, clients as leaves).
+
+    Parameters
+    ----------
+    nodes:
+        Iterable of :class:`InternalNode`.
+    clients:
+        Iterable of :class:`Client`.
+    links:
+        Iterable of :class:`Link` connecting every non-root element to its
+        parent (which must be an internal node).
+    """
+
+    __slots__ = (
+        "_nodes",
+        "_clients",
+        "_links",
+        "_parent",
+        "_children",
+        "_root",
+        "_order",
+        "_ancestors",
+        "_depth",
+        "_subtree_clients",
+        "_subtree_requests",
+        "_post_order_nodes",
+        "_hash",
+    )
+
+    def __init__(
+        self,
+        nodes: Iterable[InternalNode],
+        clients: Iterable[Client],
+        links: Iterable[Link],
+    ) -> None:
+        self._nodes: Dict[NodeId, InternalNode] = {}
+        for node in nodes:
+            if node.id in self._nodes:
+                raise TreeStructureError(f"duplicate internal node id {node.id!r}")
+            self._nodes[node.id] = node
+
+        self._clients: Dict[NodeId, Client] = {}
+        for client in clients:
+            if client.id in self._clients:
+                raise TreeStructureError(f"duplicate client id {client.id!r}")
+            if client.id in self._nodes:
+                raise TreeStructureError(
+                    f"identifier {client.id!r} used both as client and internal node"
+                )
+            self._clients[client.id] = client
+
+        self._links: Dict[Tuple[NodeId, NodeId], Link] = {}
+        self._parent: Dict[NodeId, NodeId] = {}
+        self._children: Dict[NodeId, List[NodeId]] = {nid: [] for nid in self._nodes}
+        for link in links:
+            if link.child not in self._nodes and link.child not in self._clients:
+                raise TreeStructureError(f"link child {link.child!r} is not declared")
+            if link.parent not in self._nodes:
+                raise TreeStructureError(
+                    f"link parent {link.parent!r} is not an internal node "
+                    "(clients must be leaves)"
+                )
+            if link.child in self._parent:
+                raise TreeStructureError(f"{link.child!r} has more than one parent")
+            if link.child == link.parent:
+                raise TreeStructureError(f"self-loop on {link.child!r}")
+            self._links[link.key] = link
+            self._parent[link.child] = link.parent
+            self._children[link.parent].append(link.child)
+
+        self._validate_and_index()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _validate_and_index(self) -> None:
+        if not self._nodes:
+            raise TreeStructureError("a tree network needs at least one internal node")
+
+        roots = [nid for nid in self._nodes if nid not in self._parent]
+        if len(roots) != 1:
+            raise TreeStructureError(
+                f"expected exactly one root internal node, found {len(roots)}: {roots!r}"
+            )
+        self._root = roots[0]
+
+        dangling_clients = [cid for cid in self._clients if cid not in self._parent]
+        if dangling_clients:
+            raise TreeStructureError(
+                f"clients without a parent link: {dangling_clients!r}"
+            )
+
+        # Breadth-first order from the root; also detects unreachable elements
+        # (which, combined with the single-parent check, detects cycles).
+        order: List[NodeId] = []
+        depth: Dict[NodeId, int] = {self._root: 0}
+        queue: List[NodeId] = [self._root]
+        while queue:
+            current = queue.pop(0)
+            order.append(current)
+            for child in self._children.get(current, ()):  # clients have no entry
+                depth[child] = depth[current] + 1
+                queue.append(child)
+        reachable = set(order)
+        unreachable = (set(self._nodes) | set(self._clients)) - reachable
+        if unreachable:
+            raise TreeStructureError(
+                f"elements unreachable from the root (cycle or disconnected): "
+                f"{sorted(map(repr, unreachable))}"
+            )
+        self._order = tuple(order)
+        self._depth = depth
+
+        # Ancestor chains (bottom-up, excluding the element itself).
+        ancestors: Dict[NodeId, Tuple[NodeId, ...]] = {self._root: ()}
+        for element in self._order:
+            if element == self._root:
+                continue
+            parent = self._parent[element]
+            ancestors[element] = (parent,) + ancestors[parent]
+        self._ancestors = ancestors
+
+        # Subtree client sets and request sums, computed in reverse BFS order
+        # (children before parents).
+        subtree_clients: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        subtree_requests: Dict[NodeId, float] = {}
+        post_nodes: List[NodeId] = []
+        for element in reversed(self._order):
+            if element in self._clients:
+                subtree_clients[element] = (element,)
+                subtree_requests[element] = self._clients[element].requests
+            else:
+                acc: List[NodeId] = []
+                total = 0.0
+                for child in self._children[element]:
+                    acc.extend(subtree_clients[child])
+                    total += subtree_requests[child]
+                subtree_clients[element] = tuple(acc)
+                subtree_requests[element] = total
+                post_nodes.append(element)
+        self._subtree_clients = subtree_clients
+        self._subtree_requests = subtree_requests
+        #: internal nodes in post-order (children before parents)
+        self._post_order_nodes = tuple(post_nodes)
+        self._hash = None
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> NodeId:
+        """Identifier of the root internal node."""
+        return self._root
+
+    @property
+    def node_ids(self) -> Tuple[NodeId, ...]:
+        """Identifiers of the internal nodes, in breadth-first order."""
+        return tuple(nid for nid in self._order if nid in self._nodes)
+
+    @property
+    def client_ids(self) -> Tuple[NodeId, ...]:
+        """Identifiers of the clients, in breadth-first order."""
+        return tuple(cid for cid in self._order if cid in self._clients)
+
+    @property
+    def link_keys(self) -> Tuple[Tuple[NodeId, NodeId], ...]:
+        """``(child, parent)`` keys of every link."""
+        return tuple(self._links)
+
+    def node(self, node_id: NodeId) -> InternalNode:
+        """Return the :class:`InternalNode` with identifier ``node_id``."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise TreeStructureError(f"unknown internal node {node_id!r}") from None
+
+    def client(self, client_id: NodeId) -> Client:
+        """Return the :class:`Client` with identifier ``client_id``."""
+        try:
+            return self._clients[client_id]
+        except KeyError:
+            raise TreeStructureError(f"unknown client {client_id!r}") from None
+
+    def link(self, child: NodeId, parent: Optional[NodeId] = None) -> Link:
+        """Return the link going up from ``child`` (optionally checking its parent)."""
+        actual_parent = self.parent(child)
+        if actual_parent is None:
+            raise TreeStructureError(f"{child!r} is the root and has no uplink")
+        if parent is not None and parent != actual_parent:
+            raise TreeStructureError(
+                f"{child!r} has parent {actual_parent!r}, not {parent!r}"
+            )
+        return self._links[(child, actual_parent)]
+
+    def is_client(self, element_id: NodeId) -> bool:
+        """``True`` when ``element_id`` identifies a client leaf."""
+        return element_id in self._clients
+
+    def is_node(self, element_id: NodeId) -> bool:
+        """``True`` when ``element_id`` identifies an internal node."""
+        return element_id in self._nodes
+
+    def __contains__(self, element_id: NodeId) -> bool:
+        return element_id in self._nodes or element_id in self._clients
+
+    def nodes(self) -> Iterator[InternalNode]:
+        """Iterate over internal nodes in breadth-first order."""
+        for nid in self.node_ids:
+            yield self._nodes[nid]
+
+    def clients(self) -> Iterator[Client]:
+        """Iterate over clients in breadth-first order."""
+        for cid in self.client_ids:
+            yield self._clients[cid]
+
+    def links(self) -> Iterator[Link]:
+        """Iterate over links."""
+        return iter(self._links.values())
+
+    # ------------------------------------------------------------------ #
+    # structural queries
+    # ------------------------------------------------------------------ #
+    def parent(self, element_id: NodeId) -> Optional[NodeId]:
+        """Parent of ``element_id`` or ``None`` for the root."""
+        if element_id == self._root:
+            return None
+        try:
+            return self._parent[element_id]
+        except KeyError:
+            raise TreeStructureError(f"unknown element {element_id!r}") from None
+
+    def children(self, node_id: NodeId) -> Tuple[NodeId, ...]:
+        """Children (internal nodes and clients) of an internal node."""
+        if node_id not in self._nodes:
+            raise TreeStructureError(f"unknown internal node {node_id!r}")
+        return tuple(self._children[node_id])
+
+    def child_nodes(self, node_id: NodeId) -> Tuple[NodeId, ...]:
+        """Children of ``node_id`` that are internal nodes."""
+        return tuple(c for c in self.children(node_id) if c in self._nodes)
+
+    def child_clients(self, node_id: NodeId) -> Tuple[NodeId, ...]:
+        """Children of ``node_id`` that are clients."""
+        return tuple(c for c in self.children(node_id) if c in self._clients)
+
+    def ancestors(self, element_id: NodeId) -> Tuple[NodeId, ...]:
+        """Ancestors of ``element_id``, bottom-up, excluding the element itself.
+
+        This is the paper's ``Ancestors(k)`` set: the internal nodes on the
+        unique path from ``element_id`` (excluded) up to the root (included).
+        """
+        if element_id == self._root:
+            return ()
+        try:
+            return self._ancestors[element_id]
+        except KeyError:
+            raise TreeStructureError(f"unknown element {element_id!r}") from None
+
+    def is_ancestor(self, ancestor_id: NodeId, element_id: NodeId) -> bool:
+        """``True`` when ``ancestor_id`` lies on the path from ``element_id`` to the root."""
+        return ancestor_id in self.ancestors(element_id)
+
+    def depth(self, element_id: NodeId) -> int:
+        """Number of links between ``element_id`` and the root."""
+        try:
+            return self._depth[element_id]
+        except KeyError:
+            raise TreeStructureError(f"unknown element {element_id!r}") from None
+
+    def height(self) -> int:
+        """Maximum depth over all elements of the tree."""
+        return max(self._depth.values())
+
+    def path_links(self, element_id: NodeId, ancestor_id: NodeId) -> Tuple[Link, ...]:
+        """Links of ``path[element_id -> ancestor_id]`` (paper notation).
+
+        ``ancestor_id`` must be an ancestor of ``element_id`` (or the element
+        itself, yielding an empty path).
+        """
+        if element_id == ancestor_id:
+            return ()
+        if ancestor_id not in self.ancestors(element_id):
+            raise TreeStructureError(
+                f"{ancestor_id!r} is not an ancestor of {element_id!r}"
+            )
+        links: List[Link] = []
+        current = element_id
+        while current != ancestor_id:
+            parent = self._parent[current]
+            links.append(self._links[(current, parent)])
+            current = parent
+        return tuple(links)
+
+    def distance(self, element_id: NodeId, ancestor_id: NodeId) -> int:
+        """Hop count ``d(i, s)`` between an element and one of its ancestors."""
+        if element_id == ancestor_id:
+            return 0
+        if ancestor_id not in self.ancestors(element_id):
+            raise TreeStructureError(
+                f"{ancestor_id!r} is not an ancestor of {element_id!r}"
+            )
+        return self._depth[element_id] - self._depth[ancestor_id]
+
+    def latency(self, element_id: NodeId, ancestor_id: NodeId) -> float:
+        """Sum of link communication times on ``path[element_id -> ancestor_id]``."""
+        return sum(link.comm_time for link in self.path_links(element_id, ancestor_id))
+
+    def subtree_clients(self, node_id: NodeId) -> Tuple[NodeId, ...]:
+        """Clients located in ``subtree(node_id)`` (paper's ``clients(j)``)."""
+        if node_id not in self._nodes and node_id not in self._clients:
+            raise TreeStructureError(f"unknown element {node_id!r}")
+        return self._subtree_clients[node_id]
+
+    def subtree_requests(self, node_id: NodeId) -> float:
+        """Total number of requests issued inside ``subtree(node_id)``."""
+        if node_id not in self._nodes and node_id not in self._clients:
+            raise TreeStructureError(f"unknown element {node_id!r}")
+        return self._subtree_requests[node_id]
+
+    def subtree_nodes(self, node_id: NodeId) -> Tuple[NodeId, ...]:
+        """Internal nodes of ``subtree(node_id)``, including ``node_id`` itself."""
+        if node_id not in self._nodes:
+            raise TreeStructureError(f"unknown internal node {node_id!r}")
+        result: List[NodeId] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(self.child_nodes(current))
+        return tuple(result)
+
+    def breadth_first_nodes(self) -> Tuple[NodeId, ...]:
+        """Internal nodes in breadth-first (top-down) order."""
+        return self.node_ids
+
+    def post_order_nodes(self) -> Tuple[NodeId, ...]:
+        """Internal nodes in post-order (every child node before its parent)."""
+        return self._post_order_nodes
+
+    # ------------------------------------------------------------------ #
+    # aggregate quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Problem size ``s = |C| + |N|`` used throughout the paper."""
+        return len(self._nodes) + len(self._clients)
+
+    def total_requests(self) -> float:
+        """Total request rate ``sum_i r_i``."""
+        return sum(c.requests for c in self._clients.values())
+
+    def total_capacity(self) -> float:
+        """Total server capacity ``sum_j W_j``."""
+        return sum(n.capacity for n in self._nodes.values())
+
+    def load_factor(self) -> float:
+        """The paper's load ``lambda = sum_i r_i / sum_j W_j``."""
+        capacity = self.total_capacity()
+        if capacity == 0:
+            return math.inf if self.total_requests() > 0 else 0.0
+        return self.total_requests() / capacity
+
+    def is_homogeneous(self) -> bool:
+        """``True`` when all internal nodes share the same capacity."""
+        capacities = {n.capacity for n in self._nodes.values()}
+        return len(capacities) <= 1
+
+    def uniform_capacity(self) -> float:
+        """The shared capacity ``W`` of a homogeneous tree.
+
+        Raises
+        ------
+        TreeStructureError
+            If the tree is heterogeneous.
+        """
+        capacities = {n.capacity for n in self._nodes.values()}
+        if len(capacities) != 1:
+            raise TreeStructureError(
+                "uniform_capacity() requires a homogeneous tree; capacities "
+                f"found: {sorted(capacities)}"
+            )
+        return next(iter(capacities))
+
+    def has_qos_bounds(self) -> bool:
+        """``True`` when at least one client has a finite QoS bound."""
+        return any(math.isfinite(c.qos) for c in self._clients.values())
+
+    def has_bandwidth_limits(self) -> bool:
+        """``True`` when at least one link has a finite bandwidth."""
+        return any(math.isfinite(l.bandwidth) for l in self._links.values())
+
+    # ------------------------------------------------------------------ #
+    # conversions and dunder methods
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):
+        """Export the tree as a :class:`networkx.DiGraph` (edges child -> parent)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node in self._nodes.values():
+            graph.add_node(
+                node.id,
+                kind="node",
+                capacity=node.capacity,
+                storage_cost=node.storage_cost,
+            )
+        for client in self._clients.values():
+            graph.add_node(
+                client.id, kind="client", requests=client.requests, qos=client.qos
+            )
+        for link in self._links.values():
+            graph.add_edge(
+                link.child,
+                link.parent,
+                comm_time=link.comm_time,
+                bandwidth=link.bandwidth,
+            )
+        return graph
+
+    def with_nodes(self, nodes: Iterable[InternalNode]) -> "TreeNetwork":
+        """Return a copy of this tree with some internal nodes replaced.
+
+        Nodes are matched by identifier; the topology is unchanged.  This is
+        used e.g. to re-cost a tree (Replica Counting sets every storage cost
+        to 1) without rebuilding it.
+        """
+        override = {n.id: n for n in nodes}
+        unknown = set(override) - set(self._nodes)
+        if unknown:
+            raise TreeStructureError(f"unknown internal nodes {sorted(map(repr, unknown))}")
+        new_nodes = [override.get(nid, node) for nid, node in self._nodes.items()]
+        return TreeNetwork(new_nodes, self._clients.values(), self._links.values())
+
+    def with_clients(self, clients: Iterable[Client]) -> "TreeNetwork":
+        """Return a copy of this tree with some clients replaced (matched by id)."""
+        override = {c.id: c for c in clients}
+        unknown = set(override) - set(self._clients)
+        if unknown:
+            raise TreeStructureError(f"unknown clients {sorted(map(repr, unknown))}")
+        new_clients = [override.get(cid, client) for cid, client in self._clients.items()]
+        return TreeNetwork(self._nodes.values(), new_clients, self._links.values())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreeNetwork):
+            return NotImplemented
+        return (
+            self._nodes == other._nodes
+            and self._clients == other._clients
+            and self._links == other._links
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (
+                    frozenset(self._nodes.items()),
+                    frozenset(self._clients.items()),
+                    frozenset(self._links),
+                )
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeNetwork(|N|={len(self._nodes)}, |C|={len(self._clients)}, "
+            f"root={self._root!r}, lambda={self.load_factor():.3f})"
+        )

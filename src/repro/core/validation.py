@@ -1,0 +1,247 @@
+"""Constraint checking for replica-placement solutions.
+
+:func:`validate_solution` performs the full battery of checks a solution
+must satisfy (paper Section 2.2.1 plus the access-policy semantics of
+Section 3):
+
+1. **structure** -- assigned servers are internal nodes of the tree, carry a
+   replica, and lie on the client-to-root path of the clients they serve;
+2. **coverage** -- every client has all of its ``r_i`` requests assigned;
+3. **policy** -- single-server policies assign exactly one server per client,
+   and *Closest* additionally forces that server to be the lowest replica
+   ancestor of the client;
+4. **server capacity** -- no replica processes more than ``W_j`` requests;
+5. **QoS** -- every (client, server) pair with positive traffic respects the
+   client's QoS bound (when the problem enforces QoS);
+6. **link capacity** -- the flow through every link stays within its
+   bandwidth (when the problem enforces bandwidth).
+
+The result is a :class:`ValidationReport` collecting every violation found
+(rather than stopping at the first one), which the tests and the experiment
+harness rely on for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.exceptions import InfeasibleError
+from repro.core.policies import Policy
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Solution
+from repro.core.tree import NodeId
+
+__all__ = ["ValidationReport", "validate_solution", "closest_server_map"]
+
+#: Numerical tolerance used when comparing request amounts and capacities.
+TOLERANCE = 1e-6
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_solution`.
+
+    Attributes
+    ----------
+    valid:
+        ``True`` when no violation was found.
+    violations:
+        Human-readable description of every violation.
+    categories:
+        The distinct categories of violations found (``"structure"``,
+        ``"coverage"``, ``"policy"``, ``"capacity"``, ``"qos"``,
+        ``"bandwidth"``).
+    """
+
+    valid: bool = True
+    violations: List[str] = field(default_factory=list)
+    categories: List[str] = field(default_factory=list)
+
+    def record(self, category: str, message: str) -> None:
+        """Register a violation."""
+        self.valid = False
+        self.violations.append(f"[{category}] {message}")
+        if category not in self.categories:
+            self.categories.append(category)
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`~repro.core.exceptions.InfeasibleError` when invalid."""
+        if not self.valid:
+            raise InfeasibleError(
+                "solution fails validation:\n  " + "\n  ".join(self.violations)
+            )
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+    def __repr__(self) -> str:
+        status = "valid" if self.valid else f"INVALID ({len(self.violations)} violations)"
+        return f"ValidationReport({status})"
+
+
+def closest_server_map(tree, placement) -> dict:
+    """Map every client to its lowest replica ancestor (the *Closest* server).
+
+    Clients with no replica ancestor are absent from the result.
+    """
+    replicas = set(placement)
+    servers = {}
+    for client_id in tree.client_ids:
+        for ancestor in tree.ancestors(client_id):
+            if ancestor in replicas:
+                servers[client_id] = ancestor
+                break
+    return servers
+
+
+def validate_solution(
+    problem: ReplicaPlacementProblem,
+    solution: Solution,
+    *,
+    policy: Optional[Policy] = None,
+    tolerance: float = TOLERANCE,
+) -> ValidationReport:
+    """Check ``solution`` against every constraint of ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        The problem instance (tree, constraints, cost mode).
+    solution:
+        The candidate solution.
+    policy:
+        Policy whose semantics must be enforced; defaults to
+        ``solution.policy``.
+    tolerance:
+        Numerical slack for amount comparisons.
+    """
+    tree = problem.tree
+    policy = policy or solution.policy
+    report = ValidationReport()
+    placement = solution.placement
+    assignment = solution.assignment
+
+    # ------------------------------------------------------------------ #
+    # 1. structural checks
+    # ------------------------------------------------------------------ #
+    for node_id in placement:
+        if not tree.is_node(node_id):
+            report.record("structure", f"replica placed on unknown node {node_id!r}")
+
+    for (client_id, server_id), amount in assignment.items():
+        if not tree.is_client(client_id):
+            report.record("structure", f"assignment references unknown client {client_id!r}")
+            continue
+        if not tree.is_node(server_id):
+            report.record("structure", f"assignment references unknown server {server_id!r}")
+            continue
+        if server_id not in placement:
+            report.record(
+                "structure",
+                f"client {client_id!r} assigned to {server_id!r} which holds no replica",
+            )
+        if server_id not in tree.ancestors(client_id):
+            report.record(
+                "structure",
+                f"server {server_id!r} is not an ancestor of client {client_id!r}; "
+                "replicas can only serve clients of their own subtree",
+            )
+
+    # ------------------------------------------------------------------ #
+    # 2. coverage
+    # ------------------------------------------------------------------ #
+    for client in tree.clients():
+        assigned = assignment.client_total(client.id)
+        if abs(assigned - client.requests) > tolerance:
+            report.record(
+                "coverage",
+                f"client {client.id!r} issues {client.requests:g} requests but "
+                f"{assigned:g} are assigned",
+            )
+
+    # ------------------------------------------------------------------ #
+    # 3. access-policy semantics
+    # ------------------------------------------------------------------ #
+    if policy.single_server:
+        for client in tree.clients():
+            servers = assignment.servers_of(client.id)
+            if client.requests > 0 and len(servers) > 1:
+                report.record(
+                    "policy",
+                    f"{policy.value} is a single-server policy but client "
+                    f"{client.id!r} is served by {len(servers)} servers "
+                    f"{sorted(map(repr, servers))}",
+                )
+
+    if policy is Policy.CLOSEST:
+        forced = closest_server_map(tree, placement)
+        for client in tree.clients():
+            if client.requests <= 0:
+                continue
+            servers = assignment.servers_of(client.id)
+            if not servers:
+                continue  # already reported as a coverage violation
+            expected = forced.get(client.id)
+            actual = servers[0]
+            if expected is None:
+                report.record(
+                    "policy",
+                    f"client {client.id!r} has no replica ancestor under the "
+                    "Closest policy",
+                )
+            elif actual != expected:
+                report.record(
+                    "policy",
+                    f"Closest policy forces client {client.id!r} onto "
+                    f"{expected!r} (its lowest replica ancestor) but it is "
+                    f"served by {actual!r}",
+                )
+
+    # ------------------------------------------------------------------ #
+    # 4. server capacities
+    # ------------------------------------------------------------------ #
+    for server_id, load in assignment.server_loads().items():
+        if not tree.is_node(server_id):
+            continue  # structural violation already recorded
+        capacity = problem.capacity(server_id)
+        if load > capacity + tolerance:
+            report.record(
+                "capacity",
+                f"server {server_id!r} processes {load:g} requests, capacity {capacity:g}",
+            )
+
+    # ------------------------------------------------------------------ #
+    # 5. QoS
+    # ------------------------------------------------------------------ #
+    if problem.constraints.has_qos:
+        for (client_id, server_id), amount in assignment.items():
+            if amount <= tolerance:
+                continue
+            if not tree.is_client(client_id) or not tree.is_node(server_id):
+                continue
+            if server_id not in tree.ancestors(client_id):
+                continue
+            if not problem.qos_satisfied(client_id, server_id):
+                metric = problem.constraints.qos_metric(tree, client_id, server_id)
+                report.record(
+                    "qos",
+                    f"client {client_id!r} served by {server_id!r} at QoS metric "
+                    f"{metric:g} > bound {tree.client(client_id).qos:g}",
+                )
+
+    # ------------------------------------------------------------------ #
+    # 6. link capacities
+    # ------------------------------------------------------------------ #
+    if problem.constraints.enforce_bandwidth:
+        flows = assignment.link_flows(tree)
+        for (child, parent), flow in flows.items():
+            bandwidth = tree.link(child).bandwidth
+            if flow > bandwidth + tolerance:
+                report.record(
+                    "bandwidth",
+                    f"link {child!r}->{parent!r} carries {flow:g} requests, "
+                    f"bandwidth {bandwidth:g}",
+                )
+
+    return report

@@ -1,0 +1,49 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7).
+
+* :mod:`repro.experiments.metrics` -- the success-rate and relative-cost
+  metrics of Section 7.2;
+* :mod:`repro.experiments.harness` -- campaign runner: generate random
+  trees for a load sweep, run every heuristic and the LP lower bound,
+  collect per-instance records;
+* :mod:`repro.experiments.figures` -- regeneration of Figures 9-12 (success
+  rate and relative cost, homogeneous and heterogeneous);
+* :mod:`repro.experiments.tables` -- the Table 1 complexity-validation
+  experiment and the Section 3 example table;
+* :mod:`repro.experiments.ablations` -- ablation studies on the design
+  choices of the heuristics and of the lower bound;
+* :mod:`repro.experiments.reporting` -- ASCII tables and CSV export.
+"""
+
+from repro.experiments.metrics import success_rate, relative_cost, RelativeCostAccumulator
+from repro.experiments.harness import (
+    CampaignConfig,
+    InstanceRecord,
+    CampaignResult,
+    run_campaign,
+)
+from repro.experiments.figures import (
+    FigureSeries,
+    figure9_homogeneous_success,
+    figure10_homogeneous_cost,
+    figure11_heterogeneous_success,
+    figure12_heterogeneous_cost,
+)
+from repro.experiments.reporting import ascii_table, series_table, format_float
+
+__all__ = [
+    "success_rate",
+    "relative_cost",
+    "RelativeCostAccumulator",
+    "CampaignConfig",
+    "InstanceRecord",
+    "CampaignResult",
+    "run_campaign",
+    "FigureSeries",
+    "figure9_homogeneous_success",
+    "figure10_homogeneous_cost",
+    "figure11_heterogeneous_success",
+    "figure12_heterogeneous_cost",
+    "ascii_table",
+    "series_table",
+    "format_float",
+]

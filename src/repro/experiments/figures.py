@@ -1,0 +1,136 @@
+"""Regeneration of the paper's Figures 9-12.
+
+Each ``figure*`` function runs (or reuses) a campaign and returns a
+:class:`FigureSeries`: the data series behind the corresponding figure plus
+an ASCII rendering.  The paper-scale plan (30 trees per load value, sizes up
+to 400) is the default of :class:`~repro.experiments.harness.CampaignConfig`;
+the ``scale`` argument lets benchmarks run a reduced plan with the same
+shape.
+
+=========  =======================================  ==========================
+Figure     Quantity                                 Platform
+=========  =======================================  ==========================
+Figure 9   percentage of success per heuristic      homogeneous
+Figure 10  relative cost vs the LP lower bound      homogeneous
+Figure 11  percentage of success per heuristic      heterogeneous
+Figure 12  relative cost vs the LP lower bound      heterogeneous
+=========  =======================================  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.experiments.harness import CampaignConfig, CampaignResult, run_campaign
+from repro.experiments.reporting import series_table
+
+__all__ = [
+    "FigureSeries",
+    "reduced_config",
+    "figure9_homogeneous_success",
+    "figure10_homogeneous_cost",
+    "figure11_heterogeneous_success",
+    "figure12_heterogeneous_cost",
+]
+
+
+@dataclass
+class FigureSeries:
+    """The data behind one of the paper's figures."""
+
+    figure: str
+    quantity: str
+    series: Dict[str, Dict[float, float]]
+    campaign: CampaignResult
+
+    def table(self) -> str:
+        """ASCII rendering (one row per lambda, one column per heuristic)."""
+        return series_table(self.series)
+
+    def at(self, name: str, load: float) -> Optional[float]:
+        """Series value of ``name`` at load ``load`` (``None`` when absent)."""
+        values = self.series.get(name, {})
+        for key, value in values.items():
+            if abs(key - load) < 1e-9:
+                return value
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.figure} ({self.quantity})\n{self.table()}"
+
+
+def reduced_config(
+    *,
+    homogeneous: bool,
+    trees_per_lambda: int = 5,
+    size_range: Tuple[int, int] = (15, 60),
+    lambdas: Optional[Tuple[float, ...]] = None,
+    seed: int = 2007,
+) -> CampaignConfig:
+    """A laptop-sized campaign configuration with the paper's structure."""
+    config = CampaignConfig(
+        homogeneous=homogeneous,
+        trees_per_lambda=trees_per_lambda,
+        size_range=size_range,
+        seed=seed,
+    )
+    if lambdas is not None:
+        config = replace(config, lambdas=tuple(lambdas))
+    return config
+
+
+def _figure(
+    figure: str,
+    quantity: str,
+    config: CampaignConfig,
+    campaign: Optional[CampaignResult],
+) -> FigureSeries:
+    result = campaign if campaign is not None else run_campaign(config)
+    if quantity == "success":
+        series = result.success_series()
+    elif quantity == "relative_cost":
+        series = result.relative_cost_series()
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown quantity {quantity!r}")
+    return FigureSeries(figure=figure, quantity=quantity, series=series, campaign=result)
+
+
+def figure9_homogeneous_success(
+    config: Optional[CampaignConfig] = None,
+    *,
+    campaign: Optional[CampaignResult] = None,
+) -> FigureSeries:
+    """Figure 9: percentage of success, homogeneous platforms."""
+    config = config or CampaignConfig(homogeneous=True)
+    return _figure("Figure 9", "success", config, campaign)
+
+
+def figure10_homogeneous_cost(
+    config: Optional[CampaignConfig] = None,
+    *,
+    campaign: Optional[CampaignResult] = None,
+) -> FigureSeries:
+    """Figure 10: relative cost against the LP bound, homogeneous platforms."""
+    config = config or CampaignConfig(homogeneous=True)
+    return _figure("Figure 10", "relative_cost", config, campaign)
+
+
+def figure11_heterogeneous_success(
+    config: Optional[CampaignConfig] = None,
+    *,
+    campaign: Optional[CampaignResult] = None,
+) -> FigureSeries:
+    """Figure 11: percentage of success, heterogeneous platforms."""
+    config = config or CampaignConfig(homogeneous=False)
+    return _figure("Figure 11", "success", config, campaign)
+
+
+def figure12_heterogeneous_cost(
+    config: Optional[CampaignConfig] = None,
+    *,
+    campaign: Optional[CampaignResult] = None,
+) -> FigureSeries:
+    """Figure 12: relative cost against the LP bound, heterogeneous platforms."""
+    config = config or CampaignConfig(homogeneous=False)
+    return _figure("Figure 12", "relative_cost", config, campaign)

@@ -1,0 +1,247 @@
+"""Campaign runner for the paper's experimental study (Section 7).
+
+A *campaign* generates random trees over a load sweep (paper: 9 values of
+``lambda``, 30 trees each, sizes 15-400), runs every selected heuristic and
+the LP-based lower bound on each tree, and records per-instance outcomes.
+The aggregated success-rate and relative-cost series are exactly what
+Figures 9-12 plot.
+
+The default parameters reproduce the paper's campaign; the benchmark suite
+uses smaller trees/counts (configurable) so a full run stays laptop-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algorithms.base import get_heuristic
+from repro.core.policies import Policy
+from repro.core.problem import ProblemKind, ReplicaPlacementProblem
+from repro.core.tree import TreeNetwork
+from repro.experiments.metrics import RelativeCostAccumulator, success_rate
+from repro.experiments.reporting import series_table
+from repro.workloads.generator import GeneratorConfig, TreeGenerator
+
+__all__ = ["CampaignConfig", "InstanceRecord", "CampaignResult", "run_campaign", "PAPER_HEURISTICS"]
+
+#: The heuristics compared in the paper's figures, plus the MixedBest combiner.
+PAPER_HEURISTICS: Tuple[str, ...] = (
+    "CTDA",
+    "CTDLF",
+    "CBU",
+    "UTD",
+    "UBCF",
+    "MG",
+    "MTD",
+    "MBU",
+    "MixedBest",
+)
+
+#: Label of the lower-bound pseudo-series in success-rate tables (the paper's
+#: "LP" curve: the fraction of trees that admit any solution at all).
+LP_SERIES = "LP"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of an experimental campaign.
+
+    The defaults reproduce the paper's setup; benchmarks shrink
+    ``trees_per_lambda`` and ``size_range`` to keep runtimes reasonable.
+    """
+
+    lambdas: Sequence[float] = tuple(round(0.1 * k, 1) for k in range(1, 10))
+    trees_per_lambda: int = 30
+    size_range: Tuple[int, int] = (15, 400)
+    homogeneous: bool = True
+    seed: int = 2007
+    heuristics: Sequence[str] = PAPER_HEURISTICS
+    lower_bound_method: str = "mixed"
+    base_capacity: float = 100.0
+    capacity_choices: Sequence[float] = (50.0, 100.0, 200.0, 400.0)
+    client_fraction: float = 0.7
+    max_children: int = 3
+    lp_time_limit: Optional[float] = 60.0
+
+    def problem_kind(self) -> ProblemKind:
+        """Replica Counting on homogeneous platforms, Replica Cost otherwise."""
+        return ProblemKind.REPLICA_COUNTING if self.homogeneous else ProblemKind.REPLICA_COST
+
+    def scaled(self, *, trees_per_lambda: int, size_range: Tuple[int, int]) -> "CampaignConfig":
+        """A copy of this configuration with a smaller experimental plan."""
+        return replace(self, trees_per_lambda=trees_per_lambda, size_range=size_range)
+
+
+@dataclass
+class InstanceRecord:
+    """Outcome of one generated tree."""
+
+    load: float
+    size: int
+    homogeneous: bool
+    lower_bound: float
+    costs: Dict[str, Optional[float]]
+    runtimes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def solvable(self) -> bool:
+        """Whether the LP proved the instance feasible (finite lower bound)."""
+        return math.isfinite(self.lower_bound)
+
+
+@dataclass
+class CampaignResult:
+    """All records of a campaign plus the aggregations used by the figures."""
+
+    config: CampaignConfig
+    records: List[InstanceRecord]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def heuristic_names(self) -> Sequence[str]:
+        """Heuristics that were run."""
+        return tuple(self.config.heuristics)
+
+    def records_for(self, load: float) -> List[InstanceRecord]:
+        """Records of a given load value."""
+        return [record for record in self.records if abs(record.load - load) < 1e-9]
+
+    # ------------------------------------------------------------------ #
+    def success_series(self) -> Dict[str, Dict[float, float]]:
+        """Percentage-of-success series (paper Figures 9 and 11).
+
+        Includes the ``LP`` pseudo-series counting the solvable instances.
+        """
+        series: Dict[str, Dict[float, float]] = {
+            name: {} for name in (LP_SERIES,) + tuple(self.heuristic_names)
+        }
+        for load in self.config.lambdas:
+            records = self.records_for(load)
+            if not records:
+                continue
+            series[LP_SERIES][load] = success_rate(
+                [record.lower_bound for record in records]
+            )
+            for name in self.heuristic_names:
+                series[name][load] = success_rate(
+                    [record.costs.get(name) for record in records]
+                )
+        return series
+
+    def relative_cost_series(self) -> Dict[str, Dict[float, float]]:
+        """Relative-cost series (paper Figures 10 and 12)."""
+        series: Dict[str, Dict[float, float]] = {name: {} for name in self.heuristic_names}
+        for load in self.config.lambdas:
+            records = self.records_for(load)
+            if not records:
+                continue
+            for name in self.heuristic_names:
+                accumulator = RelativeCostAccumulator()
+                for record in records:
+                    accumulator.add(record.lower_bound, record.costs.get(name))
+                series[name][load] = accumulator.value()
+        return series
+
+    # ------------------------------------------------------------------ #
+    def success_table(self) -> str:
+        """ASCII rendering of the success series."""
+        return series_table(self.success_series())
+
+    def relative_cost_table(self) -> str:
+        """ASCII rendering of the relative-cost series."""
+        return series_table(self.relative_cost_series())
+
+    def describe(self) -> str:
+        """Short campaign summary."""
+        kind = "homogeneous" if self.config.homogeneous else "heterogeneous"
+        return (
+            f"{len(self.records)} instances, {kind}, "
+            f"sizes {self.config.size_range[0]}-{self.config.size_range[1]}, "
+            f"{self.config.trees_per_lambda} trees per lambda"
+        )
+
+
+def run_campaign(
+    config: CampaignConfig,
+    *,
+    progress: Optional[Callable[[InstanceRecord], None]] = None,
+) -> CampaignResult:
+    """Generate the campaign trees and evaluate every heuristic on each.
+
+    Parameters
+    ----------
+    progress:
+        Optional callback invoked with each finished :class:`InstanceRecord`
+        (used by the CLI to stream progress).
+    """
+    generator = TreeGenerator(config.seed)
+    heuristics = [(name, get_heuristic(name)) for name in config.heuristics]
+    records: List[InstanceRecord] = []
+
+    for load in config.lambdas:
+        for _ in range(config.trees_per_lambda):
+            size = int(generator.rng.integers(config.size_range[0], config.size_range[1] + 1))
+            tree = generator.generate(
+                GeneratorConfig(
+                    size=size,
+                    target_load=float(load),
+                    homogeneous=config.homogeneous,
+                    base_capacity=config.base_capacity,
+                    capacity_choices=config.capacity_choices,
+                    client_fraction=config.client_fraction,
+                    max_children=config.max_children,
+                )
+            )
+            record = evaluate_instance(tree, float(load), config, heuristics)
+            records.append(record)
+            if progress is not None:
+                progress(record)
+    return CampaignResult(config=config, records=records)
+
+
+def evaluate_instance(
+    tree: TreeNetwork,
+    load: float,
+    config: CampaignConfig,
+    heuristics: Sequence[Tuple[str, object]],
+) -> InstanceRecord:
+    """Run the lower bound and every heuristic on one tree."""
+    problem = ReplicaPlacementProblem(tree=tree, kind=config.problem_kind())
+
+    lower = _lower_bound(problem, config)
+    costs: Dict[str, Optional[float]] = {}
+    runtimes: Dict[str, float] = {}
+    for name, heuristic in heuristics:
+        start = time.perf_counter()
+        solution = heuristic.try_solve(problem)
+        runtimes[name] = time.perf_counter() - start
+        costs[name] = solution.cost(problem) if solution is not None else None
+
+    return InstanceRecord(
+        load=load,
+        size=tree.size,
+        homogeneous=config.homogeneous,
+        lower_bound=lower,
+        costs=costs,
+        runtimes=runtimes,
+    )
+
+
+def _lower_bound(problem: ReplicaPlacementProblem, config: CampaignConfig) -> float:
+    method = config.lower_bound_method
+    if method == "none":
+        return math.nan
+    if method == "trivial":
+        from repro.core.costs import trivial_lower_bound
+
+        return trivial_lower_bound(problem)
+    from repro.lp.bounds import lp_lower_bound, rational_relaxation_bound
+
+    if method == "mixed":
+        return lp_lower_bound(problem, time_limit=config.lp_time_limit).value
+    if method == "rational":
+        return rational_relaxation_bound(problem).value
+    raise ValueError(f"unknown lower bound method {method!r}")

@@ -1,0 +1,87 @@
+"""Metrics of the experimental study (paper Section 7.2).
+
+Two quantities are reported per load value ``lambda``:
+
+* the **percentage of success**: the fraction of generated trees on which a
+  heuristic finds a valid solution (the LP row counts the trees that admit
+  *any* solution, i.e. the solvable instances);
+* the **relative cost**
+
+  .. math::  rcost = \\frac{1}{|T_\\lambda|}
+             \\sum_{t \\in T_\\lambda} \\frac{cost_{LP}(t)}{cost_h(t)}
+
+  where ``T_lambda`` is the set of trees (for this ``lambda``) on which the
+  LP-based lower bound is finite, ``cost_LP`` is that lower bound and
+  ``cost_h`` the cost of the heuristic's solution, taken as ``+inf`` when
+  the heuristic failed (so failures pull the average towards zero, exactly
+  like the paper's accounting).  A relative cost of 1.0 means the heuristic
+  matches the lower bound on every solvable tree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+__all__ = ["success_rate", "relative_cost", "RelativeCostAccumulator"]
+
+
+def success_rate(outcomes: Iterable[Optional[float]]) -> float:
+    """Fraction of instances with a (finite-cost) solution.
+
+    ``outcomes`` holds one entry per instance: the solution cost, or ``None``
+    / ``inf`` when the algorithm failed on that instance.
+    """
+    outcomes = list(outcomes)
+    if not outcomes:
+        return 0.0
+    solved = sum(
+        1 for value in outcomes if value is not None and math.isfinite(value)
+    )
+    return solved / len(outcomes)
+
+
+def relative_cost(
+    lower_bounds: Iterable[float], heuristic_costs: Iterable[Optional[float]]
+) -> float:
+    """Paper Section 7.2 relative cost of a heuristic against the LP bound.
+
+    Instances whose lower bound is infinite (no solution exists at all) are
+    excluded from the average; instances where the heuristic failed
+    contribute 0 (``cost_h = +inf``).
+    """
+    accumulator = RelativeCostAccumulator()
+    for bound, cost in zip(lower_bounds, heuristic_costs):
+        accumulator.add(bound, cost)
+    return accumulator.value()
+
+
+@dataclass
+class RelativeCostAccumulator:
+    """Streaming accumulator of the relative-cost metric."""
+
+    total: float = 0.0
+    count: int = 0
+    failures: int = 0
+
+    def add(self, lower_bound: float, heuristic_cost: Optional[float]) -> None:
+        """Record one instance (skipped when the instance is globally infeasible)."""
+        if lower_bound is None or not math.isfinite(lower_bound):
+            return
+        self.count += 1
+        if heuristic_cost is None or not math.isfinite(heuristic_cost):
+            self.failures += 1
+            return  # contributes lb / inf = 0
+        if heuristic_cost <= 0:
+            # A zero-cost solution can only happen on zero-load instances, in
+            # which case the bound is zero as well; count it as a perfect hit.
+            self.total += 1.0
+            return
+        self.total += lower_bound / heuristic_cost
+
+    def value(self) -> float:
+        """The averaged relative cost (0.0 when no solvable instance was seen)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count

@@ -1,0 +1,92 @@
+"""Plain-text reporting helpers (ASCII tables, CSV export).
+
+The paper presents its results as gnuplot figures; the deliverable here is
+the underlying data series, printed as aligned ASCII tables by the benchmark
+harness and the examples, and optionally exported as CSV for external
+plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_float", "ascii_table", "series_table", "series_to_csv"]
+
+Number = Union[int, float]
+
+
+def format_float(value: Optional[Number], precision: int = 3) -> str:
+    """Format a number for table cells (dashes for missing values)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, precision: int = 3) -> str:
+    """Render rows as an aligned ASCII table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append(
+            [
+                cell if isinstance(cell, str) else format_float(cell, precision)
+                for cell in row
+            ]
+        )
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    parts = [line([str(h) for h in headers]), separator]
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def series_table(
+    series: Mapping[str, Mapping[float, Number]],
+    *,
+    x_label: str = "lambda",
+    precision: int = 3,
+) -> str:
+    """Render ``{series_name: {x: y}}`` with one column per series.
+
+    This is the layout of the paper's figures: the load on the x axis, one
+    curve per heuristic.
+    """
+    xs = sorted({x for values in series.values() for x in values})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: List[object] = [format_float(x, 2)]
+        for name in series:
+            row.append(series[name].get(x))
+        rows.append(row)
+    return ascii_table(headers, rows, precision=precision)
+
+
+def series_to_csv(
+    series: Mapping[str, Mapping[float, Number]],
+    *,
+    x_label: str = "lambda",
+) -> str:
+    """Export ``{series_name: {x: y}}`` as CSV text."""
+    xs = sorted({x for values in series.values() for x in values})
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([x_label] + list(series))
+    for x in xs:
+        writer.writerow([x] + [series[name].get(x, "") for name in series])
+    return buffer.getvalue()

@@ -1,0 +1,251 @@
+"""Table-style experiments: paper Table 1 and the Section 3 examples.
+
+Table 1 of the paper is a complexity classification, not a measurement; what
+can be *reproduced computationally* is the evidence behind each cell:
+
+* **Multiple / homogeneous -- polynomial**: the three-pass greedy algorithm
+  matches the exact ILP optimum on every random instance tried;
+* **Closest / homogeneous -- polynomial** (known result): the best Closest
+  placement found by exhaustive search is matched by the ILP;
+* **Upwards / homogeneous -- NP-complete**: the 3-PARTITION reduction
+  instances of Theorem 2 are solvable at cost ``m * B`` exactly when the
+  underlying 3-PARTITION instance is a yes-instance;
+* **all policies / heterogeneous -- NP-complete**: the 2-PARTITION reduction
+  instances of Theorem 3 are solvable at cost ``S + 1`` exactly when the
+  underlying 2-PARTITION instance is a yes-instance.
+
+:func:`table1_evidence` runs those checks and returns one row per cell;
+:func:`section3_examples_table` evaluates the motivating examples of
+Section 3 (Figures 1-5) and reports, per policy, whether a solution exists
+and at what cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.exhaustive import optimal_cost
+from repro.algorithms.multiple_homogeneous import MultipleHomogeneousOptimal
+from repro.core.exceptions import InfeasibleError
+from repro.core.policies import Policy
+from repro.core.problem import ProblemKind, ReplicaPlacementProblem, replica_cost_problem, replica_counting_problem
+from repro.experiments.reporting import ascii_table
+from repro.lp.exact import exact_cost
+from repro.workloads import reference_trees
+from repro.workloads.generator import GeneratorConfig, TreeGenerator
+
+__all__ = [
+    "Table1Row",
+    "table1_evidence",
+    "table1_table",
+    "section3_examples_table",
+]
+
+
+@dataclass
+class Table1Row:
+    """Evidence for one cell of paper Table 1."""
+
+    policy: Policy
+    platform: str
+    paper_complexity: str
+    check: str
+    instances: int
+    agreements: int
+
+    @property
+    def consistent(self) -> bool:
+        """Whether every instance agreed with the paper's claim."""
+        return self.agreements == self.instances
+
+
+def _random_homogeneous_instances(
+    count: int, seed: int, size: int = 14
+) -> List[ReplicaPlacementProblem]:
+    generator = TreeGenerator(seed)
+    problems = []
+    for index in range(count):
+        tree = generator.generate(
+            GeneratorConfig(
+                size=size,
+                target_load=0.4 + 0.05 * (index % 5),
+                homogeneous=True,
+                base_capacity=20.0,
+                client_fraction=0.5,
+            )
+        )
+        problems.append(replica_counting_problem(tree))
+    return problems
+
+
+def table1_evidence(*, instances: int = 5, seed: int = 42) -> List[Table1Row]:
+    """Computational evidence for each cell of paper Table 1."""
+    rows: List[Table1Row] = []
+
+    # --- Multiple / homogeneous: greedy == ILP ------------------------- #
+    greedy = MultipleHomogeneousOptimal()
+    problems = _random_homogeneous_instances(instances, seed)
+    agree = 0
+    for problem in problems:
+        try:
+            greedy_cost = greedy.solve(problem).cost(problem)
+        except InfeasibleError:
+            greedy_cost = math.inf
+        try:
+            ilp_cost = exact_cost(problem, Policy.MULTIPLE)
+        except InfeasibleError:
+            ilp_cost = math.inf
+        if math.isclose(greedy_cost, ilp_cost) or (
+            math.isinf(greedy_cost) and math.isinf(ilp_cost)
+        ):
+            agree += 1
+    rows.append(
+        Table1Row(
+            policy=Policy.MULTIPLE,
+            platform="homogeneous",
+            paper_complexity="polynomial",
+            check="three-pass greedy matches the exact ILP optimum",
+            instances=len(problems),
+            agreements=agree,
+        )
+    )
+
+    # --- Closest / homogeneous: exhaustive == ILP ----------------------- #
+    agree = 0
+    for problem in problems:
+        try:
+            brute = optimal_cost(problem, Policy.CLOSEST)
+        except InfeasibleError:
+            brute = math.inf
+        try:
+            ilp = exact_cost(problem, Policy.CLOSEST)
+        except InfeasibleError:
+            ilp = math.inf
+        if math.isclose(brute, ilp) or (math.isinf(brute) and math.isinf(ilp)):
+            agree += 1
+    rows.append(
+        Table1Row(
+            policy=Policy.CLOSEST,
+            platform="homogeneous",
+            paper_complexity="polynomial (known)",
+            check="exhaustive optimum matches the exact ILP optimum",
+            instances=len(problems),
+            agreements=agree,
+        )
+    )
+
+    # --- Upwards / homogeneous: 3-PARTITION reduction ------------------- #
+    yes_instance = (10, 14, 16, 12, 13, 15)  # two triples summing to 40
+    no_instance = (11, 11, 11, 11, 11, 17)  # cannot be split into triples of 36
+    agree = 0
+    for values, bound, expected in ((yes_instance, 40, True), (no_instance, 36, False)):
+        tree = reference_trees.three_partition_tree(values, bound)
+        problem = replica_cost_problem(tree)
+        target = len(values) // 3 * bound
+        try:
+            cost = exact_cost(problem, Policy.UPWARDS)
+            solvable_at_target = cost <= target + 1e-6
+        except InfeasibleError:
+            solvable_at_target = False
+        if solvable_at_target == expected:
+            agree += 1
+    rows.append(
+        Table1Row(
+            policy=Policy.UPWARDS,
+            platform="homogeneous",
+            paper_complexity="NP-complete (Theorem 2)",
+            check="3-PARTITION instances solvable at cost mB iff yes-instances",
+            instances=2,
+            agreements=agree,
+        )
+    )
+
+    # --- heterogeneous: 2-PARTITION reduction --------------------------- #
+    yes_values = (3, 1, 1, 2, 2, 1)  # total 10, split 5/5
+    no_values = (3, 3, 1)  # total 7, no equal split
+    for policy in (Policy.CLOSEST, Policy.MULTIPLE, Policy.UPWARDS):
+        agree = 0
+        for values, expected in ((yes_values, True), (no_values, False)):
+            tree = reference_trees.two_partition_tree(values)
+            problem = replica_cost_problem(tree)
+            target = sum(values) + 1
+            try:
+                cost = exact_cost(problem, policy)
+                solvable_at_target = cost <= target + 1e-6
+            except InfeasibleError:
+                solvable_at_target = False
+            if solvable_at_target == expected:
+                agree += 1
+        rows.append(
+            Table1Row(
+                policy=policy,
+                platform="heterogeneous",
+                paper_complexity="NP-complete (Theorem 3)",
+                check="2-PARTITION instances solvable at cost S+1 iff yes-instances",
+                instances=2,
+                agreements=agree,
+            )
+        )
+    return rows
+
+
+def table1_table(rows: Optional[Sequence[Table1Row]] = None, **kwargs) -> str:
+    """ASCII rendering of :func:`table1_evidence`."""
+    rows = rows if rows is not None else table1_evidence(**kwargs)
+    return ascii_table(
+        ["policy", "platform", "paper", "evidence", "checked", "agree"],
+        [
+            (
+                row.policy.value,
+                row.platform,
+                row.paper_complexity,
+                row.check,
+                row.instances,
+                row.agreements,
+            )
+            for row in rows
+        ],
+    )
+
+
+def section3_examples_table(*, n: int = 5, big_factor: float = 20.0) -> str:
+    """Costs of the Section 3 example families under the three policies."""
+    examples: List[Tuple[str, ReplicaPlacementProblem]] = []
+    for variant in ("a", "b", "c"):
+        examples.append(
+            (
+                f"Figure 1({variant})",
+                replica_counting_problem(reference_trees.figure1_tree(variant)),
+            )
+        )
+    examples.append(
+        ("Figure 2", replica_counting_problem(reference_trees.figure2_tree(n)))
+    )
+    examples.append(
+        ("Figure 3", replica_counting_problem(reference_trees.figure3_tree(n)))
+    )
+    examples.append(
+        (
+            "Figure 4",
+            replica_cost_problem(reference_trees.figure4_tree(n, big_factor)),
+        )
+    )
+    examples.append(
+        (
+            "Figure 5",
+            replica_counting_problem(reference_trees.figure5_tree(n, float(n * 4))),
+        )
+    )
+
+    rows = []
+    for label, problem in examples:
+        cells: List[object] = [label]
+        for policy in Policy.ordered():
+            try:
+                cells.append(exact_cost(problem, policy))
+            except InfeasibleError:
+                cells.append("infeasible")
+        rows.append(cells)
+    return ascii_table(["instance", "closest", "upwards", "multiple"], rows)

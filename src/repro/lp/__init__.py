@@ -1,0 +1,44 @@
+"""Linear-programming formulations of the Replica Placement problem.
+
+Paper Section 5 formulates the problem as an integer linear program for each
+of the three access policies, including QoS and bandwidth constraints, and
+Section 7.1 derives the lower bound used as the reference of every
+experiment: the **Multiple** formulation with integer placement variables
+``x_j`` but rational assignment variables ``y_{i,j}``.
+
+This package reproduces those formulations on top of
+:func:`scipy.optimize.milp` / :func:`scipy.optimize.linprog` (HiGHS), which
+substitutes for the GLPK solver used by the authors -- the mathematical
+programs are identical, only the backend differs.
+
+Contents
+--------
+* :mod:`repro.lp.variables` -- variable indexing (``x_j`` and sparse
+  ``y_{i,j}`` restricted to QoS-eligible ancestors);
+* :mod:`repro.lp.formulation` -- objective and constraint assembly for the
+  single-server (Closest / Upwards) and multiple-server formulations;
+* :mod:`repro.lp.solver` -- thin wrappers around the scipy backends;
+* :mod:`repro.lp.bounds` -- the paper's refined lower bound and the fully
+  rational relaxation;
+* :mod:`repro.lp.exact` -- exact ILP solutions (small instances), returning
+  regular :class:`~repro.core.solution.Solution` objects.
+"""
+
+from repro.lp.variables import VariableSpace
+from repro.lp.formulation import LinearProgramData, build_program
+from repro.lp.solver import LPResult, solve_program
+from repro.lp.bounds import lp_lower_bound, rational_relaxation_bound, LowerBoundResult
+from repro.lp.exact import exact_solution, exact_cost
+
+__all__ = [
+    "VariableSpace",
+    "LinearProgramData",
+    "build_program",
+    "LPResult",
+    "solve_program",
+    "lp_lower_bound",
+    "rational_relaxation_bound",
+    "LowerBoundResult",
+    "exact_solution",
+    "exact_cost",
+]

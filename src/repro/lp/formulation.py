@@ -1,0 +1,313 @@
+"""Assembly of the (integer) linear programs of paper Section 5.
+
+Two formulations are produced by :func:`build_program`:
+
+**Single server** (Closest and Upwards policies)
+    ``y_{i,j}`` is a boolean meaning "``j`` is the server of client ``i``".
+
+    * every client has exactly one server: ``sum_j y_{i,j} = 1``;
+    * server capacity: ``sum_i r_i y_{i,j} <= W_j x_j``;
+    * bandwidth (optional): ``sum r_i y_{i,j} <= BW_l`` over the pairs whose
+      traffic crosses link ``l``;
+    * *Closest* only: a client ``i`` served by ``j`` forbids any client of
+      ``subtree(j)`` from being served by a strict ancestor of ``j``, i.e.
+      ``y_{i,j} + sum_{j' strict ancestor of j} y_{i',j'} <= 1``.
+
+**Multiple servers**
+    ``y_{i,j}`` is the (integer) number of requests of ``i`` processed by
+    ``j``.
+
+    * request conservation: ``sum_j y_{i,j} = r_i``;
+    * server capacity: ``sum_i y_{i,j} <= W_j x_j``;
+    * bandwidth (optional): ``sum y_{i,j} <= BW_l`` over pairs crossing ``l``.
+
+QoS constraints are handled upstream by simply not creating the variables of
+non-eligible (client, server) pairs (see :mod:`repro.lp.variables`), which is
+equivalent to the paper's ``dist(i,j) y_{i,j} <= q_i`` constraints.
+
+The objective is always the total storage cost ``sum_j s_j x_j``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.policies import Policy
+from repro.core.problem import ReplicaPlacementProblem
+from repro.lp.variables import VariableSpace
+
+__all__ = ["LinearProgramData", "build_program"]
+
+
+@dataclass
+class LinearProgramData:
+    """A fully-assembled linear program ready for :mod:`repro.lp.solver`.
+
+    Attributes
+    ----------
+    objective:
+        Cost vector ``c`` (minimisation).
+    constraint_matrix, lower, upper:
+        Sparse constraint matrix ``A`` with row bounds ``lower <= A v <= upper``.
+    variable_lower, variable_upper:
+        Per-variable bounds.
+    integrality:
+        Per-variable integrality flags (1 = integer, 0 = continuous), in the
+        format expected by :func:`scipy.optimize.milp`.
+    space:
+        The variable indexing used to build the program.
+    policy:
+        The access policy encoded by the constraints.
+    """
+
+    objective: np.ndarray
+    constraint_matrix: sparse.csr_matrix
+    lower: np.ndarray
+    upper: np.ndarray
+    variable_lower: np.ndarray
+    variable_upper: np.ndarray
+    integrality: np.ndarray
+    space: VariableSpace
+    policy: Policy
+    labels: List[str] = field(default_factory=list)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of columns of the program."""
+        return self.objective.shape[0]
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of rows of the program."""
+        return self.constraint_matrix.shape[0]
+
+    def with_integrality(
+        self, *, integral_placement: bool, integral_assignment: bool
+    ) -> "LinearProgramData":
+        """Return a copy with different integrality requirements.
+
+        Used to derive the paper's lower bound (integer ``x``, rational
+        ``y``) and the fully rational relaxation from the exact ILP.
+        """
+        integrality = np.zeros(self.num_variables)
+        if integral_placement:
+            integrality[: self.space.num_x] = 1
+        if integral_assignment:
+            integrality[self.space.num_x :] = 1
+        return LinearProgramData(
+            objective=self.objective,
+            constraint_matrix=self.constraint_matrix,
+            lower=self.lower,
+            upper=self.upper,
+            variable_lower=self.variable_lower,
+            variable_upper=self.variable_upper,
+            integrality=integrality,
+            space=self.space,
+            policy=self.policy,
+            labels=self.labels,
+        )
+
+
+class _ConstraintBuilder:
+    """Accumulates sparse constraint rows."""
+
+    def __init__(self, num_variables: int):
+        self.num_variables = num_variables
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.data: List[float] = []
+        self.lower: List[float] = []
+        self.upper: List[float] = []
+        self.labels: List[str] = []
+        self._row = 0
+
+    def add(self, entries: List[Tuple[int, float]], lower: float, upper: float, label: str) -> None:
+        """Add one constraint row ``lower <= sum coeff*var <= upper``."""
+        for col, coeff in entries:
+            self.rows.append(self._row)
+            self.cols.append(col)
+            self.data.append(coeff)
+        self.lower.append(lower)
+        self.upper.append(upper)
+        self.labels.append(label)
+        self._row += 1
+
+    def matrix(self) -> sparse.csr_matrix:
+        """The assembled sparse constraint matrix."""
+        return sparse.csr_matrix(
+            (self.data, (self.rows, self.cols)),
+            shape=(self._row, self.num_variables),
+        )
+
+
+def build_program(
+    problem: ReplicaPlacementProblem,
+    policy: Policy,
+    *,
+    integral_placement: bool = True,
+    integral_assignment: bool = True,
+    closest_constraint_limit: Optional[int] = 200_000,
+) -> LinearProgramData:
+    """Build the (I)LP of ``problem`` under ``policy``.
+
+    Parameters
+    ----------
+    integral_placement, integral_assignment:
+        Whether the ``x`` (resp. ``y``) variables are required to be integer.
+        The exact ILP uses ``True``/``True``; the paper's refined lower bound
+        uses ``True``/``False``; the fully rational relaxation uses
+        ``False``/``False``.
+    closest_constraint_limit:
+        Safety cap on the number of Closest-specific rows (the pairwise
+        exclusion constraints grow cubically); exceeded limits raise
+        :class:`ValueError`.
+    """
+    policy = Policy.parse(policy)
+    tree = problem.tree
+    space = VariableSpace(problem)
+    builder = _ConstraintBuilder(space.num_variables)
+    single = policy.single_server
+
+    # ------------------------------------------------------------------ #
+    # objective
+    # ------------------------------------------------------------------ #
+    objective = np.zeros(space.num_variables)
+    for node_id in space.node_ids:
+        objective[space.x_index(node_id)] = problem.storage_cost(node_id)
+
+    # ------------------------------------------------------------------ #
+    # per-client conservation
+    # ------------------------------------------------------------------ #
+    for client_id in tree.client_ids:
+        requests = problem.requests(client_id)
+        pairs = space.pairs_for_client(client_id)
+        if requests <= 0:
+            # Zero-request clients impose nothing; force their variables to 0
+            # through the bounds below.
+            continue
+        target = 1.0 if single else requests
+        entries = [(space.y_index(c, s), 1.0) for (c, s) in pairs]
+        if not entries:
+            # No eligible server at all: encode infeasibility explicitly with
+            # an unsatisfiable empty row.
+            builder.add([], target, target, f"coverage[{client_id!r}] (no eligible server)")
+            continue
+        builder.add(entries, target, target, f"coverage[{client_id!r}]")
+
+    # ------------------------------------------------------------------ #
+    # server capacities:  sum_i (r_i) y_{i,j} - W_j x_j <= 0
+    # ------------------------------------------------------------------ #
+    for node_id in space.node_ids:
+        entries = []
+        for client_id, server_id in space.pairs_for_server(node_id):
+            weight = problem.requests(client_id) if single else 1.0
+            entries.append((space.y_index(client_id, server_id), weight))
+        entries.append((space.x_index(node_id), -problem.capacity(node_id)))
+        builder.add(entries, -math.inf, 0.0, f"capacity[{node_id!r}]")
+
+    # ------------------------------------------------------------------ #
+    # bandwidth constraints (expressed directly over the y variables)
+    # ------------------------------------------------------------------ #
+    if problem.constraints.enforce_bandwidth:
+        for link in tree.links():
+            if not math.isfinite(link.bandwidth):
+                continue
+            # Clients whose traffic may cross this link: those in the subtree
+            # hanging below the link's child endpoint.
+            if tree.is_client(link.child):
+                crossing_clients = (link.child,)
+            else:
+                crossing_clients = tree.subtree_clients(link.child)
+            entries = []
+            for client_id in crossing_clients:
+                for server_id in problem.eligible_servers(client_id):
+                    # The request crosses the link iff its server sits at the
+                    # link's parent endpoint or higher.
+                    if server_id != link.parent and server_id not in tree.ancestors(link.parent):
+                        continue
+                    if not space.has_pair(client_id, server_id):
+                        continue
+                    weight = problem.requests(client_id) if single else 1.0
+                    entries.append((space.y_index(client_id, server_id), weight))
+            if entries:
+                builder.add(
+                    entries,
+                    -math.inf,
+                    link.bandwidth,
+                    f"bandwidth[{link.child!r}->{link.parent!r}]",
+                )
+
+    # ------------------------------------------------------------------ #
+    # Closest-specific exclusion constraints
+    # ------------------------------------------------------------------ #
+    if policy is Policy.CLOSEST:
+        added = 0
+        for client_id in tree.client_ids:
+            if problem.requests(client_id) <= 0:
+                continue
+            for server_id in problem.eligible_servers(client_id):
+                if not space.has_pair(client_id, server_id):
+                    continue
+                strict_ancestors = tree.ancestors(server_id)
+                for other_id in tree.subtree_clients(server_id):
+                    if other_id == client_id or problem.requests(other_id) <= 0:
+                        continue
+                    entries = [(space.y_index(client_id, server_id), 1.0)]
+                    involved = False
+                    for upper_id in strict_ancestors:
+                        if space.has_pair(other_id, upper_id):
+                            entries.append((space.y_index(other_id, upper_id), 1.0))
+                            involved = True
+                    if not involved:
+                        continue
+                    builder.add(
+                        entries,
+                        -math.inf,
+                        1.0,
+                        f"closest[{client_id!r}@{server_id!r} vs {other_id!r}]",
+                    )
+                    added += 1
+                    if closest_constraint_limit is not None and added > closest_constraint_limit:
+                        raise ValueError(
+                            "the Closest ILP exceeds the configured constraint "
+                            f"limit ({closest_constraint_limit}); use a smaller "
+                            "instance or the Multiple lower bound instead"
+                        )
+
+    # ------------------------------------------------------------------ #
+    # variable bounds and integrality
+    # ------------------------------------------------------------------ #
+    variable_lower = np.zeros(space.num_variables)
+    variable_upper = np.empty(space.num_variables)
+    variable_upper[: space.num_x] = 1.0
+    for client_id, server_id in space.pairs:
+        index = space.y_index(client_id, server_id)
+        requests = problem.requests(client_id)
+        if requests <= 0:
+            variable_upper[index] = 0.0
+        else:
+            variable_upper[index] = 1.0 if single else requests
+
+    integrality = np.zeros(space.num_variables)
+    if integral_placement:
+        integrality[: space.num_x] = 1
+    if integral_assignment:
+        integrality[space.num_x :] = 1
+
+    return LinearProgramData(
+        objective=objective,
+        constraint_matrix=builder.matrix(),
+        lower=np.array(builder.lower),
+        upper=np.array(builder.upper),
+        variable_lower=variable_lower,
+        variable_upper=variable_upper,
+        integrality=integrality,
+        space=space,
+        policy=policy,
+        labels=builder.labels,
+    )

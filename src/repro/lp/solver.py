@@ -1,0 +1,132 @@
+"""Thin wrappers around the scipy (HiGHS) LP / MILP backends.
+
+:func:`solve_program` dispatches a :class:`~repro.lp.formulation.LinearProgramData`
+to :func:`scipy.optimize.milp` when any variable is integral and to
+:func:`scipy.optimize.linprog` otherwise, and normalises the outcome into an
+:class:`LPResult`:
+
+* ``status == "optimal"`` -- an optimal solution was found;
+* ``status == "infeasible"`` -- the program has no feasible point (which for
+  the exact ILPs means the instance has no valid replica placement);
+* any other failure raises :class:`~repro.core.exceptions.SolverError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.core.exceptions import SolverError
+from repro.lp.formulation import LinearProgramData
+
+__all__ = ["LPResult", "solve_program"]
+
+
+@dataclass
+class LPResult:
+    """Outcome of an LP / MILP solve."""
+
+    status: str
+    objective: Optional[float]
+    values: Optional[np.ndarray]
+    message: str = ""
+
+    @property
+    def optimal(self) -> bool:
+        """``True`` when an optimal solution is available."""
+        return self.status == "optimal"
+
+    @property
+    def infeasible(self) -> bool:
+        """``True`` when the program was proven infeasible."""
+        return self.status == "infeasible"
+
+
+def solve_program(program: LinearProgramData, *, time_limit: Optional[float] = None) -> LPResult:
+    """Solve ``program`` and normalise the backend outcome.
+
+    Parameters
+    ----------
+    time_limit:
+        Optional wall-clock limit (seconds) passed to the MILP backend.
+    """
+    has_integer = bool(np.any(program.integrality > 0))
+    if has_integer:
+        return _solve_milp(program, time_limit)
+    return _solve_linprog(program)
+
+
+def _solve_milp(program: LinearProgramData, time_limit: Optional[float]) -> LPResult:
+    constraints = optimize.LinearConstraint(
+        program.constraint_matrix, program.lower, program.upper
+    )
+    bounds = optimize.Bounds(program.variable_lower, program.variable_upper)
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    result = optimize.milp(
+        c=program.objective,
+        constraints=[constraints],
+        integrality=program.integrality,
+        bounds=bounds,
+        options=options,
+    )
+    return _normalise(result)
+
+
+def _solve_linprog(program: LinearProgramData) -> LPResult:
+    # linprog only accepts one-sided inequality rows plus equality rows, so
+    # split the two-sided rows of the generic formulation.
+    matrix = program.constraint_matrix.tocsr()
+    lower, upper = program.lower, program.upper
+
+    eq_rows = np.where(np.isclose(lower, upper))[0]
+    ub_rows = np.where(~np.isclose(lower, upper) & np.isfinite(upper))[0]
+    lb_rows = np.where(~np.isclose(lower, upper) & np.isfinite(lower))[0]
+
+    a_eq = matrix[eq_rows] if len(eq_rows) else None
+    b_eq = upper[eq_rows] if len(eq_rows) else None
+
+    blocks = []
+    rhs = []
+    if len(ub_rows):
+        blocks.append(matrix[ub_rows])
+        rhs.append(upper[ub_rows])
+    if len(lb_rows):
+        blocks.append(-matrix[lb_rows])
+        rhs.append(-lower[lb_rows])
+    a_ub = sparse.vstack(blocks) if blocks else None
+    b_ub = np.concatenate(rhs) if rhs else None
+
+    result = optimize.linprog(
+        c=program.objective,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=list(zip(program.variable_lower, program.variable_upper)),
+        method="highs",
+    )
+    return _normalise(result)
+
+
+def _normalise(result) -> LPResult:
+    """Convert a scipy OptimizeResult into an :class:`LPResult`."""
+    status = getattr(result, "status", None)
+    message = getattr(result, "message", "") or ""
+    if getattr(result, "success", False):
+        return LPResult(
+            status="optimal",
+            objective=float(result.fun),
+            values=np.asarray(result.x, dtype=float),
+            message=message,
+        )
+    # scipy status codes: milp/linprog use 2 for infeasible, 3 for unbounded.
+    if status == 2 or "infeasible" in message.lower():
+        return LPResult(status="infeasible", objective=None, values=None, message=message)
+    if status == 3 or "unbounded" in message.lower():
+        return LPResult(status="unbounded", objective=None, values=None, message=message)
+    raise SolverError(f"LP backend failed: status={status!r}, message={message!r}")

@@ -1,0 +1,95 @@
+"""Variable indexing for the (I)LP formulations.
+
+Both formulations of paper Section 5 use
+
+* one placement variable ``x_j`` per internal node ``j`` (boolean: node
+  holds a replica), and
+* one assignment variable ``y_{i,j}`` per (client ``i``, ancestor ``j``)
+  pair -- boolean "``j`` is the server of ``i``" in the single-server
+  formulation, integer "number of requests of ``i`` processed by ``j``" in
+  the multiple-server formulation.
+
+Pairs whose ancestor violates the client's QoS bound are simply not created
+(the paper sets those variables to zero), which keeps the matrices sparse.
+Link-flow variables ``z_{i,l}`` are not materialised: each ``z_{i,l}``
+equals the sum of the ``y_{i,j}`` of the servers located above link ``l``,
+so bandwidth constraints are expressed directly over ``y`` (see
+:mod:`repro.lp.formulation`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.tree import NodeId
+
+__all__ = ["VariableSpace"]
+
+
+class VariableSpace:
+    """Dense indexing of the ``x_j`` and ``y_{i,j}`` variables of an instance."""
+
+    def __init__(self, problem: ReplicaPlacementProblem):
+        self.problem = problem
+        tree = problem.tree
+
+        #: internal nodes in a fixed order; ``x`` variables come first.
+        self.node_ids: Tuple[NodeId, ...] = tuple(tree.node_ids)
+        self._x_index: Dict[NodeId, int] = {
+            node_id: index for index, node_id in enumerate(self.node_ids)
+        }
+
+        #: (client, server) pairs with an eligible (QoS-respecting) ancestor.
+        pairs: List[Tuple[NodeId, NodeId]] = []
+        for client_id in tree.client_ids:
+            for server_id in problem.eligible_servers(client_id):
+                pairs.append((client_id, server_id))
+        self.pairs: Tuple[Tuple[NodeId, NodeId], ...] = tuple(pairs)
+        offset = len(self.node_ids)
+        self._y_index: Dict[Tuple[NodeId, NodeId], int] = {
+            pair: offset + index for index, pair in enumerate(self.pairs)
+        }
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_x(self) -> int:
+        """Number of placement variables."""
+        return len(self.node_ids)
+
+    @property
+    def num_y(self) -> int:
+        """Number of assignment variables."""
+        return len(self.pairs)
+
+    @property
+    def num_variables(self) -> int:
+        """Total number of variables in the program."""
+        return self.num_x + self.num_y
+
+    def x_index(self, node_id: NodeId) -> int:
+        """Column index of ``x_{node_id}``."""
+        return self._x_index[node_id]
+
+    def y_index(self, client_id: NodeId, server_id: NodeId) -> int:
+        """Column index of ``y_{client_id, server_id}``."""
+        return self._y_index[(client_id, server_id)]
+
+    def has_pair(self, client_id: NodeId, server_id: NodeId) -> bool:
+        """``True`` when the (client, server) pair is eligible (variable exists)."""
+        return (client_id, server_id) in self._y_index
+
+    def pairs_for_client(self, client_id: NodeId) -> List[Tuple[NodeId, NodeId]]:
+        """Eligible pairs of a given client."""
+        return [pair for pair in self.pairs if pair[0] == client_id]
+
+    def pairs_for_server(self, server_id: NodeId) -> List[Tuple[NodeId, NodeId]]:
+        """Eligible pairs served by a given node."""
+        return [pair for pair in self.pairs if pair[1] == server_id]
+
+    def describe(self) -> str:
+        """Short description used in solver diagnostics."""
+        return (
+            f"{self.num_x} placement variables, {self.num_y} assignment variables "
+            f"({self.num_variables} total)"
+        )

@@ -1,0 +1,32 @@
+"""Multi-object extension (paper Section 8.1).
+
+Clients request several object types; a node may host replicas of several
+objects, its processing capacity being shared across all of them, and a
+request of type ``k`` can only be served by a node holding a replica of
+``k``.  The objective is the total storage cost of all replicas of all
+types.
+
+* :mod:`repro.multiobject.model` -- the problem and solution data model;
+* :mod:`repro.multiobject.heuristics` -- a sequential greedy that places
+  each object with the single-object machinery on the residual capacities;
+* :mod:`repro.multiobject.lp` -- the joint ILP / LP lower bound.
+"""
+
+from repro.multiobject.model import (
+    ObjectType,
+    MultiObjectProblem,
+    MultiObjectSolution,
+    validate_multi_object_solution,
+)
+from repro.multiobject.heuristics import sequential_greedy
+from repro.multiobject.lp import multi_object_lower_bound, multi_object_exact
+
+__all__ = [
+    "ObjectType",
+    "MultiObjectProblem",
+    "MultiObjectSolution",
+    "validate_multi_object_solution",
+    "sequential_greedy",
+    "multi_object_lower_bound",
+    "multi_object_exact",
+]

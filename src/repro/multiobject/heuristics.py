@@ -1,0 +1,116 @@
+"""Greedy heuristic for the multi-object problem.
+
+The paper notes (Section 8.1) that designing efficient heuristics for
+several object types is a challenging open problem; the natural baseline it
+suggests -- and the one implemented here -- is *sequential* placement:
+
+1. order the objects by decreasing total demand (placing the heavy objects
+   first gives them first pick of the capacity);
+2. for each object, build a single-object Replica Cost instance on the
+   *residual* capacities left by the previous objects and solve it with a
+   Multiple-policy heuristic (MultipleGreedy by default, since it never
+   fails on a feasible residual instance);
+3. accumulate the per-object placements and assignments.
+
+The sequential greedy is not optimal (capacity fragmentation across objects
+is ignored) but it is complete in the following weak sense: if it fails, the
+ordering heuristics failed, not necessarily the instance -- compare with the
+joint lower bound of :mod:`repro.multiobject.lp` to judge the gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.algorithms.base import get_heuristic
+from repro.core.exceptions import InfeasibleError
+from repro.core.problem import ProblemKind, ReplicaPlacementProblem
+from repro.core.tree import Client, InternalNode, NodeId, TreeNetwork
+from repro.multiobject.model import MultiObjectProblem, MultiObjectSolution
+
+__all__ = ["sequential_greedy"]
+
+
+def sequential_greedy(
+    problem: MultiObjectProblem,
+    *,
+    heuristic: str = "MG",
+    object_order: Optional[Tuple[str, ...]] = None,
+) -> MultiObjectSolution:
+    """Place objects one at a time on the residual capacities.
+
+    Parameters
+    ----------
+    heuristic:
+        Name of the single-object (Multiple-policy) heuristic used for each
+        object.
+    object_order:
+        Explicit placement order; defaults to decreasing total demand.
+
+    Raises
+    ------
+    InfeasibleError
+        When some object cannot be placed on the residual capacities.
+    """
+    tree = problem.tree
+    solver = get_heuristic(heuristic)
+
+    if object_order is None:
+        object_order = tuple(
+            sorted(problem.objects, key=lambda oid: -problem.object_total(oid))
+        )
+
+    residual: Dict[NodeId, float] = {
+        node.id: node.capacity for node in tree.nodes()
+    }
+    replicas = set()
+    amounts: Dict[Tuple[NodeId, str, NodeId], float] = {}
+
+    for object_id in object_order:
+        demand = {
+            client.id: problem.request(client.id, object_id) for client in tree.clients()
+        }
+        if sum(demand.values()) <= 0:
+            continue
+        sub_tree = _tree_with(tree, residual, demand, problem, object_id)
+        sub_problem = ReplicaPlacementProblem(tree=sub_tree, kind=ProblemKind.GENERAL)
+        try:
+            solution = solver.solve(sub_problem)
+        except InfeasibleError as error:
+            raise InfeasibleError(
+                f"object {object_id!r} cannot be placed on the residual capacities: {error}"
+            ) from error
+        for node_id in solution.placement:
+            replicas.add((node_id, object_id))
+        for (client_id, server_id), value in solution.assignment.items():
+            amounts[(client_id, object_id, server_id)] = value
+            residual[server_id] -= value
+
+    return MultiObjectSolution(
+        replicas=frozenset(replicas),
+        amounts=amounts,
+        algorithm=f"sequential-{heuristic}",
+    )
+
+
+def _tree_with(
+    tree: TreeNetwork,
+    residual: Dict[NodeId, float],
+    demand: Dict[NodeId, float],
+    problem: MultiObjectProblem,
+    object_id: str,
+) -> TreeNetwork:
+    """Single-object view of the instance: residual capacities, one demand."""
+    nodes = [
+        InternalNode(
+            id=node.id,
+            capacity=max(residual[node.id], 0.0),
+            storage_cost=problem.storage_cost(node.id, object_id),
+        )
+        for node in tree.nodes()
+    ]
+    clients = [
+        Client(id=client.id, requests=demand.get(client.id, 0.0), qos=client.qos)
+        for client in tree.clients()
+    ]
+    return TreeNetwork(nodes, clients, list(tree.links()))

@@ -1,0 +1,20 @@
+"""Extended objective functions (paper Section 8.2).
+
+Beyond the storage cost minimised throughout the paper, Section 8.2 sketches
+richer objectives:
+
+* the **read cost** -- communication cost of routing every request from its
+  client to its server (:mod:`repro.objectives.read_cost`);
+* the **write cost** -- cost of propagating an update to every replica over
+  the minimal subtree connecting them (:mod:`repro.objectives.write_cost`,
+  :mod:`repro.objectives.spanning_tree`);
+* a **linear combination** ``alpha * storage + beta * read + gamma * write``
+  (:mod:`repro.objectives.combined`).
+"""
+
+from repro.objectives.read_cost import read_cost
+from repro.objectives.write_cost import write_cost
+from repro.objectives.spanning_tree import replica_spanning_links
+from repro.objectives.combined import CombinedObjective
+
+__all__ = ["read_cost", "write_cost", "replica_spanning_links", "CombinedObjective"]

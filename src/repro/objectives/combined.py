@@ -1,0 +1,87 @@
+"""Linear combination of storage, read and write costs (paper Section 8.2).
+
+The paper's general objective is
+
+.. math::  \\alpha \\sum_{servers} replica\\ cost
+          + \\beta  \\sum_{requests} read\\ cost
+          + \\gamma \\sum_{updates} write\\ cost
+
+:class:`CombinedObjective` evaluates that combination for any solution and
+can rank the solutions produced by different heuristics or policies -- the
+examples use it to show how increasing ``beta`` (read weight) pushes the
+preferred policy from Multiple/Upwards back towards Closest, and how a
+positive ``gamma`` (update weight) penalises plentiful replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Solution
+from repro.objectives.read_cost import read_cost
+from repro.objectives.write_cost import write_cost
+
+__all__ = ["CombinedObjective"]
+
+
+@dataclass(frozen=True)
+class CombinedObjective:
+    """Weighted sum of storage, read and write costs.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the replica (storage) cost.
+    beta:
+        Weight of the read (communication) cost.
+    gamma:
+        Weight of the write (update propagation) cost.
+    updates_per_time_unit:
+        Update rate used to scale the write cost.
+    """
+
+    alpha: float = 1.0
+    beta: float = 0.0
+    gamma: float = 0.0
+    updates_per_time_unit: float = 1.0
+
+    def components(
+        self, problem: ReplicaPlacementProblem, solution: Solution
+    ) -> Dict[str, float]:
+        """The three cost components of a solution, unweighted."""
+        return {
+            "storage": solution.cost(problem),
+            "read": read_cost(problem.tree, solution),
+            "write": write_cost(
+                problem.tree,
+                solution.placement,
+                updates_per_time_unit=self.updates_per_time_unit,
+            ),
+        }
+
+    def value(self, problem: ReplicaPlacementProblem, solution: Solution) -> float:
+        """The weighted objective value of a solution."""
+        parts = self.components(problem, solution)
+        return (
+            self.alpha * parts["storage"]
+            + self.beta * parts["read"]
+            + self.gamma * parts["write"]
+        )
+
+    def rank(
+        self,
+        problem: ReplicaPlacementProblem,
+        solutions: Iterable[Tuple[str, Optional[Solution]]],
+    ) -> Tuple[Tuple[str, float], ...]:
+        """Rank labelled solutions by increasing combined objective.
+
+        Entries whose solution is ``None`` (failed heuristics) are skipped.
+        """
+        scored = [
+            (label, self.value(problem, solution))
+            for label, solution in solutions
+            if solution is not None
+        ]
+        return tuple(sorted(scored, key=lambda item: item[1]))

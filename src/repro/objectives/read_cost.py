@@ -1,0 +1,26 @@
+"""Read (communication) cost of a solution.
+
+Every request travels from its client to the server processing it; the read
+cost charges the communication time of each traversed link once per request
+(paper Section 8.2, "Communication cost").  Minimising it favours placements
+close to the clients -- the opposite pull from the storage cost, which
+favours few, high, well-filled replicas.
+"""
+
+from __future__ import annotations
+
+from repro.core.solution import Solution
+from repro.core.tree import TreeNetwork
+
+__all__ = ["read_cost"]
+
+
+def read_cost(tree: TreeNetwork, solution: Solution) -> float:
+    """Total communication cost of serving every assigned request.
+
+    ``sum over (client, server) assignments of amount * latency(client, server)``.
+    """
+    total = 0.0
+    for (client_id, server_id), amount in solution.assignment.items():
+        total += amount * tree.latency(client_id, server_id)
+    return total

@@ -1,0 +1,55 @@
+"""Minimal subtree connecting the replicas (update-propagation structure).
+
+Updates are propagated from the modified replica to every other replica
+(paper Section 8.2, following Wolfson & Milo); inside a tree network, the
+cheapest structure connecting a set of nodes is the Steiner subtree induced
+by them -- the union of the tree paths between every replica and their
+lowest common ancestor.  :func:`replica_spanning_links` returns exactly the
+links of that subtree; its total communication time is the per-update
+propagation cost used by :mod:`repro.objectives.write_cost`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.core.tree import Link, NodeId, TreeNetwork
+
+__all__ = ["replica_spanning_links", "lowest_common_ancestor"]
+
+
+def lowest_common_ancestor(tree: TreeNetwork, nodes: Iterable[NodeId]) -> NodeId:
+    """Lowest common ancestor of a non-empty set of tree elements."""
+    nodes = list(nodes)
+    if not nodes:
+        raise ValueError("lowest_common_ancestor requires at least one node")
+    # The chain of each node, from itself up to the root.
+    chains = [
+        [node] + list(tree.ancestors(node))
+        for node in nodes
+    ]
+    candidate_sets = [set(chain) for chain in chains]
+    common = set.intersection(*candidate_sets)
+    # The LCA is the common ancestor of maximal depth.
+    return max(common, key=tree.depth)
+
+
+def replica_spanning_links(tree: TreeNetwork, replicas: Iterable[NodeId]) -> Tuple[Link, ...]:
+    """Links of the minimal subtree connecting the given replica nodes.
+
+    An empty or singleton replica set induces no link.
+    """
+    replicas = [r for r in replicas]
+    if len(replicas) <= 1:
+        return ()
+    lca = lowest_common_ancestor(tree, replicas)
+    links: List[Link] = []
+    seen: Set[Tuple[NodeId, NodeId]] = set()
+    for replica in replicas:
+        if replica == lca:
+            continue
+        for link in tree.path_links(replica, lca):
+            if link.key not in seen:
+                seen.add(link.key)
+                links.append(link)
+    return tuple(links)

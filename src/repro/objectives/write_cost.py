@@ -1,0 +1,39 @@
+"""Write (update) cost of a placement.
+
+When a client writes the object, the modification must reach every replica
+to keep them consistent; the propagation travels over the minimal subtree
+connecting the replicas (see :mod:`repro.objectives.spanning_tree`).  The
+write cost charges the total communication time of that subtree once per
+update (paper Section 8.2, "Update cost").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.solution import Placement
+from repro.core.tree import NodeId, TreeNetwork
+from repro.objectives.spanning_tree import replica_spanning_links
+
+__all__ = ["write_cost"]
+
+
+def write_cost(
+    tree: TreeNetwork,
+    placement: Iterable[NodeId],
+    *,
+    updates_per_time_unit: float = 1.0,
+) -> float:
+    """Update-propagation cost of a placement.
+
+    ``updates_per_time_unit`` scales the per-update spanning-subtree cost to
+    a rate, so the value is commensurable with the (per-time-unit) read
+    cost.
+    """
+    if isinstance(placement, Placement):
+        replicas = list(placement.replicas)
+    else:
+        replicas = list(placement)
+    links = replica_spanning_links(tree, replicas)
+    per_update = sum(link.comm_time for link in links)
+    return updates_per_time_unit * per_update

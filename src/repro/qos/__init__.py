@@ -1,0 +1,24 @@
+"""QoS extension: distance- and latency-based service bounds.
+
+The core problem model (:mod:`repro.core.constraints`) already enforces QoS
+when a :class:`~repro.core.constraints.ConstraintSet` requests it; this
+package adds the analysis helpers used by the QoS-aware experiments:
+
+* :mod:`repro.qos.analysis` -- per-client QoS reachability (which ancestors
+  are in range, the tightest feasible bound), tree-level QoS feasibility
+  pre-checks and solution-level QoS statistics.
+"""
+
+from repro.qos.analysis import (
+    reachable_servers,
+    tightest_feasible_qos,
+    qos_feasibility_report,
+    qos_statistics,
+)
+
+__all__ = [
+    "reachable_servers",
+    "tightest_feasible_qos",
+    "qos_feasibility_report",
+    "qos_statistics",
+]

@@ -1,0 +1,8 @@
+"""Deterministic request-flow simulation over a solved placement."""
+
+from repro.simulation.request_flow import (
+    FlowSimulation,
+    simulate_solution,
+)
+
+__all__ = ["FlowSimulation", "simulate_solution"]

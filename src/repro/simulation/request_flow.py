@@ -1,0 +1,126 @@
+"""Routing the request streams of a solution through the tree.
+
+Once a placement and an assignment are fixed, the behaviour of the
+distribution tree at steady state is fully determined: every client's
+requests travel up the tree to their server(s), loading each traversed link
+and each serving replica.  :func:`simulate_solution` computes that steady
+state and summarises it:
+
+* per-server load and utilisation;
+* per-link flow, bandwidth utilisation and the set of saturated links;
+* per-client service latency (average over its requests when they are split
+  among several servers under the Multiple policy);
+* aggregate statistics (mean/maximum latency, total network traffic).
+
+The examples use it to contrast the three access policies on the same tree:
+Closest keeps latency low but needs more replicas; Multiple uses fewer
+replicas but ships requests farther.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.solution import Solution
+from repro.core.tree import NodeId, TreeNetwork
+
+__all__ = ["FlowSimulation", "simulate_solution"]
+
+LinkKey = Tuple[NodeId, NodeId]
+
+
+@dataclass
+class FlowSimulation:
+    """Steady-state view of a solution running on its tree."""
+
+    server_load: Dict[NodeId, float]
+    server_utilisation: Dict[NodeId, float]
+    link_flow: Dict[LinkKey, float]
+    link_utilisation: Dict[LinkKey, float]
+    client_latency: Dict[NodeId, float]
+    total_traffic: float
+    mean_latency: float
+    max_latency: float
+    saturated_links: List[LinkKey] = field(default_factory=list)
+
+    def hottest_server(self) -> Tuple[NodeId, float]:
+        """The most utilised replica and its utilisation."""
+        if not self.server_utilisation:
+            return (None, 0.0)
+        node = max(self.server_utilisation, key=lambda nid: self.server_utilisation[nid])
+        return node, self.server_utilisation[node]
+
+    def summary(self) -> str:
+        """Short human-readable report used by the examples."""
+        node, utilisation = self.hottest_server()
+        return (
+            f"{len(self.server_load)} active replicas, "
+            f"mean latency {self.mean_latency:.2f}, max latency {self.max_latency:.2f}, "
+            f"total traffic {self.total_traffic:g} request-hops, "
+            f"hottest server {node!r} at {utilisation:.0%}"
+        )
+
+
+def simulate_solution(
+    problem: ReplicaPlacementProblem,
+    solution: Solution,
+    *,
+    saturation_threshold: float = 0.999,
+) -> FlowSimulation:
+    """Compute the steady-state flows induced by ``solution`` on the tree."""
+    tree = problem.tree
+
+    server_load = solution.assignment.server_loads()
+    server_utilisation = {
+        node_id: (load / problem.capacity(node_id) if problem.capacity(node_id) > 0 else math.inf)
+        for node_id, load in server_load.items()
+    }
+
+    link_flow = solution.assignment.link_flows(tree)
+    link_utilisation: Dict[LinkKey, float] = {}
+    saturated: List[LinkKey] = []
+    for link in tree.links():
+        flow = link_flow.get(link.key, 0.0)
+        if math.isfinite(link.bandwidth) and link.bandwidth > 0:
+            ratio = flow / link.bandwidth
+            link_utilisation[link.key] = ratio
+            if ratio >= saturation_threshold:
+                saturated.append(link.key)
+        else:
+            link_utilisation[link.key] = 0.0
+
+    client_latency: Dict[NodeId, float] = {}
+    total_latency_weighted = 0.0
+    total_requests = 0.0
+    max_latency = 0.0
+    total_traffic = 0.0
+    per_client_weighted: Dict[NodeId, float] = {}
+    per_client_requests: Dict[NodeId, float] = {}
+    for (client_id, server_id), amount in solution.assignment.items():
+        latency = tree.latency(client_id, server_id)
+        hops = tree.distance(client_id, server_id)
+        per_client_weighted[client_id] = per_client_weighted.get(client_id, 0.0) + latency * amount
+        per_client_requests[client_id] = per_client_requests.get(client_id, 0.0) + amount
+        total_latency_weighted += latency * amount
+        total_requests += amount
+        total_traffic += hops * amount
+        max_latency = max(max_latency, latency)
+    for client_id, weighted in per_client_weighted.items():
+        requests = per_client_requests[client_id]
+        client_latency[client_id] = weighted / requests if requests > 0 else 0.0
+
+    mean_latency = total_latency_weighted / total_requests if total_requests > 0 else 0.0
+    return FlowSimulation(
+        server_load=server_load,
+        server_utilisation=server_utilisation,
+        link_flow=link_flow,
+        link_utilisation=link_utilisation,
+        client_latency=client_latency,
+        total_traffic=total_traffic,
+        mean_latency=mean_latency,
+        max_latency=max_latency,
+        saturated_links=saturated,
+    )

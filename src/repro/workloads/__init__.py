@@ -1,0 +1,37 @@
+"""Workload generation: random trees, request distributions, reference trees.
+
+* :mod:`repro.workloads.generator` -- the seeded random tree generator used
+  by the experiment campaigns (paper Section 7.2: random trees of size
+  ``15 <= s <= 400`` with a target load ``lambda``);
+* :mod:`repro.workloads.distributions` -- request/capacity distributions
+  used to populate generated trees;
+* :mod:`repro.workloads.reference_trees` -- the hand-built trees of the
+  paper's motivating examples and NP-completeness reductions (Figures 1-5,
+  7 and 8).
+"""
+
+from repro.workloads.generator import (
+    GeneratorConfig,
+    TreeGenerator,
+    generate_tree,
+    generate_campaign,
+)
+from repro.workloads.distributions import (
+    uniform_requests,
+    uniform_capacities,
+    heterogeneous_capacities,
+    zipf_requests,
+)
+from repro.workloads import reference_trees
+
+__all__ = [
+    "GeneratorConfig",
+    "TreeGenerator",
+    "generate_tree",
+    "generate_campaign",
+    "uniform_requests",
+    "uniform_capacities",
+    "heterogeneous_capacities",
+    "zipf_requests",
+    "reference_trees",
+]

@@ -1,0 +1,77 @@
+"""Request and capacity distributions used by the tree generator.
+
+The paper's experiments (Section 7.2) only specify the tree sizes and the
+load sweep; the concrete distributions below are the natural choices and
+are kept pluggable so that campaigns can vary them (one of the follow-up
+directions mentioned in the paper's conclusion is precisely to vary "the
+distribution law of the requests and the degree of heterogeneity of the
+platforms").
+
+All helpers take a :class:`numpy.random.Generator` so campaigns are fully
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "uniform_requests",
+    "zipf_requests",
+    "uniform_capacities",
+    "heterogeneous_capacities",
+]
+
+
+def uniform_requests(
+    rng: np.random.Generator, count: int, *, low: int = 1, high: int = 100
+) -> np.ndarray:
+    """Integer request rates drawn uniformly from ``[low, high]``."""
+    if count <= 0:
+        return np.zeros(0, dtype=int)
+    return rng.integers(low, high + 1, size=count)
+
+
+def zipf_requests(
+    rng: np.random.Generator,
+    count: int,
+    *,
+    exponent: float = 1.5,
+    scale: int = 10,
+    cap: int = 10_000,
+) -> np.ndarray:
+    """Heavy-tailed request rates (a few very demanding clients).
+
+    Used by the ablation experiments to stress the heuristics that reason on
+    whole clients (UTD, UBCF): a handful of clients concentrate most of the
+    load.
+    """
+    if count <= 0:
+        return np.zeros(0, dtype=int)
+    raw = rng.zipf(exponent, size=count) * scale
+    return np.minimum(raw, cap)
+
+
+def uniform_capacities(
+    rng: np.random.Generator, count: int, *, capacity: float = 100.0
+) -> np.ndarray:
+    """Identical capacities (homogeneous platforms)."""
+    return np.full(count, float(capacity))
+
+
+def heterogeneous_capacities(
+    rng: np.random.Generator,
+    count: int,
+    *,
+    choices: Sequence[float] = (50.0, 100.0, 200.0, 400.0),
+) -> np.ndarray:
+    """Capacities drawn uniformly from a small set of server classes.
+
+    Mimics a platform mixing a few machine generations, the usual source of
+    heterogeneity in the paper's target applications (VOD / ISP trees).
+    """
+    if count <= 0:
+        return np.zeros(0)
+    return rng.choice(np.asarray(choices, dtype=float), size=count)

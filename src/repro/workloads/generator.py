@@ -1,0 +1,312 @@
+"""Random tree generator for the experiment campaigns.
+
+Paper Section 7.2 evaluates the heuristics on randomly generated trees with
+
+* problem size ``15 <= s <= 400`` (``s = |C| + |N|``),
+* a target load ``lambda = sum_i r_i / sum_j W_j`` swept from 0.1 to 0.9,
+* homogeneous or heterogeneous node capacities.
+
+The authors' generator is not published; :class:`TreeGenerator` reproduces
+those structural knobs with a seeded :class:`numpy.random.Generator`:
+
+1. a random recursive tree is drawn over the internal nodes (every new node
+   attaches to a uniformly-chosen existing node, subject to a branching
+   limit);
+2. every client leaf attaches to a uniformly-chosen internal node;
+3. capacities are homogeneous (a single server class) or drawn from a small
+   set of server classes;
+4. request rates are drawn from a pluggable distribution and then rescaled
+   (largest-remainder rounding) so the realised load matches the requested
+   ``lambda`` exactly up to integer rounding.
+
+Because results in the paper are reported as per-``lambda`` aggregates over
+30 random trees, matching the distribution parameters is what matters for
+reproducing the figures, not matching the authors' exact instances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tree import Client, InternalNode, Link, TreeNetwork
+from repro.workloads.distributions import (
+    heterogeneous_capacities,
+    uniform_capacities,
+    uniform_requests,
+)
+
+__all__ = ["GeneratorConfig", "TreeGenerator", "generate_tree", "generate_campaign"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of a random tree draw.
+
+    Parameters
+    ----------
+    size:
+        Target problem size ``s = |C| + |N|``.
+    target_load:
+        Desired load factor ``lambda``.
+    homogeneous:
+        Single server class (``True``) or mixed classes (``False``).
+    base_capacity:
+        Capacity of the single class on homogeneous platforms.
+    capacity_choices:
+        Server classes drawn from on heterogeneous platforms.
+    client_fraction:
+        Fraction of the ``size`` elements that are clients.
+    max_children:
+        Maximum number of *internal* children per internal node (clients do
+        not count against the limit).
+    client_attachment:
+        ``"spread"`` (default) attaches clients to the internal nodes without
+        internal children, balancing the number of clients per node -- the
+        natural shape of a distribution tree whose end users are spread over
+        the edge servers; ``"leaves"`` picks a random edge node per client;
+        ``"uniform"`` lets any internal node (including the root) have client
+        children, which produces markedly harder instances for the top-down
+        heuristics.
+    request_low, request_high:
+        Range of the raw per-client request draw before rescaling to the
+        target load.
+    qos_hops:
+        When set, every client receives a hop-count QoS bound drawn
+        uniformly from this inclusive range (used by the QoS extension
+        experiments); ``None`` leaves QoS unbounded.
+    link_comm_time:
+        Communication time attached to every link.
+    """
+
+    size: int = 50
+    target_load: float = 0.5
+    homogeneous: bool = True
+    base_capacity: float = 100.0
+    capacity_choices: Sequence[float] = (50.0, 100.0, 200.0, 400.0)
+    client_fraction: float = 0.7
+    max_children: int = 3
+    client_attachment: str = "spread"
+    request_low: int = 1
+    request_high: int = 20
+    qos_hops: Optional[Tuple[int, int]] = None
+    link_comm_time: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size < 3:
+            raise ValueError("a meaningful instance needs at least 3 elements")
+        if not 0.0 < self.target_load:
+            raise ValueError("target_load must be positive")
+        if not 0.0 < self.client_fraction < 1.0:
+            raise ValueError("client_fraction must lie strictly between 0 and 1")
+        if self.max_children < 1:
+            raise ValueError("max_children must be at least 1")
+        if self.client_attachment not in ("spread", "leaves", "uniform"):
+            raise ValueError(
+                "client_attachment must be 'spread' (balanced over the deepest "
+                "internal nodes), 'leaves' (random over the deepest internal "
+                "nodes) or 'uniform' (any internal node)"
+            )
+        if not 1 <= self.request_low <= self.request_high:
+            raise ValueError("request_low/request_high must satisfy 1 <= low <= high")
+
+
+class TreeGenerator:
+    """Seeded random generator of :class:`~repro.core.tree.TreeNetwork` instances."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def generate(
+        self,
+        config: GeneratorConfig,
+        *,
+        request_sampler: Optional[Callable[[np.random.Generator, int], np.ndarray]] = None,
+    ) -> TreeNetwork:
+        """Draw one random tree matching ``config``."""
+        rng = self.rng
+        n_clients = max(1, int(round(config.size * config.client_fraction)))
+        n_nodes = max(2, config.size - n_clients)
+        n_clients = max(1, config.size - n_nodes)
+
+        # --- topology over internal nodes (random recursive tree) -------- #
+        node_names = [f"n{i}" for i in range(n_nodes)]
+        parent_of: Dict[str, Optional[str]] = {node_names[0]: None}
+        child_count = {name: 0 for name in node_names}
+        for index in range(1, n_nodes):
+            candidates = [
+                name
+                for name in node_names[:index]
+                if child_count[name] < config.max_children
+            ]
+            if not candidates:
+                candidates = node_names[:index]
+            parent = candidates[int(rng.integers(len(candidates)))]
+            parent_of[node_names[index]] = parent
+            child_count[parent] += 1
+
+        # --- attach clients ---------------------------------------------- #
+        # "leaves" attaches clients below the internal nodes that have no
+        # internal children (the natural shape of a distribution tree, where
+        # end users hang off the edge of the hierarchy); "uniform" allows any
+        # internal node, including the root, to have client children.
+        client_names = [f"c{i}" for i in range(n_clients)]
+        if config.client_attachment in ("leaves", "spread"):
+            attachment_pool = [
+                name for name in node_names if child_count[name] == 0
+            ] or node_names
+        else:
+            attachment_pool = node_names
+        client_parent: Dict[str, str] = {}
+        if config.client_attachment == "spread":
+            # Balance the number of clients per edge node: every client goes
+            # to one of the currently least-loaded pool nodes.
+            load = {name: 0 for name in attachment_pool}
+            for name in client_names:
+                smallest = min(load.values())
+                lightest = [n for n in attachment_pool if load[n] == smallest]
+                chosen = lightest[int(rng.integers(len(lightest)))]
+                client_parent[name] = chosen
+                load[chosen] += 1
+        else:
+            for name in client_names:
+                client_parent[name] = attachment_pool[int(rng.integers(len(attachment_pool)))]
+
+        # --- capacities --------------------------------------------------- #
+        if config.homogeneous:
+            capacities = uniform_capacities(rng, n_nodes, capacity=config.base_capacity)
+        else:
+            capacities = heterogeneous_capacities(
+                rng, n_nodes, choices=config.capacity_choices
+            )
+        total_capacity = float(np.sum(capacities))
+
+        # --- requests scaled to the target load --------------------------- #
+        if request_sampler is not None:
+            sampler = request_sampler
+        else:
+            def sampler(generator, count):
+                return uniform_requests(
+                    generator, count, low=config.request_low, high=config.request_high
+                )
+        raw = np.asarray(sampler(rng, n_clients), dtype=float)
+        if np.sum(raw) <= 0:
+            raw = np.ones(n_clients)
+        requests = _scale_to_total(raw, config.target_load * total_capacity)
+
+        # --- QoS bounds ---------------------------------------------------- #
+        qos_bounds: Dict[str, float] = {}
+        if config.qos_hops is not None:
+            low, high = config.qos_hops
+            for name in client_names:
+                qos_bounds[name] = float(rng.integers(low, high + 1))
+
+        # --- assemble ------------------------------------------------------ #
+        nodes = [
+            InternalNode(id=name, capacity=float(capacity))
+            for name, capacity in zip(node_names, capacities)
+        ]
+        clients = [
+            Client(
+                id=name,
+                requests=float(requests[i]),
+                qos=qos_bounds.get(name, math.inf),
+            )
+            for i, name in enumerate(client_names)
+        ]
+        links = [
+            Link(child=name, parent=parent, comm_time=config.link_comm_time)
+            for name, parent in parent_of.items()
+            if parent is not None
+        ]
+        links.extend(
+            Link(child=name, parent=client_parent[name], comm_time=config.link_comm_time)
+            for name in client_names
+        )
+        return TreeNetwork(nodes, clients, links)
+
+    # ------------------------------------------------------------------ #
+    def generate_many(
+        self, config: GeneratorConfig, count: int, **kwargs
+    ) -> List[TreeNetwork]:
+        """Draw ``count`` independent trees with the same configuration."""
+        return [self.generate(config, **kwargs) for _ in range(count)]
+
+
+def _scale_to_total(raw: np.ndarray, target_total: float) -> np.ndarray:
+    """Rescale ``raw`` to integers summing to ``round(target_total)``.
+
+    Largest-remainder rounding keeps the realised load as close as possible
+    to the requested ``lambda`` while producing integer request counts (the
+    paper's requests are integral).  Every client keeps at least one request
+    whenever the target allows it.
+    """
+    target = int(round(target_total))
+    if target <= 0:
+        return np.zeros_like(raw)
+    scaled = raw / raw.sum() * target
+    floors = np.floor(scaled).astype(int)
+    remainder = target - int(floors.sum())
+    if remainder > 0:
+        order = np.argsort(-(scaled - floors))
+        floors[order[:remainder]] += 1
+    # Avoid zero-request clients when possible: shift one request from the
+    # largest client to each empty one.
+    for index in np.where(floors == 0)[0]:
+        donor = int(np.argmax(floors))
+        if floors[donor] > 1:
+            floors[donor] -= 1
+            floors[index] += 1
+    return floors.astype(float)
+
+
+def generate_tree(
+    *,
+    size: int = 50,
+    target_load: float = 0.5,
+    homogeneous: bool = True,
+    seed: Optional[int] = None,
+    **config_kwargs,
+) -> TreeNetwork:
+    """One-shot convenience wrapper around :class:`TreeGenerator`."""
+    config = GeneratorConfig(
+        size=size, target_load=target_load, homogeneous=homogeneous, **config_kwargs
+    )
+    return TreeGenerator(seed).generate(config)
+
+
+def generate_campaign(
+    *,
+    lambdas: Iterable[float] = tuple(round(0.1 * k, 1) for k in range(1, 10)),
+    trees_per_lambda: int = 30,
+    size_range: Tuple[int, int] = (15, 400),
+    homogeneous: bool = True,
+    seed: Optional[int] = 2007,
+    **config_kwargs,
+) -> List[Tuple[float, TreeNetwork]]:
+    """Generate the full experimental campaign of paper Section 7.2.
+
+    Returns a list of ``(lambda, tree)`` pairs: ``trees_per_lambda`` random
+    trees for every load value, with sizes drawn uniformly from
+    ``size_range``.  The default parameters match the paper (9 load values,
+    30 trees each, sizes 15-400); benchmarks use smaller values to stay
+    laptop-friendly and expose these knobs.
+    """
+    generator = TreeGenerator(seed)
+    low, high = size_range
+    campaign: List[Tuple[float, TreeNetwork]] = []
+    for load in lambdas:
+        for _ in range(trees_per_lambda):
+            size = int(generator.rng.integers(low, high + 1))
+            config = GeneratorConfig(
+                size=size,
+                target_load=float(load),
+                homogeneous=homogeneous,
+                **config_kwargs,
+            )
+            campaign.append((float(load), generator.generate(config)))
+    return campaign

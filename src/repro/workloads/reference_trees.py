@@ -1,0 +1,199 @@
+"""The hand-built trees used by the paper's examples and reductions.
+
+These parametric families back the motivating examples of Section 3 and the
+NP-completeness reductions of Section 4; the test-suite and the
+``section3`` benchmark verify that the package reproduces every claim the
+paper makes about them:
+
+* :func:`figure1_tree` -- the three tiny instances showing that Upwards
+  solves instances Closest cannot, and Multiple instances Upwards cannot;
+* :func:`figure2_tree` -- Upwards needs 3 replicas where Closest needs
+  ``n + 2`` (Upwards arbitrarily better than Closest);
+* :func:`figure3_tree` -- Multiple needs ``n + 1`` replicas where Upwards
+  needs ``2n`` (factor 2 in the homogeneous case);
+* :func:`figure4_tree` -- heterogeneous platform where Multiple costs ``2n``
+  and Upwards ``(K + 1) n`` (unbounded gap);
+* :func:`figure5_tree` -- the optimal cost is ``n + 1`` replicas while the
+  ``ceil(sum r / W)`` lower bound is 2 (the bound cannot be approximated);
+* :func:`three_partition_tree` -- the platform of the Theorem 2 reduction
+  (Upwards/homogeneous NP-complete, from 3-PARTITION);
+* :func:`two_partition_tree` -- the platform of the Theorem 3 reduction
+  (heterogeneous policies NP-complete, from 2-PARTITION).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.builder import TreeBuilder
+from repro.core.tree import TreeNetwork
+
+__all__ = [
+    "figure1_tree",
+    "figure2_tree",
+    "figure3_tree",
+    "figure4_tree",
+    "figure5_tree",
+    "three_partition_tree",
+    "two_partition_tree",
+]
+
+
+def figure1_tree(variant: str) -> TreeNetwork:
+    """Paper Figure 1: two stacked nodes of capacity 1.
+
+    Variants (paper Section 3.1):
+
+    * ``"a"`` -- one client issuing 1 request: all three policies succeed;
+    * ``"b"`` -- two clients issuing 1 request each: Closest fails, Upwards
+      and Multiple succeed;
+    * ``"c"`` -- one client issuing 2 requests: only Multiple succeeds.
+    """
+    builder = (
+        TreeBuilder()
+        .add_node("s2", capacity=1)
+        .add_node("s1", capacity=1, parent="s2")
+    )
+    if variant == "a":
+        builder.add_client("c1", requests=1, parent="s1")
+    elif variant == "b":
+        builder.add_client("c1", requests=1, parent="s1")
+        builder.add_client("c2", requests=1, parent="s1")
+    elif variant == "c":
+        builder.add_client("c1", requests=2, parent="s1")
+    else:
+        raise ValueError(f"unknown Figure 1 variant {variant!r}; expected 'a', 'b' or 'c'")
+    return builder.build()
+
+
+def figure2_tree(n: int) -> TreeNetwork:
+    """Paper Figure 2: Upwards arbitrarily better than Closest.
+
+    ``2n + 2`` internal nodes of capacity ``n``; ``2n`` unit-request clients
+    hang one level below ``s_{2n+1}`` (one per bottom node ``s_1..s_{2n}``)
+    and one more unit-request client is attached to the root ``s_{2n+2}``.
+    Upwards needs 3 replicas; Closest needs ``n + 2``.
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    builder = (
+        TreeBuilder()
+        .add_node("root", capacity=n)
+        .add_node("mid", capacity=n, parent="root")
+        .add_client("c_root", requests=1, parent="root")
+    )
+    for index in range(2 * n):
+        builder.add_node(f"s{index}", capacity=n, parent="mid")
+        builder.add_client(f"c{index}", requests=1, parent=f"s{index}")
+    return builder.build()
+
+
+def figure3_tree(n: int) -> TreeNetwork:
+    """Paper Figure 3: Multiple twice better than Upwards (homogeneous).
+
+    ``3n + 1`` nodes of capacity ``2n``.  The root has ``n`` internal
+    children ``s_j`` plus one client issuing ``n`` requests; each ``s_j`` has
+    two internal children ``v_j`` (client child with ``n`` requests) and
+    ``w_j`` (client child with ``n + 1`` requests).  Multiple needs ``n + 1``
+    replicas, Upwards needs ``2n``.
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    capacity = 2 * n
+    builder = TreeBuilder().add_node("root", capacity=capacity)
+    builder.add_client("c_root", requests=n, parent="root")
+    for j in range(1, n + 1):
+        builder.add_node(f"s{j}", capacity=capacity, parent="root")
+        builder.add_node(f"v{j}", capacity=capacity, parent=f"s{j}")
+        builder.add_node(f"w{j}", capacity=capacity, parent=f"s{j}")
+        builder.add_client(f"cv{j}", requests=n, parent=f"v{j}")
+        builder.add_client(f"cw{j}", requests=n + 1, parent=f"w{j}")
+    return builder.build()
+
+
+def figure4_tree(n: int, big_factor: float) -> TreeNetwork:
+    """Paper Figure 4: Multiple arbitrarily better than Upwards (heterogeneous).
+
+    A chain ``s3 (root, W = K n) <- s2 (W = n) <- s1 (W = n)`` with two
+    clients attached to ``s1``: one issuing ``n + 1`` requests and one
+    issuing ``n - 1``.  Multiple pays ``2n`` (replicas on ``s1`` and ``s2``,
+    splitting the big client between them); Upwards has to buy the big
+    server for the ``n + 1`` client -- its optimal cost is ``K n`` (the
+    paper quotes ``(K + 1) n`` for the placement that also keeps a replica
+    on ``s1``) -- so the Upwards/Multiple cost ratio grows like ``K / 2``,
+    unbounded in ``K``.
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2 so that the small client has n - 1 >= 1 requests")
+    if big_factor <= 1:
+        raise ValueError("big_factor (K) must exceed 1")
+    return (
+        TreeBuilder()
+        .add_node("s3", capacity=big_factor * n)
+        .add_node("s2", capacity=n, parent="s3")
+        .add_node("s1", capacity=n, parent="s2")
+        .add_client("c_big", requests=n + 1, parent="s1")
+        .add_client("c_small", requests=n - 1, parent="s1")
+        .build()
+    )
+
+
+def figure5_tree(n: int, capacity: float) -> TreeNetwork:
+    """Paper Figure 5: the ``ceil(sum r / W)`` bound cannot be approximated.
+
+    The root (capacity ``W``) has one client issuing ``W`` requests and ``n``
+    internal children ``s_j``, each with a single client issuing ``W / n``
+    requests.  Every policy needs ``n + 1`` replicas although the lower
+    bound is 2.  ``capacity`` must be divisible by ``n`` (paper assumption).
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    share = capacity / n
+    builder = TreeBuilder().add_node("root", capacity=capacity)
+    builder.add_client("c_root", requests=capacity, parent="root")
+    for j in range(1, n + 1):
+        builder.add_node(f"s{j}", capacity=capacity, parent="root")
+        builder.add_client(f"c{j}", requests=share, parent=f"s{j}")
+    return builder.build()
+
+
+def three_partition_tree(values: Sequence[float], bound: float) -> TreeNetwork:
+    """Paper Figure 7: the 3-PARTITION reduction platform of Theorem 2.
+
+    ``values`` are the ``3m`` integers ``a_i`` (each strictly between
+    ``bound / 4`` and ``bound / 2`` in a genuine 3-PARTITION instance);
+    ``bound`` is ``B``.  The tree is a chain of ``m`` nodes of capacity
+    ``B`` (``n_m`` is the root) whose lowest node ``n_1`` has the ``3m``
+    clients as children.  The Upwards instance with total cost ``m B`` has a
+    solution iff the 3-PARTITION instance does.
+    """
+    if len(values) % 3 != 0 or not values:
+        raise ValueError("3-PARTITION requires a non-empty multiple of 3 values")
+    m = len(values) // 3
+    builder = TreeBuilder().add_node(f"n{m}", capacity=bound)
+    for level in range(m - 1, 0, -1):
+        builder.add_node(f"n{level}", capacity=bound, parent=f"n{level + 1}")
+    for index, value in enumerate(values, start=1):
+        builder.add_client(f"c{index}", requests=value, parent="n1")
+    return builder.build()
+
+
+def two_partition_tree(values: Sequence[float]) -> TreeNetwork:
+    """Paper Figure 8: the 2-PARTITION reduction platform of Theorem 3.
+
+    ``values`` are the ``m`` integers ``a_i`` with sum ``S``.  The root has
+    capacity ``S / 2 + 1`` and one unit-request client; below it, one node
+    ``n_j`` of capacity ``a_j`` per value, each with a single client issuing
+    ``a_j`` requests.  A solution of total storage cost ``S + 1`` exists
+    (for Closest and Multiple alike) iff the values can be split into two
+    halves of equal sum.
+    """
+    if not values:
+        raise ValueError("2-PARTITION requires at least one value")
+    total = float(sum(values))
+    builder = TreeBuilder().add_node("root", capacity=total / 2 + 1)
+    builder.add_client("c_extra", requests=1, parent="root")
+    for index, value in enumerate(values, start=1):
+        builder.add_node(f"n{index}", capacity=value, parent="root")
+        builder.add_client(f"c{index}", requests=value, parent=f"n{index}")
+    return builder.build()

@@ -1,0 +1,154 @@
+"""Tests of the high-level API and the command-line interface."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Policy, compare_policies, lower_bound, solve
+from repro.api import as_problem
+from repro.cli import main
+from repro.core.constraints import ConstraintSet
+from repro.core.exceptions import InfeasibleError
+from repro.core.problem import ProblemKind, ReplicaPlacementProblem
+from repro.core.serialization import save_tree
+from repro.workloads import generate_tree, reference_trees
+from tests.conftest import assert_valid
+
+
+class TestAsProblem:
+    def test_wraps_tree_with_defaults(self, small_tree):
+        problem = as_problem(small_tree)
+        assert isinstance(problem, ReplicaPlacementProblem)
+        assert problem.kind is ProblemKind.REPLICA_COST
+
+    def test_overrides_on_existing_problem(self, small_problem):
+        updated = as_problem(
+            small_problem,
+            constraints=ConstraintSet.qos_distance(),
+            kind=ProblemKind.REPLICA_COUNTING,
+        )
+        assert updated.constraints.has_qos
+        assert updated.kind is ProblemKind.REPLICA_COUNTING
+
+    def test_passthrough_when_no_override(self, small_problem):
+        assert as_problem(small_problem) is small_problem
+
+
+class TestSolve:
+    def test_uses_optimal_algorithm_on_homogeneous_multiple(self, small_tree):
+        solution = solve(small_tree, policy="multiple", kind=ProblemKind.REPLICA_COUNTING)
+        assert solution.algorithm == "MultipleOptimalHomogeneous"
+
+    def test_policy_parameter_accepts_strings(self, small_tree):
+        for name in ("closest", "upwards", "multiple"):
+            try:
+                solution = solve(small_tree, policy=name)
+            except InfeasibleError:
+                continue
+            assert solution.policy is Policy.parse(name)
+
+    def test_forced_algorithm(self, small_tree):
+        solution = solve(small_tree, policy="multiple", algorithm="MG")
+        assert solution.algorithm == "MG"
+
+    def test_infeasible_raises(self):
+        problem = reference_trees.figure1_tree("c")
+        with pytest.raises(InfeasibleError):
+            solve(problem, policy="closest")
+
+    def test_heterogeneous_portfolio(self, hetero_tree):
+        solution = solve(hetero_tree, policy="multiple")
+        assert_valid(as_problem(hetero_tree), solution)
+
+    def test_solutions_validated(self, random_heterogeneous_problem):
+        solution = solve(random_heterogeneous_problem, policy="multiple")
+        assert_valid(random_heterogeneous_problem, solution)
+
+
+class TestComparePolicies:
+    def test_figure1_matrix(self):
+        results = compare_policies(reference_trees.figure1_tree("b"))
+        assert results[Policy.CLOSEST] is None
+        assert results[Policy.UPWARDS] is not None
+        assert results[Policy.MULTIPLE] is not None
+
+    def test_subset_of_policies(self, small_tree):
+        results = compare_policies(small_tree, policies=["multiple"])
+        assert list(results) == [Policy.MULTIPLE]
+
+    def test_costs_follow_dominance_when_all_succeed(self):
+        tree = generate_tree(size=30, target_load=0.2, seed=41)
+        results = compare_policies(tree, kind=ProblemKind.REPLICA_COUNTING)
+        problem = as_problem(tree, kind=ProblemKind.REPLICA_COUNTING)
+        costs = {
+            policy: (sol.cost(problem) if sol else math.inf)
+            for policy, sol in results.items()
+        }
+        assert costs[Policy.MULTIPLE] <= costs[Policy.CLOSEST] + 1e-9
+
+
+class TestLowerBoundAPI:
+    def test_mixed_default(self, small_tree):
+        value = lower_bound(small_tree, kind=ProblemKind.REPLICA_COUNTING)
+        assert value == pytest.approx(2.0)
+
+    def test_rational_never_exceeds_mixed(self, random_homogeneous_problem):
+        rational = lower_bound(random_homogeneous_problem, method="rational")
+        mixed = lower_bound(random_homogeneous_problem, method="mixed")
+        assert rational <= mixed + 1e-6
+
+    def test_trivial_method(self, small_tree):
+        assert lower_bound(small_tree, method="trivial") == pytest.approx(12.0)
+
+    def test_unknown_method_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            lower_bound(small_tree, method="magic")
+
+
+class TestCLI:
+    def test_generate_solve_compare_roundtrip(self, tmp_path, capsys):
+        tree_path = tmp_path / "tree.json"
+        assert main(["generate", str(tree_path), "--size", "30", "--load", "0.3", "--seed", "5"]) == 0
+        assert tree_path.exists()
+        assert main(["solve", str(tree_path), "--policy", "multiple", "--counting"]) == 0
+        out = capsys.readouterr().out
+        assert "replica" in out.lower()
+        assert main(["compare", str(tree_path), "--counting"]) == 0
+        out = capsys.readouterr().out
+        assert "multiple" in out
+
+    def test_solve_reports_infeasible(self, tmp_path, capsys):
+        path = tmp_path / "fig1c.json"
+        save_tree(reference_trees.figure1_tree("c"), path)
+        code = main(["solve", str(path), "--policy", "closest", "--counting"])
+        assert code == 2
+        assert "no solution" in capsys.readouterr().out
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert main(["solve", "/does/not/exist.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_campaign_command(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--trees-per-lambda",
+                "1",
+                "--min-size",
+                "15",
+                "--max-size",
+                "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Percentage of success" in out and "Relative cost" in out
+
+    def test_forced_algorithm_flag(self, tmp_path, capsys):
+        tree_path = tmp_path / "tree.json"
+        main(["generate", str(tree_path), "--size", "24", "--load", "0.2", "--seed", "9"])
+        capsys.readouterr()
+        assert main(["solve", str(tree_path), "--algorithm", "MG"]) == 0
+        assert "[MG]" in capsys.readouterr().out

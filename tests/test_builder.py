@@ -1,0 +1,119 @@
+"""Unit tests for the fluent tree builder."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.builder import TreeBuilder
+from repro.core.exceptions import TreeStructureError
+
+
+class TestBuilder:
+    def test_basic_build(self, small_tree):
+        assert small_tree.root == "root"
+        assert set(small_tree.client_ids) == {"c1", "c2", "c3"}
+
+    def test_first_node_becomes_root(self):
+        tree = TreeBuilder().add_node("r", capacity=1).build()
+        assert tree.root == "r"
+
+    def test_second_root_rejected(self):
+        builder = TreeBuilder().add_node("r", capacity=1)
+        with pytest.raises(TreeStructureError):
+            builder.add_node("other", capacity=1)
+
+    def test_duplicate_identifier_rejected(self):
+        builder = TreeBuilder().add_node("r", capacity=1)
+        with pytest.raises(TreeStructureError):
+            builder.add_node("r", capacity=2, parent="r")
+        with pytest.raises(TreeStructureError):
+            builder.add_client("r", requests=1, parent="r")
+
+    def test_unknown_parent_rejected(self):
+        builder = TreeBuilder().add_node("r", capacity=1)
+        with pytest.raises(TreeStructureError):
+            builder.add_node("a", capacity=1, parent="ghost")
+        with pytest.raises(TreeStructureError):
+            builder.add_client("c", requests=1, parent="ghost")
+
+    def test_client_cannot_be_parent(self):
+        builder = (
+            TreeBuilder()
+            .add_node("r", capacity=1)
+            .add_client("c", requests=1, parent="r")
+        )
+        with pytest.raises(TreeStructureError):
+            builder.add_client("d", requests=1, parent="c")
+
+    def test_build_without_root_rejected(self):
+        with pytest.raises(TreeStructureError):
+            TreeBuilder().build()
+
+    def test_link_attributes_are_attached(self):
+        tree = (
+            TreeBuilder()
+            .add_node("r", capacity=1)
+            .add_node("a", capacity=1, parent="r", comm_time=5.0, bandwidth=7.0)
+            .add_client("c", requests=1, parent="a", comm_time=2.0)
+            .build()
+        )
+        assert tree.link("a").comm_time == 5.0
+        assert tree.link("a").bandwidth == 7.0
+        assert tree.link("c").comm_time == 2.0
+        assert math.isinf(tree.link("c").bandwidth)
+
+    def test_node_metadata_kwargs(self):
+        tree = (
+            TreeBuilder()
+            .add_node("r", capacity=1, region="eu-west")
+            .add_client("c", requests=1, parent="r", tier="gold")
+            .build()
+        )
+        assert tree.node("r").metadata["region"] == "eu-west"
+        assert tree.client("c").metadata["tier"] == "gold"
+
+    def test_add_clients_bulk(self):
+        tree = (
+            TreeBuilder()
+            .add_node("r", capacity=100)
+            .add_clients("c", 5, requests=2, parent="r")
+            .build()
+        )
+        assert len(tree.client_ids) == 5
+        assert tree.total_requests() == 10
+        assert set(tree.client_ids) == {f"c{i}" for i in range(5)}
+
+    def test_add_clients_start_offset(self):
+        tree = (
+            TreeBuilder()
+            .add_node("r", capacity=100)
+            .add_clients("c", 2, requests=1, parent="r", start=3)
+            .build()
+        )
+        assert set(tree.client_ids) == {"c3", "c4"}
+
+    def test_counts_exposed(self):
+        builder = (
+            TreeBuilder()
+            .add_node("r", capacity=1)
+            .add_client("c", requests=1, parent="r")
+        )
+        assert builder.declared_nodes == 1
+        assert builder.declared_clients == 1
+
+    def test_qos_and_storage_cost_passthrough(self):
+        tree = (
+            TreeBuilder()
+            .add_node("r", capacity=10, storage_cost=3)
+            .add_client("c", requests=1, parent="r", qos=4)
+            .build()
+        )
+        assert tree.node("r").storage_cost == 3
+        assert tree.client("c").qos == 4
+
+    def test_fluent_chaining_returns_builder(self):
+        builder = TreeBuilder()
+        assert builder.add_node("r", capacity=1) is builder
+        assert builder.add_client("c", requests=1, parent="r") is builder

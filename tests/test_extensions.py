@@ -1,0 +1,312 @@
+"""Tests of the extension packages: QoS, bandwidth, multi-object, objectives,
+analysis and simulation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import dominance_holds, policy_costs, policy_gap, tree_statistics
+from repro.bandwidth import bandwidth_feasibility_report, link_utilisation, saturated_links
+from repro.core.builder import TreeBuilder
+from repro.core.constraints import ConstraintSet, QoSMode
+from repro.core.policies import Policy
+from repro.core.problem import replica_cost_problem, replica_counting_problem
+from repro.multiobject import (
+    MultiObjectProblem,
+    ObjectType,
+    multi_object_exact,
+    multi_object_lower_bound,
+    sequential_greedy,
+    validate_multi_object_solution,
+)
+from repro.objectives import CombinedObjective, read_cost, replica_spanning_links, write_cost
+from repro.qos import (
+    qos_feasibility_report,
+    qos_statistics,
+    reachable_servers,
+    tightest_feasible_qos,
+)
+from repro.simulation import simulate_solution
+from repro.workloads import generate_tree, reference_trees
+from repro.api import solve
+from repro.core.feasibility import multiple_assignment
+
+
+# --------------------------------------------------------------------------- #
+# QoS
+# --------------------------------------------------------------------------- #
+class TestQoS:
+    def test_reachable_servers_uses_client_bound(self, qos_tree):
+        assert reachable_servers(qos_tree, "near") == ("leaf",)
+        assert reachable_servers(qos_tree, "far") == ("leaf", "mid", "root")
+
+    def test_reachable_servers_override_bound(self, qos_tree):
+        assert reachable_servers(qos_tree, "near", bound=2) == ("leaf", "mid")
+
+    def test_reachable_servers_latency_mode(self, qos_tree):
+        servers = reachable_servers(qos_tree, "far", bound=4.0, mode=QoSMode.LATENCY)
+        assert servers == ("leaf", "mid")  # 1.0 and 4.0; root is at 6.0
+
+    def test_tightest_feasible_qos(self, qos_tree):
+        assert tightest_feasible_qos(qos_tree, "near") == 1
+        assert tightest_feasible_qos(qos_tree, "near", mode=QoSMode.LATENCY) == 1.0
+
+    def test_feasibility_report_flags_unreachable(self):
+        tree = (
+            TreeBuilder()
+            .add_node("root", capacity=10)
+            .add_node("mid", capacity=10, parent="root", comm_time=5.0)
+            .add_client("c", requests=1, parent="mid", qos=0.5, comm_time=2.0)
+            .build()
+        )
+        problem = replica_cost_problem(tree, constraints=ConstraintSet.qos_latency())
+        report = qos_feasibility_report(problem)
+        assert not report.feasible and report.unreachable_clients == ["c"]
+
+    def test_feasibility_report_without_qos_is_trivially_feasible(self, small_problem):
+        assert qos_feasibility_report(small_problem).feasible
+
+    def test_tight_clients_detected(self, qos_tree):
+        problem = replica_cost_problem(qos_tree, constraints=ConstraintSet.qos_distance())
+        report = qos_feasibility_report(problem)
+        assert report.feasible
+        assert "near" in report.tight_clients and "top" in report.tight_clients
+
+    def test_qos_statistics(self, qos_tree):
+        problem = replica_cost_problem(qos_tree, constraints=ConstraintSet.qos_distance())
+        solution = multiple_assignment(problem, ["leaf", "mid", "root"])
+        stats = qos_statistics(problem, solution)
+        assert stats["served_requests"] == pytest.approx(15)
+        assert stats["worst_slack"] >= 0
+        assert stats["max_metric"] >= stats["mean_metric"]
+
+
+# --------------------------------------------------------------------------- #
+# bandwidth
+# --------------------------------------------------------------------------- #
+class TestBandwidth:
+    def make_tree(self, bandwidth):
+        return (
+            TreeBuilder()
+            .add_node("root", capacity=50)
+            .add_node("mid", capacity=5, parent="root", bandwidth=bandwidth)
+            .add_client("c", requests=10, parent="mid")
+            .build()
+        )
+
+    def test_link_utilisation(self):
+        tree = self.make_tree(bandwidth=20)
+        problem = replica_cost_problem(tree)
+        solution = multiple_assignment(problem, ["mid", "root"])
+        stats = link_utilisation(tree, solution)
+        assert stats[("mid", "root")]["flow"] == pytest.approx(5)
+        assert stats[("mid", "root")]["utilisation"] == pytest.approx(0.25)
+
+    def test_saturated_links(self):
+        tree = self.make_tree(bandwidth=5)
+        problem = replica_cost_problem(tree)
+        solution = multiple_assignment(problem, ["mid", "root"])
+        assert ("mid", "root") in saturated_links(tree, solution, threshold=0.9)
+
+    def test_feasibility_report_detects_starved_subtree(self):
+        tree = self.make_tree(bandwidth=2)  # 10 requests, 5 local capacity, 2 uplink
+        problem = replica_cost_problem(
+            tree, constraints=ConstraintSet(enforce_bandwidth=True)
+        )
+        report = bandwidth_feasibility_report(problem)
+        assert not report.feasible and ("mid", "root") in report.overloaded_links
+
+    def test_feasibility_report_ok_when_unenforced(self):
+        tree = self.make_tree(bandwidth=2)
+        assert bandwidth_feasibility_report(replica_cost_problem(tree)).feasible
+
+
+# --------------------------------------------------------------------------- #
+# multi-object
+# --------------------------------------------------------------------------- #
+class TestMultiObject:
+    def make_problem(self):
+        tree = (
+            TreeBuilder()
+            .add_node("root", capacity=20)
+            .add_node("a", capacity=10, parent="root")
+            .add_client("c1", requests=0, parent="a")
+            .add_client("c2", requests=0, parent="a")
+            .build()
+        )
+        objects = [ObjectType("video", size=2.0), ObjectType("meta", size=0.5)]
+        requests = {
+            ("c1", "video"): 6,
+            ("c1", "meta"): 2,
+            ("c2", "video"): 4,
+            ("c2", "meta"): 3,
+        }
+        return MultiObjectProblem(tree, objects, requests)
+
+    def test_model_accessors(self):
+        problem = self.make_problem()
+        assert problem.request("c1", "video") == 6
+        assert problem.client_total("c1") == 8
+        assert problem.object_total("video") == 10
+        assert problem.storage_cost("a", "video") == 20  # size 2 * cost 10
+        assert 0 < problem.load_factor() <= 1
+        assert "2 objects" in problem.describe()
+
+    def test_model_validation_errors(self):
+        tree = self.make_problem().tree
+        with pytest.raises(Exception):
+            MultiObjectProblem(tree, [], {})
+        with pytest.raises(Exception):
+            MultiObjectProblem(tree, [ObjectType("o")], {("ghost", "o"): 1})
+        with pytest.raises(Exception):
+            MultiObjectProblem(tree, [ObjectType("o")], {("c1", "other"): 1})
+
+    def test_sequential_greedy_is_valid(self):
+        problem = self.make_problem()
+        solution = sequential_greedy(problem)
+        assert validate_multi_object_solution(problem, solution) == []
+        assert solution.replica_count() >= 2  # at least one replica per object
+
+    def test_exact_never_costs_more_than_greedy(self):
+        problem = self.make_problem()
+        greedy = sequential_greedy(problem)
+        exact = multi_object_exact(problem)
+        assert validate_multi_object_solution(problem, exact) == []
+        assert exact.cost(problem) <= greedy.cost(problem) + 1e-6
+
+    def test_lower_bound_below_exact(self):
+        problem = self.make_problem()
+        bound = multi_object_lower_bound(problem)
+        assert bound <= multi_object_exact(problem).cost(problem) + 1e-6
+
+    def test_solution_helpers(self):
+        problem = self.make_problem()
+        solution = sequential_greedy(problem)
+        node = next(iter(solution.replicas))[0]
+        assert solution.server_load(node) > 0
+        assert solution.objects_on(node)
+
+    def test_infeasible_object_raises(self):
+        tree = (
+            TreeBuilder()
+            .add_node("root", capacity=3)
+            .add_client("c", requests=0, parent="root")
+            .build()
+        )
+        problem = MultiObjectProblem(
+            tree, [ObjectType("big")], {("c", "big"): 10}
+        )
+        from repro.core.exceptions import InfeasibleError
+
+        with pytest.raises(InfeasibleError):
+            sequential_greedy(problem)
+        assert math.isinf(multi_object_lower_bound(problem))
+
+
+# --------------------------------------------------------------------------- #
+# objectives
+# --------------------------------------------------------------------------- #
+class TestObjectives:
+    def test_read_cost_counts_latency_per_request(self, chain_tree):
+        problem = replica_cost_problem(chain_tree)
+        solution = multiple_assignment(problem, ["low", "mid"])
+        # 4 requests at distance 1 (latency 1) + 2 requests at distance 2.
+        assert read_cost(chain_tree, solution) == pytest.approx(4 * 1 + 2 * 2)
+
+    def test_spanning_links_of_chain(self, chain_tree):
+        links = replica_spanning_links(chain_tree, ["low", "top"])
+        assert {link.key for link in links} == {("low", "mid"), ("mid", "top")}
+
+    def test_spanning_links_empty_for_single_replica(self, chain_tree):
+        assert replica_spanning_links(chain_tree, ["mid"]) == ()
+
+    def test_spanning_links_branching(self, hetero_tree):
+        links = replica_spanning_links(hetero_tree, ["a", "b"])
+        assert {link.key for link in links} == {("a", "root"), ("b", "root")}
+
+    def test_write_cost_scales_with_update_rate(self, chain_tree):
+        base = write_cost(chain_tree, ["low", "top"])
+        assert write_cost(chain_tree, ["low", "top"], updates_per_time_unit=3) == pytest.approx(3 * base)
+
+    def test_combined_objective_components_and_value(self, chain_tree):
+        problem = replica_cost_problem(chain_tree)
+        solution = multiple_assignment(problem, ["low", "mid"])
+        objective = CombinedObjective(alpha=1.0, beta=2.0, gamma=0.5)
+        parts = objective.components(problem, solution)
+        expected = parts["storage"] + 2.0 * parts["read"] + 0.5 * parts["write"]
+        assert objective.value(problem, solution) == pytest.approx(expected)
+
+    def test_combined_objective_ranks_solutions(self, chain_tree):
+        problem = replica_cost_problem(chain_tree)
+        low = multiple_assignment(problem, ["low", "mid"])
+        high = multiple_assignment(problem, ["mid", "top"])
+        ranking = CombinedObjective(alpha=0.0, beta=1.0).rank(
+            problem, [("low", low), ("high", high), ("failed", None)]
+        )
+        assert ranking[0][0] == "low"  # serving lower is cheaper to read
+        assert len(ranking) == 2
+
+
+# --------------------------------------------------------------------------- #
+# analysis and simulation
+# --------------------------------------------------------------------------- #
+class TestAnalysis:
+    def test_tree_statistics(self, hetero_tree):
+        stats = tree_statistics(hetero_tree)
+        assert stats.internal_nodes == 3 and stats.clients == 3
+        assert stats.height == 2
+        assert not stats.homogeneous
+        assert stats.as_dict()["clients"] == 3
+
+    def test_policy_costs_and_dominance_exact(self):
+        problem = replica_counting_problem(reference_trees.figure3_tree(2))
+        costs = policy_costs(problem, exact=True)
+        assert dominance_holds(costs)
+        assert costs[Policy.MULTIPLE] == 3
+
+    def test_policy_gap(self):
+        problem = replica_counting_problem(reference_trees.figure3_tree(2))
+        costs = policy_costs(problem, exact=True)
+        gap = policy_gap(costs, Policy.MULTIPLE, Policy.UPWARDS)
+        assert gap == pytest.approx(4 / 3)
+
+    def test_policy_gap_none_when_infeasible(self):
+        costs = {Policy.MULTIPLE: 2.0, Policy.UPWARDS: math.inf, Policy.CLOSEST: math.inf}
+        assert policy_gap(costs, Policy.MULTIPLE, Policy.UPWARDS) is None
+        assert dominance_holds(costs)
+
+
+class TestSimulation:
+    def test_flow_simulation_consistency(self):
+        tree = generate_tree(size=30, target_load=0.4, seed=77)
+        problem = replica_counting_problem(tree)
+        solution = solve(problem, policy="multiple")
+        sim = simulate_solution(problem, solution)
+        assert sum(sim.server_load.values()) == pytest.approx(tree.total_requests())
+        assert all(0 <= u <= 1 + 1e-9 for u in sim.server_utilisation.values())
+        assert sim.max_latency >= sim.mean_latency >= 0
+        assert "replicas" in sim.summary()
+
+    def test_latency_zero_when_served_by_parent(self, small_tree):
+        problem = replica_cost_problem(small_tree)
+        solution = multiple_assignment(problem, ["n1", "root"])
+        sim = simulate_solution(problem, solution)
+        assert sim.client_latency["c1"] == pytest.approx(1.0)
+
+    def test_closest_latency_not_higher_than_multiple(self):
+        # On a tree where both are feasible, Closest serves at least as close.
+        tree = generate_tree(size=30, target_load=0.15, seed=88)
+        problem = replica_counting_problem(tree)
+        closest = solve(problem, policy="closest")
+        multiple = solve(problem, policy="multiple")
+        closest_sim = simulate_solution(problem, closest)
+        multiple_sim = simulate_solution(problem, multiple)
+        assert closest_sim.mean_latency <= multiple_sim.mean_latency + 1e-9
+
+    def test_hottest_server_reported(self, small_tree):
+        problem = replica_cost_problem(small_tree)
+        solution = multiple_assignment(problem, ["n1", "root"])
+        node, utilisation = simulate_solution(problem, solution).hottest_server()
+        assert node == "n1" and utilisation == pytest.approx(1.0)

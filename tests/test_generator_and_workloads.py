@@ -1,0 +1,179 @@
+"""Tests of the random tree generator and request distributions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import (
+    heterogeneous_capacities,
+    uniform_capacities,
+    uniform_requests,
+    zipf_requests,
+)
+from repro.workloads.generator import (
+    GeneratorConfig,
+    TreeGenerator,
+    generate_campaign,
+    generate_tree,
+)
+
+
+class TestDistributions:
+    def test_uniform_requests_range(self):
+        rng = np.random.default_rng(0)
+        values = uniform_requests(rng, 1000, low=2, high=9)
+        assert values.min() >= 2 and values.max() <= 9
+
+    def test_uniform_requests_empty(self):
+        assert len(uniform_requests(np.random.default_rng(0), 0)) == 0
+
+    def test_zipf_requests_capped(self):
+        rng = np.random.default_rng(0)
+        values = zipf_requests(rng, 500, cap=100)
+        assert values.max() <= 100
+
+    def test_uniform_capacities_constant(self):
+        values = uniform_capacities(np.random.default_rng(0), 5, capacity=42)
+        assert set(values.tolist()) == {42.0}
+
+    def test_heterogeneous_capacities_from_choices(self):
+        values = heterogeneous_capacities(
+            np.random.default_rng(0), 200, choices=(10.0, 20.0)
+        )
+        assert set(values.tolist()) <= {10.0, 20.0}
+        assert len(set(values.tolist())) == 2
+
+
+class TestGeneratorConfig:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size": 2},
+            {"target_load": 0.0},
+            {"client_fraction": 0.0},
+            {"client_fraction": 1.0},
+            {"max_children": 0},
+            {"client_attachment": "anywhere"},
+            {"request_low": 5, "request_high": 2},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorConfig(**kwargs)
+
+
+class TestTreeGenerator:
+    def test_size_matches_request(self):
+        tree = generate_tree(size=50, target_load=0.4, seed=1)
+        assert tree.size == 50
+
+    def test_target_load_is_hit(self):
+        for load in (0.2, 0.5, 0.8):
+            tree = generate_tree(size=60, target_load=load, seed=3)
+            assert tree.load_factor() == pytest.approx(load, abs=0.02)
+
+    def test_reproducible_with_seed(self):
+        first = generate_tree(size=40, target_load=0.5, seed=99)
+        second = generate_tree(size=40, target_load=0.5, seed=99)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = generate_tree(size=40, target_load=0.5, seed=1)
+        second = generate_tree(size=40, target_load=0.5, seed=2)
+        assert first != second
+
+    def test_homogeneous_flag(self):
+        assert generate_tree(size=40, homogeneous=True, seed=5).is_homogeneous()
+        hetero = generate_tree(size=60, homogeneous=False, seed=5)
+        assert not hetero.is_homogeneous()
+
+    def test_heterogeneous_capacities_from_choices(self):
+        tree = TreeGenerator(7).generate(
+            GeneratorConfig(size=60, homogeneous=False, capacity_choices=(10.0, 30.0))
+        )
+        assert {node.capacity for node in tree.nodes()} <= {10.0, 30.0}
+
+    def test_branching_limit_respected(self):
+        tree = TreeGenerator(11).generate(GeneratorConfig(size=80, max_children=2))
+        for node_id in tree.node_ids:
+            assert len(tree.child_nodes(node_id)) <= 2
+
+    def test_leaf_attachment_keeps_root_client_free(self):
+        tree = TreeGenerator(13).generate(
+            GeneratorConfig(size=60, client_attachment="spread")
+        )
+        # With "spread"/"leaves", clients attach below edge nodes only.
+        for client_id in tree.client_ids:
+            parent = tree.parent(client_id)
+            assert len(tree.child_nodes(parent)) == 0
+
+    def test_uniform_attachment_allows_any_node(self):
+        tree = TreeGenerator(13).generate(
+            GeneratorConfig(size=200, client_attachment="uniform")
+        )
+        parents = {tree.parent(cid) for cid in tree.client_ids}
+        assert any(len(tree.child_nodes(p)) > 0 for p in parents)
+
+    def test_spread_balances_clients_per_leaf(self):
+        tree = TreeGenerator(17).generate(
+            GeneratorConfig(size=100, client_attachment="spread")
+        )
+        counts = {}
+        for client_id in tree.client_ids:
+            parent = tree.parent(client_id)
+            counts[parent] = counts.get(parent, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_qos_bounds_drawn_when_requested(self):
+        tree = TreeGenerator(19).generate(GeneratorConfig(size=40, qos_hops=(2, 4)))
+        for client in tree.clients():
+            assert 2 <= client.qos <= 4
+
+    def test_requests_are_integral_and_positive(self):
+        tree = generate_tree(size=60, target_load=0.5, seed=23)
+        for client in tree.clients():
+            assert client.requests == int(client.requests)
+            assert client.requests >= 1
+
+    def test_custom_request_sampler(self):
+        def constant(rng, count):
+            return np.full(count, 5.0)
+
+        tree = TreeGenerator(29).generate(
+            GeneratorConfig(size=40, target_load=0.5), request_sampler=constant
+        )
+        requests = [c.requests for c in tree.clients()]
+        assert max(requests) - min(requests) <= 1  # rescaled evenly
+
+    def test_generate_many(self):
+        trees = TreeGenerator(31).generate_many(GeneratorConfig(size=30), 3)
+        assert len(trees) == 3
+        assert len({t.size for t in trees}) == 1
+
+
+class TestCampaignGeneration:
+    def test_generate_campaign_counts(self):
+        campaign = generate_campaign(
+            lambdas=(0.2, 0.6), trees_per_lambda=3, size_range=(15, 30), seed=1
+        )
+        assert len(campaign) == 6
+        loads = sorted({load for load, _tree in campaign})
+        assert loads == [0.2, 0.6]
+
+    def test_generate_campaign_sizes_in_range(self):
+        campaign = generate_campaign(
+            lambdas=(0.4,), trees_per_lambda=5, size_range=(15, 25), seed=2
+        )
+        for _load, tree in campaign:
+            assert 15 <= tree.size <= 25
+
+    def test_generate_campaign_reproducible(self):
+        first = generate_campaign(lambdas=(0.3,), trees_per_lambda=2, size_range=(15, 20), seed=3)
+        second = generate_campaign(lambdas=(0.3,), trees_per_lambda=2, size_range=(15, 20), seed=3)
+        assert [t for _l, t in first] == [t for _l, t in second]

@@ -1,0 +1,302 @@
+"""Tests of the eight placement heuristics and the MixedBest combiner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    ClosestBottomUp,
+    ClosestTopDownAll,
+    ClosestTopDownLargestFirst,
+    MixedBest,
+    MultipleBottomUp,
+    MultipleGreedy,
+    MultipleTopDown,
+    UpwardsBigClientFirst,
+    UpwardsTopDown,
+    available_heuristics,
+    get_heuristic,
+    heuristics_for_policy,
+    solve_with,
+)
+from repro.algorithms.base import PlacementHeuristic
+from repro.core.builder import TreeBuilder
+from repro.core.exceptions import InfeasibleError
+from repro.core.policies import Policy
+from repro.core.problem import replica_cost_problem, replica_counting_problem
+from repro.workloads import reference_trees
+from tests.conftest import assert_valid, make_random_problem
+
+CLOSEST_HEURISTICS = [ClosestTopDownAll, ClosestTopDownLargestFirst, ClosestBottomUp]
+UPWARDS_HEURISTICS = [UpwardsTopDown, UpwardsBigClientFirst]
+MULTIPLE_HEURISTICS = [MultipleTopDown, MultipleBottomUp, MultipleGreedy]
+ALL_HEURISTICS = CLOSEST_HEURISTICS + UPWARDS_HEURISTICS + MULTIPLE_HEURISTICS
+
+
+class TestRegistry:
+    def test_all_paper_heuristics_registered(self):
+        names = available_heuristics()
+        for expected in ("CTDA", "CTDLF", "CBU", "UTD", "UBCF", "MTD", "MBU", "MG", "MixedBest"):
+            assert expected in names
+
+    def test_get_heuristic_by_name_case_insensitive(self):
+        assert isinstance(get_heuristic("ctda"), ClosestTopDownAll)
+        assert isinstance(get_heuristic("MG"), MultipleGreedy)
+
+    def test_get_heuristic_accepts_instances_and_classes(self):
+        instance = MultipleGreedy()
+        assert get_heuristic(instance) is instance
+        assert isinstance(get_heuristic(MultipleGreedy), MultipleGreedy)
+
+    def test_get_unknown_heuristic_raises(self):
+        with pytest.raises(KeyError):
+            get_heuristic("does-not-exist")
+
+    def test_heuristics_for_policy(self):
+        closest_names = {h.name for h in heuristics_for_policy(Policy.CLOSEST)}
+        assert closest_names == {"CTDA", "CTDLF", "CBU"}
+        upwards_names = {h.name for h in heuristics_for_policy(Policy.UPWARDS)}
+        assert upwards_names == {"UTD", "UBCF"}
+
+    def test_solve_with_helper(self, small_counting_problem):
+        solution = solve_with("MG", small_counting_problem)
+        assert solution.algorithm == "MG"
+
+    def test_policy_attribute_matches_group(self):
+        for cls in CLOSEST_HEURISTICS:
+            assert cls.policy is Policy.CLOSEST
+        for cls in UPWARDS_HEURISTICS:
+            assert cls.policy is Policy.UPWARDS
+        for cls in MULTIPLE_HEURISTICS:
+            assert cls.policy is Policy.MULTIPLE
+
+
+@pytest.mark.parametrize("heuristic_cls", ALL_HEURISTICS, ids=lambda c: c.name)
+class TestAllHeuristicsCommonBehaviour:
+    def test_valid_on_easy_instance(self, heuristic_cls):
+        problem = make_random_problem(5, size=30, load=0.2)
+        solution = heuristic_cls().solve(problem)
+        assert_valid(problem, solution, policy=heuristic_cls.policy)
+
+    def test_valid_on_heterogeneous_instance(self, heuristic_cls):
+        problem = make_random_problem(9, size=30, load=0.2, homogeneous=False)
+        solution = heuristic_cls().solve(problem)
+        assert_valid(problem, solution, policy=heuristic_cls.policy)
+
+    def test_try_solve_returns_none_on_impossible_instance(self, heuristic_cls):
+        # One node of capacity 1 facing 5 requests: infeasible for everyone.
+        tree = (
+            TreeBuilder()
+            .add_node("r", capacity=1)
+            .add_client("c", requests=5, parent="r")
+            .build()
+        )
+        problem = replica_cost_problem(tree)
+        assert heuristic_cls().try_solve(problem) is None
+        with pytest.raises(InfeasibleError):
+            heuristic_cls().solve(problem)
+
+    def test_solution_reports_algorithm_name(self, heuristic_cls):
+        problem = make_random_problem(5, size=30, load=0.2)
+        assert heuristic_cls().solve(problem).algorithm == heuristic_cls.name
+
+    def test_cost_at_least_trivial_lower_bound(self, heuristic_cls):
+        from repro.core.costs import trivial_lower_bound
+
+        problem = make_random_problem(6, size=30, load=0.3)
+        solution = heuristic_cls().try_solve(problem)
+        if solution is not None:
+            assert solution.cost(problem) >= trivial_lower_bound(problem) - 1e-9
+
+
+class TestClosestHeuristics:
+    def test_figure1a_all_closest_heuristics_find_single_replica(self):
+        problem = replica_counting_problem(reference_trees.figure1_tree("a"))
+        for cls in CLOSEST_HEURISTICS:
+            solution = cls().solve(problem)
+            assert solution.replica_count() == 1
+
+    def test_figure1b_closest_infeasible(self):
+        problem = replica_counting_problem(reference_trees.figure1_tree("b"))
+        for cls in CLOSEST_HEURISTICS:
+            assert cls().try_solve(problem) is None
+
+    def test_every_client_served_by_lowest_replica(self):
+        problem = make_random_problem(11, size=30, load=0.2)
+        for cls in CLOSEST_HEURISTICS:
+            solution = cls().solve(problem)
+            assert_valid(problem, solution, policy=Policy.CLOSEST)
+
+    def test_ctda_covers_whole_subtree_with_one_replica_when_possible(self):
+        tree = (
+            TreeBuilder()
+            .add_node("root", capacity=100)
+            .add_node("a", capacity=100, parent="root")
+            .add_client("c1", requests=10, parent="a")
+            .add_client("c2", requests=10, parent="a")
+            .build()
+        )
+        solution = ClosestTopDownAll().solve(replica_counting_problem(tree))
+        assert solution.replica_count() == 1
+        assert "root" in solution.placement
+
+    def test_cbu_places_low(self):
+        tree = (
+            TreeBuilder()
+            .add_node("root", capacity=100)
+            .add_node("a", capacity=100, parent="root")
+            .add_client("c1", requests=10, parent="a")
+            .add_client("c2", requests=10, parent="a")
+            .build()
+        )
+        solution = ClosestBottomUp().solve(replica_counting_problem(tree))
+        assert "a" in solution.placement  # bottom-up prefers the deep node
+
+    def test_ctdlf_explores_heaviest_subtree_first(self):
+        # Two subtrees; only the heavy one can be covered by its own node, the
+        # light one must wait for the root in a later sweep.
+        tree = (
+            TreeBuilder()
+            .add_node("root", capacity=30)
+            .add_node("heavy", capacity=30, parent="root")
+            .add_node("light", capacity=30, parent="root")
+            .add_client("h1", requests=20, parent="heavy")
+            .add_client("l1", requests=5, parent="light")
+            .build()
+        )
+        solution = ClosestTopDownLargestFirst().solve(replica_counting_problem(tree))
+        assert_valid(
+            replica_counting_problem(tree), solution, policy=Policy.CLOSEST
+        )
+
+    def test_closest_heuristics_find_same_feasibility(self):
+        # Paper observation: the three Closest heuristics succeed on the same
+        # instances (they may differ in cost).
+        for seed in range(4):
+            problem = make_random_problem(seed, size=40, load=0.4)
+            outcomes = {
+                cls.name: cls().try_solve(problem) is not None
+                for cls in CLOSEST_HEURISTICS
+            }
+            assert len(set(outcomes.values())) == 1, outcomes
+
+
+class TestUpwardsHeuristics:
+    def test_figure1b_upwards_feasible_with_two_replicas(self):
+        problem = replica_counting_problem(reference_trees.figure1_tree("b"))
+        for cls in UPWARDS_HEURISTICS:
+            solution = cls().solve(problem)
+            assert solution.replica_count() == 2
+
+    def test_figure1c_upwards_infeasible(self):
+        problem = replica_counting_problem(reference_trees.figure1_tree("c"))
+        for cls in UPWARDS_HEURISTICS:
+            assert cls().try_solve(problem) is None
+
+    def test_single_server_property(self):
+        problem = make_random_problem(13, size=40, load=0.3)
+        for cls in UPWARDS_HEURISTICS:
+            solution = cls().try_solve(problem)
+            if solution is None:
+                continue
+            for client_id in problem.tree.client_ids:
+                assert len(solution.assignment.servers_of(client_id)) <= 1
+
+    def test_ubcf_uses_best_fit(self, hetero_problem):
+        solution = UpwardsBigClientFirst().solve(hetero_problem)
+        # The big client cb1 (15) does not fit b (20)? it does; best fit keeps
+        # it low rather than on the 100-capacity root.
+        assert solution.assignment.servers_of("cb1") == ("b",)
+
+    def test_utd_first_pass_places_on_exhausted_nodes(self):
+        tree = reference_trees.figure2_tree(3)
+        problem = replica_counting_problem(tree)
+        solution = UpwardsTopDown().try_solve(problem)
+        # UTD fails on Figure 2 (the root client is stranded after pass 1) --
+        # this is the paper's observation that UTD finds fewer solutions.
+        assert solution is None
+
+    def test_ubcf_solves_figure2(self):
+        problem = replica_counting_problem(reference_trees.figure2_tree(3))
+        solution = UpwardsBigClientFirst().solve(problem)
+        assert_valid(problem, solution, policy=Policy.UPWARDS)
+
+
+class TestMultipleHeuristics:
+    def test_figure1c_multiple_feasible(self):
+        problem = replica_counting_problem(reference_trees.figure1_tree("c"))
+        for cls in MULTIPLE_HEURISTICS:
+            solution = cls().solve(problem)
+            assert solution.replica_count() == 2
+
+    def test_mg_always_succeeds_on_feasible_instances(self):
+        from repro.core.feasibility import placement_is_feasible
+
+        for seed in range(6):
+            problem = make_random_problem(seed, size=40, load=0.6)
+            feasible = placement_is_feasible(
+                problem, problem.tree.node_ids, Policy.MULTIPLE
+            )
+            mg = MultipleGreedy().try_solve(problem)
+            assert (mg is not None) == feasible
+
+    def test_requests_may_be_split(self, chain_tree):
+        problem = replica_cost_problem(chain_tree)
+        solution = MultipleGreedy().solve(problem)
+        assert len(solution.assignment.servers_of("c")) == 2
+
+    def test_mtd_fills_exhausted_servers_completely(self):
+        problem = make_random_problem(3, size=30, load=0.5)
+        solution = MultipleTopDown().try_solve(problem)
+        if solution is None:
+            pytest.skip("MTD failed on this draw")
+        assert_valid(problem, solution)
+
+    def test_mbu_smallest_first_order(self):
+        tree = (
+            TreeBuilder()
+            .add_node("root", capacity=100)
+            .add_node("a", capacity=10, parent="root")
+            .add_client("small1", requests=3, parent="a")
+            .add_client("small2", requests=4, parent="a")
+            .add_client("big", requests=9, parent="a")
+            .build()
+        )
+        problem = replica_cost_problem(tree)
+        solution = MultipleBottomUp().solve(problem)
+        # Node a is exhausted (16 >= 10) and drains the small clients first.
+        assert solution.assignment.amount("small1", "a") == 3
+        assert solution.assignment.amount("small2", "a") == 4
+        assert_valid(problem, solution)
+
+
+class TestMixedBest:
+    def test_never_worse_than_any_component(self):
+        problem = make_random_problem(21, size=40, load=0.4)
+        mixed = MixedBest().solve(problem)
+        mixed_cost = mixed.cost(problem)
+        for name in ("CTDA", "CTDLF", "CBU", "UTD", "UBCF", "MTD", "MBU", "MG"):
+            component = get_heuristic(name).try_solve(problem)
+            if component is not None:
+                assert mixed_cost <= component.cost(problem) + 1e-9
+
+    def test_succeeds_whenever_mg_succeeds(self):
+        problem = make_random_problem(8, size=40, load=0.7)
+        mg = MultipleGreedy().try_solve(problem)
+        mixed = MixedBest().try_solve(problem)
+        assert (mixed is not None) == (mg is not None)
+
+    def test_reports_selected_component(self, small_counting_problem):
+        mixed = MixedBest().solve(small_counting_problem)
+        assert mixed.metadata["selected"] in (
+            "CTDA", "CTDLF", "CBU", "UTD", "UBCF", "MTD", "MBU", "MG",
+        )
+
+    def test_custom_component_list(self, small_counting_problem):
+        mixed = MixedBest(components=["MG"]).solve(small_counting_problem)
+        assert mixed.metadata["selected"] == "MG"
+
+    def test_reported_policy_is_multiple(self, small_counting_problem):
+        assert MixedBest().solve(small_counting_problem).policy is Policy.MULTIPLE

@@ -1,0 +1,150 @@
+"""Unit tests for access policies, constraint sets and problem instances."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.constraints import ConstraintSet, QoSMode
+from repro.core.exceptions import TreeStructureError
+from repro.core.policies import Policy
+from repro.core.problem import (
+    ProblemKind,
+    ReplicaPlacementProblem,
+    replica_cost_problem,
+    replica_counting_problem,
+)
+
+
+class TestPolicy:
+    def test_ordered_goes_from_restrictive_to_permissive(self):
+        assert Policy.ordered() == (Policy.CLOSEST, Policy.UPWARDS, Policy.MULTIPLE)
+
+    def test_single_server_flags(self):
+        assert Policy.CLOSEST.single_server
+        assert Policy.UPWARDS.single_server
+        assert not Policy.MULTIPLE.single_server
+
+    def test_dominance_chain(self):
+        assert Policy.MULTIPLE.is_at_least_as_permissive_as(Policy.UPWARDS)
+        assert Policy.UPWARDS.is_at_least_as_permissive_as(Policy.CLOSEST)
+        assert not Policy.CLOSEST.is_at_least_as_permissive_as(Policy.UPWARDS)
+        assert Policy.UPWARDS.is_at_least_as_permissive_as(Policy.UPWARDS)
+
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            ("closest", Policy.CLOSEST),
+            ("Upwards", Policy.UPWARDS),
+            ("MULTIPLE", Policy.MULTIPLE),
+            (Policy.CLOSEST, Policy.CLOSEST),
+        ],
+    )
+    def test_parse(self, value, expected):
+        assert Policy.parse(value) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Policy.parse("nearest")
+
+    def test_str(self):
+        assert str(Policy.MULTIPLE) == "multiple"
+
+
+class TestConstraintSet:
+    def test_none_constructor(self):
+        constraints = ConstraintSet.none()
+        assert not constraints.has_qos and not constraints.enforce_bandwidth
+
+    def test_full_constructor(self):
+        constraints = ConstraintSet.full()
+        assert constraints.qos_mode is QoSMode.LATENCY and constraints.enforce_bandwidth
+
+    def test_qos_metric_distance(self, qos_tree):
+        constraints = ConstraintSet.qos_distance()
+        assert constraints.qos_metric(qos_tree, "near", "leaf") == 1
+        assert constraints.qos_metric(qos_tree, "near", "root") == 3
+
+    def test_qos_metric_latency(self, qos_tree):
+        constraints = ConstraintSet.qos_latency()
+        assert constraints.qos_metric(qos_tree, "near", "leaf") == pytest.approx(1.0)
+        assert constraints.qos_metric(qos_tree, "near", "root") == pytest.approx(6.0)
+
+    def test_qos_metric_disabled_returns_zero(self, qos_tree):
+        assert ConstraintSet.none().qos_metric(qos_tree, "near", "root") == 0.0
+
+    def test_allowed_servers_orders_bottom_up(self, qos_tree):
+        constraints = ConstraintSet.qos_distance()
+        assert constraints.allowed_servers(qos_tree, "far") == ("leaf", "mid", "root")
+        assert constraints.allowed_servers(qos_tree, "near") == ("leaf",)
+
+    def test_qos_mode_parse(self):
+        assert QoSMode.parse("distance") is QoSMode.DISTANCE
+        assert QoSMode.parse(QoSMode.LATENCY) is QoSMode.LATENCY
+        with pytest.raises(ValueError):
+            QoSMode.parse("speed")
+
+    def test_describe_mentions_settings(self):
+        assert "no QoS" in ConstraintSet.none().describe()
+        assert "bandwidth" in ConstraintSet.full().describe()
+
+
+class TestProblem:
+    def test_replica_cost_storage_equals_capacity(self, hetero_tree):
+        problem = replica_cost_problem(hetero_tree)
+        assert problem.storage_cost("a") == 10
+        assert problem.storage_cost("root") == 100
+
+    def test_replica_counting_storage_is_one(self, small_tree):
+        problem = replica_counting_problem(small_tree)
+        assert problem.storage_cost("root") == 1
+        assert problem.storage_cost("n1") == 1
+
+    def test_general_kind_uses_declared_costs(self, hetero_tree):
+        problem = ReplicaPlacementProblem(tree=hetero_tree, kind=ProblemKind.GENERAL)
+        assert problem.storage_cost("root") == 100
+
+    def test_replica_counting_requires_homogeneous(self, hetero_tree):
+        with pytest.raises(TreeStructureError):
+            replica_counting_problem(hetero_tree)
+
+    def test_storage_costs_mapping(self, small_tree):
+        problem = replica_counting_problem(small_tree)
+        assert problem.storage_costs() == {"root": 1.0, "n1": 1.0}
+
+    def test_capacity_and_requests_accessors(self, small_problem):
+        assert small_problem.capacity("n1") == 10
+        assert small_problem.requests("c1") == 7
+
+    def test_eligible_servers_without_qos(self, small_problem):
+        assert small_problem.eligible_servers("c1") == ("n1", "root")
+
+    def test_eligible_servers_with_qos(self, qos_tree):
+        problem = replica_cost_problem(qos_tree, constraints=ConstraintSet.qos_distance())
+        assert problem.eligible_servers("near") == ("leaf",)
+        assert problem.eligible_servers("far") == ("leaf", "mid", "root")
+
+    def test_qos_satisfied(self, qos_tree):
+        problem = replica_cost_problem(qos_tree, constraints=ConstraintSet.qos_distance())
+        assert problem.qos_satisfied("far", "root")
+        assert not problem.qos_satisfied("near", "root")
+
+    def test_link_bandwidth_only_when_enforced(self, qos_tree):
+        relaxed = replica_cost_problem(qos_tree)
+        assert math.isinf(relaxed.link_bandwidth("mid"))
+
+    def test_with_constraints_and_with_kind(self, small_tree):
+        problem = replica_cost_problem(small_tree)
+        qos = problem.with_constraints(ConstraintSet.qos_distance())
+        assert qos.constraints.has_qos and not problem.constraints.has_qos
+        counting = problem.with_kind(ProblemKind.REPLICA_COUNTING)
+        assert counting.kind is ProblemKind.REPLICA_COUNTING
+
+    def test_describe_and_size(self, small_problem):
+        assert small_problem.size == 5
+        assert "lambda" in small_problem.describe()
+
+    def test_is_homogeneous(self, small_problem, hetero_problem):
+        assert small_problem.is_homogeneous
+        assert not hetero_problem.is_homogeneous

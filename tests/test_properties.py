@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These exercise the data structures and algorithms on randomly drawn trees,
+checking the structural invariants the rest of the package relies on:
+
+* generated trees are well-formed (sizes, loads, reachability);
+* every heuristic either fails or produces a solution that passes full
+  validation under its own policy;
+* policy dominance: a valid Closest solution is valid for Upwards, a valid
+  Upwards solution is valid for Multiple;
+* the LP lower bound never exceeds the cost of any valid solution;
+* the optimal Multiple/homogeneous algorithm never beats the
+  ``ceil(sum r / W)`` bound and never loses to MultipleGreedy;
+* tree serialization round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algorithms import MultipleGreedy, MultipleHomogeneousOptimal, get_heuristic
+from repro.core.costs import request_lower_bound
+from repro.core.policies import Policy
+from repro.core.problem import ProblemKind, ReplicaPlacementProblem
+from repro.core.serialization import tree_from_dict, tree_to_dict
+from repro.core.validation import validate_solution
+from repro.workloads.generator import GeneratorConfig, TreeGenerator
+
+SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+tree_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "size": st.integers(min_value=10, max_value=60),
+        "load": st.floats(min_value=0.1, max_value=0.8),
+        "homogeneous": st.booleans(),
+    }
+)
+
+
+def build_problem(params) -> ReplicaPlacementProblem:
+    tree = TreeGenerator(params["seed"]).generate(
+        GeneratorConfig(
+            size=params["size"],
+            target_load=round(params["load"], 2),
+            homogeneous=params["homogeneous"],
+        )
+    )
+    kind = (
+        ProblemKind.REPLICA_COUNTING
+        if params["homogeneous"]
+        else ProblemKind.REPLICA_COST
+    )
+    return ReplicaPlacementProblem(tree=tree, kind=kind)
+
+
+class TestGeneratedTreeInvariants:
+    @given(params=tree_params)
+    @settings(**SETTINGS)
+    def test_tree_is_well_formed(self, params):
+        problem = build_problem(params)
+        tree = problem.tree
+        assert tree.size == params["size"]
+        assert abs(tree.load_factor() - round(params["load"], 2)) < 0.05
+        # every element reaches the root
+        for element in tree.client_ids + tree.node_ids:
+            chain = tree.ancestors(element)
+            assert element == tree.root or chain[-1] == tree.root
+
+    @given(params=tree_params)
+    @settings(**SETTINGS)
+    def test_subtree_requests_consistent(self, params):
+        tree = build_problem(params).tree
+        for node_id in tree.node_ids:
+            expected = sum(
+                tree.client(cid).requests for cid in tree.subtree_clients(node_id)
+            )
+            assert tree.subtree_requests(node_id) == pytest.approx(expected)
+
+    @given(params=tree_params)
+    @settings(**SETTINGS)
+    def test_serialization_roundtrip(self, params):
+        tree = build_problem(params).tree
+        assert tree_from_dict(tree_to_dict(tree)) == tree
+
+
+class TestHeuristicInvariants:
+    @given(
+        params=tree_params,
+        name=st.sampled_from(["CTDA", "CTDLF", "CBU", "UTD", "UBCF", "MTD", "MBU", "MG"]),
+    )
+    @settings(**SETTINGS)
+    def test_heuristic_solutions_validate(self, params, name):
+        problem = build_problem(params)
+        heuristic = get_heuristic(name)
+        solution = heuristic.try_solve(problem)
+        if solution is None:
+            return
+        report = validate_solution(problem, solution, policy=heuristic.policy)
+        assert report.valid, report.violations
+
+    @given(params=tree_params)
+    @settings(**SETTINGS)
+    def test_policy_dominance_of_solutions(self, params):
+        problem = build_problem(params)
+        closest = get_heuristic("CTDA").try_solve(problem)
+        if closest is not None:
+            # A Closest solution is a valid Upwards and Multiple solution.
+            assert validate_solution(problem, closest, policy=Policy.UPWARDS).valid
+            assert validate_solution(problem, closest, policy=Policy.MULTIPLE).valid
+        upwards = get_heuristic("UBCF").try_solve(problem)
+        if upwards is not None:
+            assert validate_solution(problem, upwards, policy=Policy.MULTIPLE).valid
+
+    @given(params=tree_params)
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_lp_bound_below_every_solution(self, params):
+        from repro.lp.bounds import lp_lower_bound
+
+        problem = build_problem(params)
+        bound = lp_lower_bound(problem)
+        for name in ("MG", "UBCF", "CTDA"):
+            solution = get_heuristic(name).try_solve(problem)
+            if solution is not None:
+                assert bound.value <= solution.cost(problem) + 1e-6
+
+
+class TestOptimalAlgorithmInvariants:
+    @given(params=tree_params)
+    @settings(**SETTINGS)
+    def test_optimal_between_bound_and_greedy(self, params):
+        if not params["homogeneous"]:
+            return
+        problem = build_problem(params)
+        optimal = MultipleHomogeneousOptimal().try_solve(problem)
+        greedy = MultipleGreedy().try_solve(problem)
+        assert (optimal is None) == (greedy is None)
+        if optimal is None:
+            return
+        assert optimal.replica_count() >= request_lower_bound(problem.tree)
+        assert optimal.replica_count() <= greedy.replica_count()
+
+    @given(params=tree_params)
+    @settings(**SETTINGS)
+    def test_assignment_conserves_requests(self, params):
+        problem = build_problem(params)
+        solution = MultipleGreedy().try_solve(problem)
+        if solution is None:
+            return
+        assert solution.assignment.total_assigned() == pytest.approx(
+            problem.tree.total_requests()
+        )

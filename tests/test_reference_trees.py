@@ -1,0 +1,162 @@
+"""Reproduction of the paper's Section 3 / Section 4 example claims."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.costs import request_lower_bound
+from repro.core.exceptions import InfeasibleError
+from repro.core.policies import Policy
+from repro.core.problem import replica_cost_problem, replica_counting_problem
+from repro.lp.exact import exact_cost
+from repro.workloads import reference_trees as rt
+
+
+class TestFigure1:
+    def test_variant_a_all_policies_feasible(self):
+        problem = replica_counting_problem(rt.figure1_tree("a"))
+        for policy in Policy.ordered():
+            assert exact_cost(problem, policy) == 1
+
+    def test_variant_b_closest_fails_upwards_succeeds(self):
+        problem = replica_counting_problem(rt.figure1_tree("b"))
+        with pytest.raises(InfeasibleError):
+            exact_cost(problem, Policy.CLOSEST)
+        assert exact_cost(problem, Policy.UPWARDS) == 2
+        assert exact_cost(problem, Policy.MULTIPLE) == 2
+
+    def test_variant_c_only_multiple_succeeds(self):
+        problem = replica_counting_problem(rt.figure1_tree("c"))
+        with pytest.raises(InfeasibleError):
+            exact_cost(problem, Policy.CLOSEST)
+        with pytest.raises(InfeasibleError):
+            exact_cost(problem, Policy.UPWARDS)
+        assert exact_cost(problem, Policy.MULTIPLE) == 2
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            rt.figure1_tree("z")
+
+
+class TestFigure2UpwardsVsClosest:
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_upwards_needs_three_replicas(self, n):
+        problem = replica_counting_problem(rt.figure2_tree(n))
+        assert exact_cost(problem, Policy.UPWARDS) == 3
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_closest_needs_n_plus_two_replicas(self, n):
+        problem = replica_counting_problem(rt.figure2_tree(n))
+        assert exact_cost(problem, Policy.CLOSEST) == n + 2
+
+    def test_gap_grows_with_n(self):
+        gaps = []
+        for n in (2, 5):
+            problem = replica_counting_problem(rt.figure2_tree(n))
+            gaps.append(
+                exact_cost(problem, Policy.CLOSEST) / exact_cost(problem, Policy.UPWARDS)
+            )
+        assert gaps[1] > gaps[0]
+
+    def test_structure(self):
+        tree = rt.figure2_tree(3)
+        assert len(tree.node_ids) == 2 * 3 + 2
+        assert len(tree.client_ids) == 2 * 3 + 1
+        assert tree.uniform_capacity() == 3
+
+
+class TestFigure3MultipleVsUpwards:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_multiple_needs_n_plus_one(self, n):
+        problem = replica_counting_problem(rt.figure3_tree(n))
+        assert exact_cost(problem, Policy.MULTIPLE) == n + 1
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_upwards_needs_two_n(self, n):
+        problem = replica_counting_problem(rt.figure3_tree(n))
+        assert exact_cost(problem, Policy.UPWARDS) == 2 * n
+
+    def test_ratio_tends_to_two(self):
+        n = 4
+        problem = replica_counting_problem(rt.figure3_tree(n))
+        ratio = exact_cost(problem, Policy.UPWARDS) / exact_cost(problem, Policy.MULTIPLE)
+        assert ratio == pytest.approx(2 * n / (n + 1))
+
+
+class TestFigure4Heterogeneous:
+    def test_multiple_cost_is_two_n(self):
+        problem = replica_cost_problem(rt.figure4_tree(5, 10))
+        assert exact_cost(problem, Policy.MULTIPLE) == 10
+
+    def test_upwards_must_buy_the_big_server(self):
+        n, K = 5, 10
+        problem = replica_cost_problem(rt.figure4_tree(n, K))
+        cost = exact_cost(problem, Policy.UPWARDS)
+        assert cost >= K * n  # the big server is unavoidable
+
+    def test_gap_unbounded_in_k(self):
+        n = 4
+        ratios = []
+        for K in (5, 50):
+            problem = replica_cost_problem(rt.figure4_tree(n, K))
+            ratios.append(
+                exact_cost(problem, Policy.UPWARDS) / exact_cost(problem, Policy.MULTIPLE)
+            )
+        assert ratios[1] > ratios[0] * 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            rt.figure4_tree(1, 10)
+        with pytest.raises(ValueError):
+            rt.figure4_tree(5, 1)
+
+
+class TestFigure5LowerBoundGap:
+    def test_lower_bound_is_two_but_optimum_is_n_plus_one(self):
+        n, capacity = 4, 8.0
+        tree = rt.figure5_tree(n, capacity)
+        problem = replica_counting_problem(tree)
+        assert request_lower_bound(tree) == 2
+        for policy in Policy.ordered():
+            assert exact_cost(problem, policy) == n + 1
+
+
+class TestReductionTrees:
+    def test_three_partition_structure(self):
+        tree = rt.three_partition_tree((10, 14, 16, 12, 13, 15), 40)
+        assert len(tree.node_ids) == 2
+        assert len(tree.client_ids) == 6
+        # every client hangs off n1, the bottom of the chain
+        assert all(tree.parent(cid) == "n1" for cid in tree.client_ids)
+
+    def test_three_partition_yes_instance_solvable(self):
+        tree = rt.three_partition_tree((10, 14, 16, 12, 13, 15), 40)
+        problem = replica_cost_problem(tree)
+        assert exact_cost(problem, Policy.UPWARDS) == pytest.approx(80)
+
+    def test_three_partition_no_instance_unsolvable(self):
+        tree = rt.three_partition_tree((11, 11, 11, 11, 11, 17), 36)
+        problem = replica_cost_problem(tree)
+        with pytest.raises(InfeasibleError):
+            exact_cost(problem, Policy.UPWARDS)
+
+    def test_three_partition_validation(self):
+        with pytest.raises(ValueError):
+            rt.three_partition_tree((1, 2), 3)
+
+    def test_two_partition_yes_instance_cost(self):
+        values = (3, 1, 1, 2, 2, 1)  # S = 10, balanced split exists
+        problem = replica_cost_problem(rt.two_partition_tree(values))
+        assert exact_cost(problem, Policy.MULTIPLE) == pytest.approx(11)
+        assert exact_cost(problem, Policy.CLOSEST) == pytest.approx(11)
+
+    def test_two_partition_no_instance_costs_more(self):
+        values = (3, 3, 1)  # S = 7, no balanced split
+        problem = replica_cost_problem(rt.two_partition_tree(values))
+        assert exact_cost(problem, Policy.MULTIPLE) > 8 + 1e-9
+
+    def test_two_partition_validation(self):
+        with pytest.raises(ValueError):
+            rt.two_partition_tree(())

@@ -1,0 +1,200 @@
+"""Unit tests for solutions (placement/assignment) and constraint validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.constraints import ConstraintSet
+from repro.core.exceptions import InfeasibleError, PolicyViolationError
+from repro.core.policies import Policy
+from repro.core.problem import replica_cost_problem
+from repro.core.solution import Assignment, Placement, Solution
+from repro.core.validation import closest_server_map, validate_solution
+
+
+def solution_for(small_tree, amounts, replicas, policy=Policy.MULTIPLE):
+    return Solution(
+        placement=Placement(replicas),
+        assignment=Assignment(amounts),
+        policy=policy,
+        algorithm="test",
+    )
+
+
+class TestPlacement:
+    def test_membership_iteration_and_len(self):
+        placement = Placement(["a", "b"])
+        assert "a" in placement and "c" not in placement
+        assert sorted(placement) == ["a", "b"]
+        assert len(placement) == 2
+
+    def test_union(self):
+        assert sorted(Placement(["a"]) | Placement(["b"])) == ["a", "b"]
+
+    def test_sorted_is_deterministic(self):
+        assert Placement(["b", "a"]).sorted() == ("a", "b")
+
+    def test_restricted_to(self, small_tree):
+        placement = Placement(["root", "ghost"])
+        assert set(placement.restricted_to(small_tree)) == {"root"}
+
+
+class TestAssignment:
+    def test_amounts_and_totals(self):
+        assignment = Assignment({("c1", "n1"): 4, ("c1", "root"): 3, ("c2", "n1"): 5})
+        assert assignment.amount("c1", "n1") == 4
+        assert assignment.amount("c1", "ghost") == 0
+        assert assignment.client_total("c1") == 7
+        assert assignment.server_load("n1") == 9
+        assert assignment.total_assigned() == 12
+        assert len(assignment) == 3
+
+    def test_zero_amounts_are_dropped(self):
+        assignment = Assignment({("c1", "n1"): 0.0})
+        assert len(assignment) == 0
+
+    def test_negative_amounts_rejected(self):
+        with pytest.raises(PolicyViolationError):
+            Assignment({("c1", "n1"): -1})
+
+    def test_servers_and_clients_lookup(self):
+        assignment = Assignment({("c1", "n1"): 4, ("c1", "root"): 3})
+        assert set(assignment.servers_of("c1")) == {"n1", "root"}
+        assert assignment.clients_of("n1") == ("c1",)
+        assert assignment.used_servers() == {"n1", "root"}
+
+    def test_single_server_constructor(self, small_tree):
+        assignment = Assignment.single_server({"c1": "n1", "c2": "root"}, small_tree)
+        assert assignment.amount("c1", "n1") == 7
+        assert assignment.amount("c2", "root") == 3
+
+    def test_link_flows(self, small_tree):
+        assignment = Assignment({("c1", "root"): 7, ("c2", "n1"): 5})
+        flows = assignment.link_flows(small_tree)
+        assert flows[("c1", "n1")] == 7
+        assert flows[("n1", "root")] == 7
+        assert flows[("c2", "n1")] == 5
+
+    def test_is_integral(self):
+        assert Assignment({("c", "n"): 3.0}).is_integral()
+        assert not Assignment({("c", "n"): 2.5}).is_integral()
+
+    def test_copy_and_equality(self):
+        original = Assignment({("c", "n"): 3.0})
+        assert original.copy() == original
+
+    def test_server_loads_mapping(self):
+        assignment = Assignment({("c1", "n1"): 4, ("c2", "n1"): 5, ("c1", "root"): 1})
+        assert assignment.server_loads() == {"n1": 9.0, "root": 1.0}
+
+
+class TestSolutionObject:
+    def test_cost_and_replica_count(self, small_problem, small_tree):
+        sol = solution_for(small_tree, {("c1", "n1"): 7}, ["n1"])
+        assert sol.replica_count() == 1
+        assert sol.cost(small_problem) == 10  # Replica Cost: s = W
+
+    def test_server_utilisation(self, small_tree):
+        sol = solution_for(small_tree, {("c1", "n1"): 7}, ["n1", "root"])
+        util = sol.server_utilisation(small_tree)
+        assert util["n1"] == pytest.approx(0.7)
+        assert util["root"] == 0.0
+
+    def test_with_algorithm_and_summary(self, small_problem, small_tree):
+        sol = solution_for(small_tree, {("c1", "n1"): 7}, ["n1"])
+        renamed = sol.with_algorithm("other")
+        assert renamed.algorithm == "other"
+        assert "replicas=1" in renamed.summary(small_problem)
+
+
+class TestValidation:
+    def full_amounts(self):
+        return {("c1", "n1"): 7, ("c2", "n1"): 3, ("c3", "root"): 2}
+
+    def test_valid_multiple_solution(self, small_problem, small_tree):
+        sol = solution_for(small_tree, self.full_amounts(), ["n1", "root"])
+        report = validate_solution(small_problem, sol)
+        assert report.valid and not report.violations
+        report.raise_if_invalid()  # does not raise
+
+    def test_missing_coverage_detected(self, small_problem, small_tree):
+        sol = solution_for(small_tree, {("c1", "n1"): 7}, ["n1"])
+        report = validate_solution(small_problem, sol)
+        assert not report.valid and "coverage" in report.categories
+
+    def test_capacity_violation_detected(self, small_problem, small_tree):
+        amounts = {("c1", "root"): 7, ("c2", "root"): 3, ("c3", "root"): 2}
+        sol = solution_for(small_tree, amounts, ["root"])
+        report = validate_solution(small_problem, sol)
+        assert "capacity" in report.categories
+
+    def test_unplaced_server_detected(self, small_problem, small_tree):
+        sol = solution_for(small_tree, self.full_amounts(), ["n1"])  # root missing
+        report = validate_solution(small_problem, sol)
+        assert "structure" in report.categories
+
+    def test_non_ancestor_server_detected(self, small_problem, small_tree):
+        amounts = {("c3", "n1"): 2, ("c1", "n1"): 7, ("c2", "n1"): 5}
+        sol = solution_for(small_tree, amounts, ["n1"])
+        report = validate_solution(small_problem, sol)
+        assert "structure" in report.categories
+
+    def test_single_server_policy_violation(self, small_problem, small_tree):
+        amounts = {("c1", "n1"): 4, ("c1", "root"): 3, ("c2", "n1"): 3, ("c3", "root"): 2}
+        sol = solution_for(small_tree, amounts, ["n1", "root"], policy=Policy.UPWARDS)
+        report = validate_solution(small_problem, sol)
+        assert "policy" in report.categories
+
+    def test_closest_must_use_lowest_replica(self, small_problem, small_tree):
+        # c1 served at the root although n1 holds a replica: invalid for Closest.
+        amounts = {("c1", "root"): 7, ("c2", "n1"): 3, ("c3", "root"): 2}
+        sol = solution_for(small_tree, amounts, ["n1", "root"], policy=Policy.CLOSEST)
+        report = validate_solution(small_problem, sol)
+        assert "policy" in report.categories
+
+    def test_closest_valid_when_lowest_used(self, small_problem, small_tree):
+        amounts = {("c1", "n1"): 7, ("c2", "n1"): 3, ("c3", "root"): 2}
+        sol = solution_for(small_tree, amounts, ["n1", "root"], policy=Policy.CLOSEST)
+        assert validate_solution(small_problem, sol).valid
+
+    def test_qos_violation_detected(self, qos_tree):
+        problem = replica_cost_problem(qos_tree, constraints=ConstraintSet.qos_distance())
+        amounts = {("near", "root"): 5, ("far", "root"): 5, ("top", "root"): 5}
+        sol = solution_for(qos_tree, amounts, ["root"])
+        report = validate_solution(problem, sol)
+        assert "qos" in report.categories
+
+    def test_bandwidth_violation_detected(self):
+        from repro.core.builder import TreeBuilder
+
+        tree = (
+            TreeBuilder()
+            .add_node("root", capacity=100)
+            .add_node("n1", capacity=100, parent="root", bandwidth=3)
+            .add_client("c", requests=10, parent="n1")
+            .build()
+        )
+        problem = replica_cost_problem(
+            tree, constraints=ConstraintSet(enforce_bandwidth=True)
+        )
+        sol = solution_for(tree, {("c", "root"): 10}, ["root"])
+        report = validate_solution(problem, sol)
+        assert "bandwidth" in report.categories
+
+    def test_raise_if_invalid(self, small_problem, small_tree):
+        sol = solution_for(small_tree, {}, [])
+        report = validate_solution(small_problem, sol)
+        with pytest.raises(InfeasibleError):
+            report.raise_if_invalid()
+
+    def test_bool_protocol(self, small_problem, small_tree):
+        good = solution_for(small_tree, self.full_amounts(), ["n1", "root"])
+        assert bool(validate_solution(small_problem, good)) is True
+
+    def test_closest_server_map(self, small_tree):
+        servers = closest_server_map(small_tree, ["root"])
+        assert servers == {"c1": "root", "c2": "root", "c3": "root"}
+        servers = closest_server_map(small_tree, ["n1"])
+        assert servers == {"c1": "n1", "c2": "n1"}
