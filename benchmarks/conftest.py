@@ -21,6 +21,13 @@ from repro.experiments.harness import CampaignConfig, run_campaign
 FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench: perf smoke benchmarks that record trajectory entries in BENCH_*.json",
+    )
+
+
 def campaign_config(homogeneous: bool) -> CampaignConfig:
     """The campaign plan used by the figure benchmarks."""
     if FULL_SCALE:

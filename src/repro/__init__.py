@@ -54,7 +54,7 @@ from repro.core.problem import (
 from repro.core.solution import Assignment, Placement, Solution
 from repro.core.validation import validate_solution, ValidationReport
 from repro.core.costs import placement_cost, request_lower_bound
-from repro.api import solve, compare_policies, lower_bound
+from repro.api import solve, solve_many, compare_policies, lower_bound
 
 __all__ = [
     "__version__",
@@ -77,6 +77,7 @@ __all__ = [
     "placement_cost",
     "request_lower_bound",
     "solve",
+    "solve_many",
     "compare_policies",
     "lower_bound",
 ]

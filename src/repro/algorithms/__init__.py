@@ -6,6 +6,13 @@ Contents
 * :mod:`repro.algorithms.base` -- the :class:`PlacementHeuristic` interface,
   the shared :class:`repro.algorithms.common.RequestState` bookkeeping and
   the heuristic registry;
+* :mod:`repro.algorithms.common` -- the request-state engine factory
+  (:func:`~repro.algorithms.common.make_state` /
+  :func:`~repro.algorithms.common.use_engine`): every heuristic runs either
+  on the paper-faithful dict engine or on the indexed
+  :class:`repro.algorithms.fast_state.FastRequestState` (the default; set
+  ``REPRO_ENGINE=dict`` to switch back), the two being pinned to each other
+  by the cross-validation suite;
 * :mod:`repro.algorithms.multiple_homogeneous` -- the paper's optimal
   polynomial algorithm for the Multiple policy on homogeneous platforms
   (Section 4.1, Theorem 1);
@@ -25,6 +32,15 @@ from repro.algorithms.base import (
     heuristics_for_policy,
     solve_with,
 )
+from repro.algorithms.common import (
+    RequestState,
+    make_state,
+    available_engines,
+    get_default_engine,
+    set_default_engine,
+    use_engine,
+)
+from repro.algorithms.fast_state import FastRequestState
 from repro.algorithms.multiple_homogeneous import MultipleHomogeneousOptimal
 from repro.algorithms.closest import (
     ClosestTopDownAll,
@@ -43,6 +59,13 @@ __all__ = [
     "available_heuristics",
     "heuristics_for_policy",
     "solve_with",
+    "RequestState",
+    "FastRequestState",
+    "make_state",
+    "available_engines",
+    "get_default_engine",
+    "set_default_engine",
+    "use_engine",
     "MultipleHomogeneousOptimal",
     "ClosestTopDownAll",
     "ClosestTopDownLargestFirst",

@@ -15,7 +15,7 @@ from typing import Optional
 
 from repro.algorithms.base import PlacementHeuristic, register_heuristic
 from repro.algorithms.closest.ctda import closest_cover_eligible
-from repro.algorithms.common import RequestState
+from repro.algorithms.common import make_state
 from repro.core.policies import Policy
 from repro.core.problem import ReplicaPlacementProblem
 from repro.core.solution import Solution
@@ -31,7 +31,7 @@ class ClosestBottomUp(PlacementHeuristic):
     policy = Policy.CLOSEST
 
     def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
-        state = RequestState(problem)
+        state = make_state(problem)
         tree = problem.tree
 
         for node_id in tree.post_order_nodes():

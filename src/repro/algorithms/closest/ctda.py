@@ -15,7 +15,7 @@ from collections import deque
 from typing import Optional
 
 from repro.algorithms.base import PlacementHeuristic, register_heuristic
-from repro.algorithms.common import RequestState
+from repro.algorithms.common import RequestState, make_state
 from repro.core.policies import Policy
 from repro.core.problem import ReplicaPlacementProblem
 from repro.core.solution import Solution
@@ -52,7 +52,7 @@ class ClosestTopDownAll(PlacementHeuristic):
     policy = Policy.CLOSEST
 
     def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
-        state = RequestState(problem)
+        state = make_state(problem)
         tree = problem.tree
         passes = 0
 

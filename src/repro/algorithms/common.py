@@ -22,16 +22,95 @@ the paper exactly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import contextlib
+import contextvars
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.policies import Policy
 from repro.core.problem import ReplicaPlacementProblem
 from repro.core.solution import Assignment, Placement, Solution
 from repro.core.tree import NodeId
 
-__all__ = ["RequestState"]
+__all__ = [
+    "RequestState",
+    "make_state",
+    "available_engines",
+    "get_default_engine",
+    "set_default_engine",
+    "use_engine",
+]
 
 _TOL = 1e-9
+
+#: The two interchangeable state engines: the paper-faithful dict
+#: implementation below and the indexed array implementation of
+#: :mod:`repro.algorithms.fast_state`.
+_ENGINES = ("dict", "fast")
+
+#: The selected engine lives in a :class:`~contextvars.ContextVar` so that
+#: concurrent batch calls (threads, async tasks) switching engines never
+#: clobber each other; forked worker processes inherit the parent's value.
+#: Every new thread starts from the ``REPRO_ENGINE`` environment default.
+_engine_var: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_engine", default=os.environ.get("REPRO_ENGINE", "fast")
+)
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Names of the available request-state engines."""
+    return _ENGINES
+
+
+def get_default_engine() -> str:
+    """Engine used when :func:`make_state` is called without an override."""
+    return _engine_var.get()
+
+
+def set_default_engine(engine: str) -> str:
+    """Select the default engine; returns the previous default.
+
+    The initial default is the ``REPRO_ENGINE`` environment variable when
+    set, and the indexed ``"fast"`` engine otherwise (the two engines are
+    pinned to each other by the equivalence test suite).  The selection is
+    context-local: it applies to the current thread / async context and to
+    worker processes forked from it.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; available: {_ENGINES}")
+    previous = _engine_var.get()
+    _engine_var.set(engine)
+    return previous
+
+
+@contextlib.contextmanager
+def use_engine(engine: str) -> Iterator[str]:
+    """Context manager temporarily switching the default engine."""
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; available: {_ENGINES}")
+    token = _engine_var.set(engine)
+    try:
+        yield engine
+    finally:
+        _engine_var.reset(token)
+
+
+def make_state(problem: ReplicaPlacementProblem, engine: Optional[str] = None) -> "RequestState":
+    """Build the request-affectation state every heuristic runs on.
+
+    ``engine`` forces ``"dict"`` (the seed implementation below) or
+    ``"fast"`` (the array-backed :class:`~repro.algorithms.fast_state.FastRequestState`);
+    by default the engine selected by :func:`set_default_engine` /
+    :func:`use_engine` is used.
+    """
+    engine = engine or _engine_var.get()
+    if engine == "dict":
+        return RequestState(problem)
+    if engine == "fast":
+        from repro.algorithms.fast_state import FastRequestState
+
+        return FastRequestState(problem)
+    raise ValueError(f"unknown engine {engine!r}; available: {_ENGINES}")
 
 
 class RequestState:

@@ -1,0 +1,373 @@
+"""Indexed request-affectation state (the "fast" engine).
+
+:class:`FastRequestState` is a drop-in replacement for
+:class:`repro.algorithms.common.RequestState` built on top of
+:class:`repro.core.index.TreeIndex`.  It keeps the exact same public API --
+``remaining`` / ``inreq`` / ``residual`` are plain id-keyed dicts exactly
+like the seed's, and ``assign`` / ``drain`` / ``cover`` /
+``pending_clients`` / ``eligible_*`` behave identically -- so all eight
+paper heuristics run unchanged, but the hot paths run on the tree's
+interned layout:
+
+* pending-client enumeration walks the contiguous subtree client span with
+  plain list indexing (no per-id tree queries), and short-circuits in O(1)
+  when the span's ``inreq`` shows nothing is pending;
+* QoS eligibility collapses to a single per-client *depth threshold*
+  (the QoS metrics are monotone along the client-to-root path), one integer
+  comparison instead of a metric evaluation per (client, server) pair;
+  thresholds are memoised per tree;
+* ``drain`` orders its candidates by precomputed ``repr`` tie-break keys
+  via decorate-sort-undecorate (no key lambda, no ``repr()`` calls);
+* large ``cover`` calls batch the ``inreq`` update of the server's whole
+  subtree with one prefix sum over the served span.
+
+Equivalence contract
+--------------------
+
+On integral workloads (the paper's request model, and everything the
+generators produce) the fast engine is **bit-for-bit identical** to the
+dict engine: the cross-validation suite ``tests/test_fast_state_equivalence``
+pins placements, assignments and costs of every heuristic to the seed
+behaviour.  On non-integral workloads the batched updates may differ from
+the sequential dict updates in the last ulp (different float summation
+order).
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop
+from itertools import accumulate
+from typing import Dict, List, Tuple
+
+from repro.algorithms.common import RequestState, _TOL
+from repro.core.index import TreeIndex
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.tree import NodeId
+
+__all__ = ["FastRequestState"]
+
+#: Above this many served clients a ``cover`` switches from per-client
+#: ancestor walks to the prefix-sum bulk update of the server's subtree.
+_BULK_COVER_MIN = 32
+
+
+class FastRequestState(RequestState):
+    """``RequestState`` with span-indexed bookkeeping over a :class:`TreeIndex`.
+
+    The public mappings (``remaining`` / ``inreq`` / ``residual``) are real
+    dicts -- heuristics read them at native dict speed -- while a parallel
+    positional vector of the remaining requests backs the span scans.
+    """
+
+    def __init__(self, problem: ReplicaPlacementProblem):
+        self.problem = problem
+        self.tree = problem.tree
+        index = TreeIndex.for_tree(self.tree)
+        self._index = index
+        #: id-keyed mutable state, same shape as the dict engine's
+        self.remaining: Dict[NodeId, float] = index.remaining_template.copy()
+        self.inreq: Dict[NodeId, float] = index.inreq_template.copy()
+        self.residual: Dict[NodeId, float] = index.residual_template.copy()
+        #: positional mirror of ``remaining`` in client layout order
+        self._remaining_vec: List[float] = list(index.client_requests)
+        self.replicas = set()
+        self.amounts: Dict[Tuple[NodeId, NodeId], float] = {}
+        #: QoS filtering, one of three modes: no QoS at all (both None),
+        #: the built-in metrics as per-client depth thresholds (memoised on
+        #: the index), or per-pair predicate filtering for constraint
+        #: subclasses whose metric the thresholds cannot represent (e.g. a
+        #: non-monotone override) -- the latter matches the dict engine
+        #: call for call.
+        from repro.core.constraints import ConstraintSet
+
+        constraints = problem.constraints
+        self._qos_thresholds = None
+        self._qos_check = None
+        if constraints.has_qos:
+            if type(constraints) is ConstraintSet:
+                self._qos_thresholds = index.qos_depth_thresholds(problem)
+            else:
+                self._qos_check = problem.qos_satisfied
+
+    # ------------------------------------------------------------------ #
+    # elementary operations
+    # ------------------------------------------------------------------ #
+    def assign(self, client_id: NodeId, server_id: NodeId, amount: float) -> None:
+        if amount <= _TOL:
+            return
+        index = self._index
+        ci = index.client_pos[client_id]
+        new_remaining = self.remaining[client_id] - amount
+        self.remaining[client_id] = new_remaining
+        self._remaining_vec[ci] = new_remaining
+        self.residual[server_id] -= amount
+        key = (client_id, server_id)
+        self.amounts[key] = self.amounts.get(key, 0.0) + amount
+        inreq = self.inreq
+        for ancestor in index.client_ancestors[ci]:
+            inreq[ancestor] -= amount
+
+    # ------------------------------------------------------------------ #
+    # client queries
+    # ------------------------------------------------------------------ #
+    def _span(self, element_id: NodeId) -> Tuple[int, int, int]:
+        """``(node_index, start, end)`` client span of ``subtree(element_id)``.
+
+        ``node_index`` is -1 when the element is itself a client (its span is
+        the singleton holding the client, mirroring the dict engine, which
+        accepts clients wherever ``tree.subtree_clients`` does).
+        """
+        index = self._index
+        node_index = index.node_pos.get(element_id)
+        if node_index is not None:
+            return node_index, index.client_span_start[node_index], index.client_span_end[node_index]
+        ci = index.client_index(element_id)  # raises on unknown ids
+        return -1, ci, ci + 1
+
+    def _pending_positions(self, element_id: NodeId, *, eligible: bool) -> Tuple[int, List[int]]:
+        """``(node_index, layout positions)`` of the (eligible) pending clients.
+
+        NOTE: the 3-branch span filter below (depth thresholds / per-pair
+        predicate / unfiltered) is deliberately repeated inline in
+        :meth:`pending_clients`, :meth:`eligible_pending_clients` and
+        :meth:`drain` rather than delegated: these are the engine's hottest
+        loops and a shared helper costs a second pass plus a call per query.
+        Change eligibility semantics in all four places together.
+        """
+        node_index, start, end = self._span(element_id)
+        if node_index >= 0 and self.inreq[element_id] <= _TOL:
+            # inreq is the exact pending total of the span: nothing to scan.
+            return node_index, []
+        remaining = self._remaining_vec
+        if eligible and self._qos_thresholds is not None and node_index >= 0:
+            depth = self._index.node_depth[node_index]
+            thresholds = self._qos_thresholds
+            positions = [
+                p
+                for p in range(start, end)
+                if remaining[p] > _TOL and thresholds[p] <= depth
+            ]
+        elif eligible and self._qos_check is not None:
+            check = self._qos_check
+            order = self._index.client_order
+            positions = [
+                p
+                for p in range(start, end)
+                if remaining[p] > _TOL and check(order[p], element_id)
+            ]
+        else:
+            positions = [p for p in range(start, end) if remaining[p] > _TOL]
+        return node_index, positions
+
+    def pending_clients(self, node_id: NodeId) -> List[NodeId]:
+        node_index, start, end = self._span(node_id)
+        if node_index >= 0 and self.inreq[node_id] <= _TOL:
+            return []
+        remaining = self._remaining_vec
+        order = self._index.client_order
+        return [order[p] for p in range(start, end) if remaining[p] > _TOL]
+
+    def eligible_pending_clients(self, server_id: NodeId) -> List[NodeId]:
+        node_index, start, end = self._span(server_id)
+        if node_index >= 0 and self.inreq[server_id] <= _TOL:
+            return []
+        remaining = self._remaining_vec
+        order = self._index.client_order
+        if self._qos_thresholds is not None and node_index >= 0:
+            depth = self._index.node_depth[node_index]
+            thresholds = self._qos_thresholds
+            return [
+                order[p]
+                for p in range(start, end)
+                if remaining[p] > _TOL and thresholds[p] <= depth
+            ]
+        if self._qos_check is not None:
+            check = self._qos_check
+            return [
+                order[p]
+                for p in range(start, end)
+                if remaining[p] > _TOL and check(order[p], server_id)
+            ]
+        return [order[p] for p in range(start, end) if remaining[p] > _TOL]
+
+    def eligible_inreq(self, server_id: NodeId) -> float:
+        if (
+            self._qos_thresholds is None
+            and self._qos_check is None
+            and server_id in self.inreq
+        ):
+            return self.inreq[server_id]
+        _, positions = self._pending_positions(server_id, eligible=True)
+        remaining = self._remaining_vec
+        return sum(remaining[p] for p in positions)
+
+    def total_pending(self) -> float:
+        return sum(self._remaining_vec)
+
+    # ------------------------------------------------------------------ #
+    # the paper's delete-requests procedures
+    # ------------------------------------------------------------------ #
+    def drain(
+        self,
+        server_id: NodeId,
+        budget: float,
+        *,
+        largest_first: bool = True,
+        split_last: bool = False,
+    ) -> float:
+        if budget <= _TOL:
+            return 0.0
+        index = self._index
+        si, start, end = self._span(server_id)
+        if si >= 0 and self.inreq[server_id] <= _TOL:
+            return 0.0
+        remaining = self._remaining_vec
+        reprs = index.client_repr
+        # Decorate-sort-undecorate: tuple comparison replaces the dict
+        # engine's key lambda; the trailing position keeps ties (equal
+        # amount, equal repr) in span order exactly like a stable key sort.
+        sign = -1.0 if largest_first else 1.0
+        if self._qos_thresholds is not None and si >= 0:
+            depth = index.node_depth[si]
+            thresholds = self._qos_thresholds
+            decorated = [
+                (sign * v, reprs[p], p)
+                for p in range(start, end)
+                if (v := remaining[p]) > _TOL and thresholds[p] <= depth
+            ]
+        elif self._qos_check is not None:
+            check = self._qos_check
+            order = index.client_order
+            decorated = [
+                (sign * v, reprs[p], p)
+                for p in range(start, end)
+                if (v := remaining[p]) > _TOL and check(order[p], server_id)
+            ]
+        else:
+            decorated = [
+                (sign * v, reprs[p], p)
+                for p in range(start, end)
+                if (v := remaining[p]) > _TOL
+            ]
+        if not decorated:
+            return 0.0
+        # The consumption loop often stops after a few clients (first-pass
+        # drains are capacity-bounded), so large candidate sets are consumed
+        # lazily from a heap instead of fully sorted; heap pops yield the
+        # exact sorted order (decorations are unique), so behaviour is
+        # unchanged.
+        use_heap = len(decorated) > 64
+        if use_heap:
+            heapify(decorated)
+            pop = heappop
+        elif len(decorated) > 1:
+            decorated.sort()
+
+        budget = float(budget)
+        drained = 0.0
+        taken: List[Tuple[int, float]] = []
+        position = 0
+        while True:
+            if use_heap:
+                if not decorated:
+                    break
+                entry = pop(decorated)
+            else:
+                if position == len(decorated):
+                    break
+                entry = decorated[position]
+                position += 1
+            p = entry[2]
+            pending = remaining[p]
+            if pending <= budget + _TOL:
+                taken.append((p, pending))
+                budget -= pending
+                drained += pending
+                if budget <= _TOL:
+                    break
+            elif split_last:
+                taken.append((p, budget))
+                drained += budget
+                budget = 0.0
+                break
+            # Whole-client mode: a client larger than the remaining budget is
+            # simply skipped (the paper tries the next, smaller, client).
+        if taken:
+            self._serve(server_id, si, taken)
+        return drained
+
+    def cover(self, server_id: NodeId) -> float:
+        si, positions = self._pending_positions(server_id, eligible=True)
+        if not positions:
+            return 0.0
+        remaining = self._remaining_vec
+        if si >= 0 and len(positions) >= _BULK_COVER_MIN:
+            return self._serve_bulk(server_id, si, positions)
+        return self._serve(server_id, si, [(p, remaining[p]) for p in positions])
+
+    # ------------------------------------------------------------------ #
+    # shared affectation plumbing
+    # ------------------------------------------------------------------ #
+    def _serve(self, server_id: NodeId, si: int, taken: List[Tuple[int, float]]) -> float:
+        """One :meth:`assign` per served client, with interned bookkeeping."""
+        index = self._index
+        order = index.client_order
+        ancestors = index.client_ancestors
+        amounts_map = self.amounts
+        remaining_map = self.remaining
+        remaining_vec = self._remaining_vec
+        inreq = self.inreq
+        total = 0.0
+        for p, amount in taken:
+            client_id = order[p]
+            key = (client_id, server_id)
+            amounts_map[key] = amounts_map.get(key, 0.0) + amount
+            new_remaining = remaining_vec[p] - amount
+            remaining_vec[p] = new_remaining
+            remaining_map[client_id] = new_remaining
+            for ancestor in ancestors[p]:
+                inreq[ancestor] -= amount
+            total += amount
+        self.residual[server_id] -= total  # KeyError on clients, like the seed
+        return total
+
+    def _serve_bulk(self, server_id: NodeId, si: int, positions: List[int]) -> float:
+        """Serve many clients of ``subtree(server_id)`` with one prefix sum.
+
+        Equivalent to one :meth:`assign` per client: every node of the
+        server's subtree sees its ``inreq`` drop by the amount served inside
+        its own span, and the server's ancestors by the total.
+        """
+        index = self._index
+        start = index.client_span_start[si]
+        end = index.client_span_end[si]
+        order = index.client_order
+        amounts_map = self.amounts
+        remaining_map = self.remaining
+        remaining_vec = self._remaining_vec
+
+        served = [0.0] * (end - start)
+        total = 0.0
+        for p in positions:
+            amount = remaining_vec[p]
+            client_id = order[p]
+            key = (client_id, server_id)
+            amounts_map[key] = amounts_map.get(key, 0.0) + amount
+            remaining_vec[p] = 0.0
+            remaining_map[client_id] = 0.0
+            served[p - start] = amount
+            total += amount
+        self.residual[server_id] -= total
+
+        prefix = list(accumulate(served, initial=0.0))
+        span_starts = index.client_span_start
+        span_ends = index.client_span_end
+        node_order = index.node_order
+        inreq = self.inreq
+        for node_index in range(si, index.node_span_end[si]):
+            delta = prefix[span_ends[node_index] - start] - prefix[span_starts[node_index] - start]
+            if delta:
+                inreq[node_order[node_index]] -= delta
+        for ancestor in index.node_ancestors[si]:
+            inreq[ancestor] -= total
+        return total

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.algorithms.base import PlacementHeuristic, register_heuristic
-from repro.algorithms.common import RequestState
+from repro.algorithms.common import make_state
 from repro.core.policies import Policy
 from repro.core.problem import ReplicaPlacementProblem
 from repro.core.solution import Solution
@@ -35,7 +35,7 @@ class UpwardsBigClientFirst(PlacementHeuristic):
     policy = Policy.UPWARDS
 
     def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
-        state = RequestState(problem)
+        state = make_state(problem)
         tree = problem.tree
 
         clients = sorted(

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.algorithms.base import PlacementHeuristic, register_heuristic
-from repro.algorithms.common import RequestState
+from repro.algorithms.common import RequestState, make_state
 from repro.core.policies import Policy
 from repro.core.problem import ReplicaPlacementProblem
 from repro.core.solution import Solution
@@ -46,7 +46,7 @@ class UpwardsTopDown(PlacementHeuristic):
     largest_first = True
 
     def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
-        state = RequestState(problem)
+        state = make_state(problem)
         tree = problem.tree
 
         self._first_pass(state, tree, tree.root)

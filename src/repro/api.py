@@ -1,22 +1,43 @@
 """High-level convenience API.
 
-Most users only need three calls:
+Most users only need four calls:
 
 * :func:`solve` -- place replicas on a tree under a chosen access policy,
   automatically picking the best available algorithm (the optimal greedy for
   Multiple on homogeneous platforms, the best of the paper's heuristics
   otherwise);
+* :func:`solve_many` -- batch variant of :func:`solve`: solve a sequence of
+  instances, optionally fanned out over worker processes with per-worker
+  chunking.  Results are order-preserving, and infeasible instances are
+  reported as ``None`` or raised depending on ``on_error``;
 * :func:`lower_bound` -- the LP-based lower bound of paper Section 7.1,
   used to judge how far a solution is from the optimum;
 * :func:`compare_policies` -- solve the same instance under Closest, Upwards
   and Multiple and report the costs side by side (the experiment of the
   paper in miniature).
+
+Scaling up
+----------
+
+Every solve runs on the indexed flat-tree engine
+(:class:`repro.core.index.TreeIndex` + the array-backed state of
+:mod:`repro.algorithms.fast_state`), which interns node ids to dense
+integers once per tree and is cross-validated bit-for-bit against the
+paper-faithful dict engine.  ``REPRO_ENGINE=dict`` (or
+:func:`repro.algorithms.common.set_default_engine`) switches back to the
+seed implementation.  For campaign-scale workloads, :func:`solve_many`
+with ``workers=N`` forks a process pool and splits the instance list into
+per-worker chunks, turning a load sweep over hundreds of trees into an
+embarrassingly parallel map.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional, Union
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.constraints import ConstraintSet
 from repro.core.exceptions import InfeasibleError
@@ -25,7 +46,7 @@ from repro.core.problem import ProblemKind, ReplicaPlacementProblem
 from repro.core.solution import Solution
 from repro.core.tree import TreeNetwork
 
-__all__ = ["solve", "lower_bound", "compare_policies", "as_problem"]
+__all__ = ["solve", "solve_many", "lower_bound", "compare_policies", "as_problem"]
 
 #: Heuristics tried (in order) per policy when no explicit algorithm is given.
 _DEFAULT_PORTFOLIO = {
@@ -112,6 +133,189 @@ def solve(
             f"no valid solution found under the {policy.value} policy", policy=policy
         )
     return best
+
+
+def _solve_chunk(
+    problems: Sequence[Union[TreeNetwork, ReplicaPlacementProblem]],
+    policy: Union[Policy, str],
+    algorithm: Optional[str],
+    constraints: Optional[ConstraintSet],
+    kind: Optional[ProblemKind],
+    on_error: str,
+    engine: Optional[str],
+) -> List[Tuple[Optional[Solution], Optional[Exception]]]:
+    """Solve a contiguous chunk of instances (runs inside a worker process).
+
+    Returns one ``(solution, error)`` pair per instance so the parent can
+    re-raise in input order under ``on_error="raise"``.
+    """
+    import contextlib
+
+    from repro.algorithms.common import use_engine
+
+    results: List[Tuple[Optional[Solution], Optional[Exception]]] = []
+    with use_engine(engine) if engine else contextlib.nullcontext():
+        for problem in problems:
+            try:
+                solution = solve(
+                    problem,
+                    policy=policy,
+                    algorithm=algorithm,
+                    constraints=constraints,
+                    kind=kind,
+                )
+                results.append((solution, None))
+            except InfeasibleError as error:
+                if on_error == "none":
+                    results.append((None, None))
+                else:
+                    # The caller raises the first in-order error and discards
+                    # everything after it: stop solving this chunk now.
+                    results.append((None, error))
+                    break
+    return results
+
+
+#: Per-call payloads inherited by forked workers (see :func:`chunked_pool_map`):
+#: on fork platforms the work items travel to the pool via the copy-on-write
+#: process image instead of being pickled per chunk, which matters for large
+#: trees.  Keyed by a per-call token so concurrent batch calls from several
+#: threads never observe each other's payloads; entries are removed as soon
+#: as the owning pool has returned.
+_FORK_PAYLOADS: Dict[str, Tuple[Callable, Sequence]] = {}
+
+
+def _fork_chunk_entry(token: str, start: int, end: int):
+    """Worker-side entry for fork pools: apply the payload fn to its slice."""
+    chunk_fn, items = _FORK_PAYLOADS[token]
+    return chunk_fn(items[start:end])
+
+
+def chunked_pool_map(chunk_fn: Callable, items: Sequence, workers: int) -> List:
+    """Apply ``chunk_fn`` to contiguous chunks of ``items`` over a process pool.
+
+    ``chunk_fn`` receives a list slice and returns a list of per-item
+    results; the concatenated results preserve input order.  The batch is
+    split into one chunk per worker, so each process pays the dispatch cost
+    once.  On fork platforms the items reach the workers through the
+    inherited process image (only ``(token, start, end)`` triples and the
+    results are pickled); elsewhere each chunk is pickled into the pool.
+
+    ``items`` must be non-empty and ``workers >= 2`` (callers handle the
+    sequential cases); used by :func:`solve_many` and the experiment
+    harness's parallel campaigns.
+    """
+    import multiprocessing
+    import threading
+
+    worker_count = min(workers, len(items))
+    chunk_size = (len(items) + worker_count - 1) // worker_count
+    bounds = [
+        (start, min(start + chunk_size, len(items)))
+        for start in range(0, len(items), chunk_size)
+    ]
+    # fork() from a multi-threaded parent can deadlock a child on a lock held
+    # by another thread, so the zero-copy payload path is only taken from a
+    # single-threaded process; otherwise fall back to the platform default
+    # context with pickled chunks.
+    can_fork = (
+        "fork" in multiprocessing.get_all_start_methods()
+        and threading.active_count() == 1
+    )
+    context = multiprocessing.get_context("fork") if can_fork else None
+    with ProcessPoolExecutor(max_workers=worker_count, mp_context=context) as pool:
+        if can_fork:
+            token = uuid.uuid4().hex
+            _FORK_PAYLOADS[token] = (chunk_fn, items)
+            try:
+                futures = [
+                    pool.submit(_fork_chunk_entry, token, start, end)
+                    for start, end in bounds
+                ]
+                return [result for future in futures for result in future.result()]
+            finally:
+                _FORK_PAYLOADS.pop(token, None)
+        else:  # non-fork platforms, or a multi-threaded parent process
+            futures = [
+                pool.submit(chunk_fn, list(items[start:end])) for start, end in bounds
+            ]
+            return [result for future in futures for result in future.result()]
+
+
+def solve_many(
+    problems: Iterable[Union[TreeNetwork, ReplicaPlacementProblem]],
+    *,
+    policy: Union[Policy, str] = Policy.MULTIPLE,
+    algorithm: Optional[str] = None,
+    constraints: Optional[ConstraintSet] = None,
+    kind: Optional[ProblemKind] = None,
+    workers: Optional[int] = None,
+    on_error: str = "none",
+    engine: Optional[str] = None,
+) -> List[Optional[Solution]]:
+    """Solve a batch of instances, optionally over a process pool.
+
+    Results are **order-preserving**: ``result[i]`` always corresponds to
+    ``problems[i]`` and is identical to ``solve(problems[i], ...)`` whatever
+    the worker count (the solvers are deterministic).
+
+    Parameters
+    ----------
+    problems:
+        Trees or fully-specified problems; coerced like :func:`solve`.
+    policy, algorithm, constraints, kind:
+        Forwarded to :func:`solve` for every instance.
+    workers:
+        ``None`` or ``<= 1`` solves sequentially in-process.  Larger values
+        fork a :class:`~concurrent.futures.ProcessPoolExecutor` and split
+        the batch into one contiguous chunk per worker, so each process
+        pays the serialisation cost once per chunk rather than per
+        instance.
+    on_error:
+        ``"none"`` (default) maps infeasible instances to ``None`` in the
+        result list, mirroring the success-rate accounting of the paper's
+        campaigns; ``"raise"`` re-raises the first
+        :class:`~repro.core.exceptions.InfeasibleError` in input order.
+        Any other exception always propagates.
+    engine:
+        Optional request-state engine override (``"fast"`` or ``"dict"``)
+        applied inside the workers; defaults to the process-wide engine.
+
+    Returns
+    -------
+    list of Solution or None
+        One entry per instance, ``None`` where no valid solution exists and
+        ``on_error="none"``.
+    """
+    if on_error not in ("none", "raise"):
+        raise ValueError(f"on_error must be 'none' or 'raise', got {on_error!r}")
+    batch = list(problems)
+    if not batch:
+        return []
+
+    if workers is None or workers <= 1:
+        pairs = _solve_chunk(batch, policy, algorithm, constraints, kind, on_error, engine)
+    else:
+        pairs = chunked_pool_map(
+            partial(
+                _solve_chunk,
+                policy=policy,
+                algorithm=algorithm,
+                constraints=constraints,
+                kind=kind,
+                on_error=on_error,
+                engine=engine,
+            ),
+            batch,
+            workers,
+        )
+
+    solutions: List[Optional[Solution]] = []
+    for solution, error in pairs:
+        if error is not None:
+            raise error
+        solutions.append(solution)
+    return solutions
 
 
 def lower_bound(

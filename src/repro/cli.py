@@ -7,11 +7,15 @@ Sub-commands
     Draw a random tree and write it to a JSON file.
 ``solve``
     Solve a tree (JSON file) under a chosen policy and print the placement.
+``batch``
+    Solve many tree JSON files in one go (optionally over worker
+    processes) and print one result line per file.
 ``compare``
     Solve the same tree under all three policies and print a comparison.
 ``campaign``
     Run a (reduced) experimental campaign and print the success-rate and
-    relative-cost tables of Figures 9-12.
+    relative-cost tables of Figures 9-12; ``--workers N`` fans the
+    instances out over a process pool.
 ``table1``
     Print the computational evidence backing paper Table 1.
 """
@@ -22,7 +26,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.api import compare_policies, solve
+from repro.api import compare_policies, solve, solve_many
 from repro.core.exceptions import InfeasibleError, ReproError
 from repro.core.policies import Policy
 from repro.core.problem import ProblemKind, ReplicaPlacementProblem
@@ -59,6 +63,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the Replica Counting cost (homogeneous platforms)",
     )
 
+    batch = sub.add_parser(
+        "batch", help="solve many tree JSON files (optionally in parallel)"
+    )
+    batch.add_argument("trees", nargs="+", help="tree JSON files")
+    batch.add_argument("--policy", default="multiple", help="closest | upwards | multiple")
+    batch.add_argument("--algorithm", default=None, help="force a specific heuristic")
+    batch.add_argument(
+        "--counting",
+        action="store_true",
+        help="use the Replica Counting cost (homogeneous platforms)",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="solve over N worker processes (default: sequential)",
+    )
+    batch.add_argument(
+        "--on-error",
+        choices=("none", "raise"),
+        default="none",
+        help="'none' prints 'no solution' for infeasible trees, 'raise' aborts",
+    )
+
     cmp = sub.add_parser("compare", help="compare the three policies on a tree")
     cmp.add_argument("tree", help="tree JSON file")
     cmp.add_argument("--counting", action="store_true", help="Replica Counting cost")
@@ -69,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--min-size", type=int, default=15)
     camp.add_argument("--max-size", type=int, default=60)
     camp.add_argument("--seed", type=int, default=2007)
+    camp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="evaluate instances over N worker processes",
+    )
 
     sub.add_parser("table1", help="print the computational evidence for paper Table 1")
 
@@ -112,6 +146,28 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"  replica on {node_id}: load {load:g} / {problem.capacity(node_id):g}")
         return 0
 
+    if args.command == "batch":
+        problems = [_load_problem(path, counting=args.counting) for path in args.trees]
+        solutions = solve_many(
+            problems,
+            policy=args.policy,
+            algorithm=args.algorithm,
+            workers=args.workers,
+            on_error=args.on_error,
+        )
+        failed = 0
+        for path, problem, solution in zip(args.trees, problems, solutions):
+            if solution is None:
+                failed += 1
+                print(f"{path}: no solution")
+            else:
+                print(
+                    f"{path}: cost {solution.cost(problem):g} with "
+                    f"{solution.replica_count()} replicas ({solution.algorithm})"
+                )
+        print(f"solved {len(problems) - failed}/{len(problems)} instances")
+        return 0 if failed < len(problems) else 2
+
     if args.command == "compare":
         problem = _load_problem(args.tree, counting=args.counting)
         results = compare_policies(problem)
@@ -133,7 +189,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             size_range=(args.min_size, args.max_size),
             seed=args.seed,
         )
-        result = run_campaign(config)
+        result = run_campaign(config, workers=args.workers)
         print(result.describe())
         print()
         print("Percentage of success (Figures 9 / 11):")

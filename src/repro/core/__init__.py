@@ -16,6 +16,9 @@ this package operates on:
 * :mod:`repro.core.costs` -- objective functions and combinatorial lower
   bounds;
 * :mod:`repro.core.constraints` -- QoS and link-capacity constraint records;
+* :mod:`repro.core.index` -- the interned flat-tree index (dense integer
+  ids, contiguous subtree spans, ancestor chains) backing the fast solver
+  engine and the batch API;
 * :mod:`repro.core.serialization` -- JSON round-tripping of trees and
   solutions.
 """
@@ -30,6 +33,7 @@ from repro.core.exceptions import (
     BandwidthExceededError,
 )
 from repro.core.tree import TreeNetwork, InternalNode, Client, Link
+from repro.core.index import TreeIndex
 from repro.core.builder import TreeBuilder
 from repro.core.policies import Policy
 from repro.core.problem import (
@@ -54,6 +58,7 @@ __all__ = [
     "InternalNode",
     "Client",
     "Link",
+    "TreeIndex",
     "TreeBuilder",
     "Policy",
     "ProblemKind",

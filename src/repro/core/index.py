@@ -1,0 +1,325 @@
+"""Dense integer indexing of a :class:`~repro.core.tree.TreeNetwork`.
+
+:class:`TreeIndex` interns the hashable node and client identifiers of a
+tree into dense integer ranges and precomputes the contiguous layouts every
+hot path of the placement engine needs:
+
+* internal nodes laid out in **DFS pre-order** (children in link insertion
+  order), so the internal nodes of ``subtree(j)`` form the contiguous span
+  ``j .. node_span_end[j]``;
+* clients laid out in **DFS leaf order** -- provably the exact order of
+  ``TreeNetwork.subtree_clients(root)`` -- so the clients of ``subtree(j)``
+  form the contiguous span ``client_span_start[j] .. client_span_end[j]``
+  *and* enumerate in the same order as the dict-based tree queries;
+* parent / depth / root-latency vectors for both populations and per-client
+  request vectors;
+* ready-to-``copy()`` dict templates for the engine's mutable state
+  (``remaining`` / ``inreq`` / ``residual``), so building a solver state
+  costs three C-level dict copies instead of per-id dict comprehensions.
+
+Scalar vectors are plain Python lists/tuples: the engine's span scans are
+dominated by element access from interpreted code, where list indexing
+beats both dict lookups (no hashing) and numpy arrays (no per-element C
+dispatch / unboxing).  Ancestor chains are shared with the tree's own
+cached tuples, so indexing a tree costs one DFS plus a handful of flat
+passes.
+
+The index is immutable, built once per tree (``TreeIndex.for_tree`` caches
+it on the tree instance) and shared by every state object built on the same
+tree, which is what makes batch solving over many scenarios cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.exceptions import TreeStructureError
+from repro.core.tree import NodeId, TreeNetwork
+
+__all__ = ["TreeIndex"]
+
+
+class TreeIndex:
+    """Flat, interned structural view of an immutable :class:`TreeNetwork`."""
+
+    __slots__ = (
+        "tree",
+        "n_nodes",
+        "n_clients",
+        "height",
+        "node_order",
+        "node_pos",
+        "client_order",
+        "client_pos",
+        "node_parent",
+        "node_depth",
+        "client_parent",
+        "client_depth",
+        "node_span_end",
+        "client_span_start",
+        "client_span_end",
+        "node_ancestors",
+        "client_ancestors",
+        "client_requests",
+        "client_repr",
+        "uplink_comm",
+        "node_root_latency",
+        "client_root_latency",
+        "remaining_template",
+        "inreq_template",
+        "residual_template",
+        "qos_threshold_cache",
+    )
+
+    def __init__(self, tree: TreeNetwork):
+        self.tree = tree
+        parent_map = tree._parent
+        children_map = tree._children
+        depth_map = tree._depth
+        clients_map = tree._clients
+        nodes_map = tree._nodes
+        ancestors_map = tree._ancestors
+        n_nodes = len(nodes_map)
+        n_clients = len(clients_map)
+        self.n_nodes = n_nodes
+        self.n_clients = n_clients
+        self.height = max(depth_map.values()) if depth_map else 0
+
+        # ---- DFS pre-order over internal nodes, DFS leaf order over clients.
+        # Children are visited in link insertion order, which makes the client
+        # layout identical to TreeNetwork.subtree_clients(root): that tuple is
+        # built as the concatenation of the children's tuples in the same
+        # insertion order.
+        node_order: List[NodeId] = []
+        client_order: List[NodeId] = []
+        node_pos: Dict[NodeId, int] = {}
+        client_pos: Dict[NodeId, int] = {}
+        node_span_end: List[int] = [0] * n_nodes
+        client_span_start: List[int] = [0] * n_nodes
+        client_span_end: List[int] = [0] * n_nodes
+
+        # Iterative DFS carrying explicit "exit" frames to close the spans.
+        stack: List[Tuple[NodeId, bool]] = [(tree.root, False)]
+        while stack:
+            element, leaving = stack.pop()
+            if leaving:
+                index = node_pos[element]
+                node_span_end[index] = len(node_order)
+                client_span_end[index] = len(client_order)
+                continue
+            if element in clients_map:
+                client_pos[element] = len(client_order)
+                client_order.append(element)
+                continue
+            index = len(node_order)
+            node_pos[element] = index
+            node_order.append(element)
+            client_span_start[index] = len(client_order)
+            stack.append((element, True))
+            children = children_map.get(element)
+            if children:
+                stack.extend((child, False) for child in reversed(children))
+
+        self.node_order = tuple(node_order)
+        self.client_order = tuple(client_order)
+        self.node_pos = node_pos
+        self.client_pos = client_pos
+        self.node_span_end = node_span_end
+        self.client_span_start = client_span_start
+        self.client_span_end = client_span_end
+
+        # ---- parents and depths ------------------------------------------ #
+        root = tree.root
+        self.node_parent = [
+            node_pos[parent_map[nid]] if nid != root else -1 for nid in node_order
+        ]
+        self.node_depth = list(map(depth_map.__getitem__, node_order))
+        self.client_parent = [node_pos[parent_map[cid]] for cid in client_order]
+        self.client_depth = list(map(depth_map.__getitem__, client_order))
+
+        # ---- ancestor chains: share the tree's cached id tuples ---------- #
+        self.node_ancestors = tuple(map(ancestors_map.__getitem__, node_order))
+        self.client_ancestors = tuple(map(ancestors_map.__getitem__, client_order))
+
+        # ---- workload vectors -------------------------------------------- #
+        self.client_requests = [
+            float(clients_map[cid].requests) for cid in client_order
+        ]
+        #: repr() of every client id, for deterministic tie-breaking that
+        #: matches the dict engine's ``repr`` sort keys.
+        self.client_repr = tuple(map(repr, client_order))
+
+        # ---- uplink communication times and cumulative root latencies ----- #
+        self.uplink_comm = {
+            child: link.comm_time for (child, _parent), link in tree._links.items()
+        }
+        uplink = self.uplink_comm
+        node_lat: Dict[NodeId, float] = {root: 0.0}
+        for nid in node_order:  # pre-order: parents before children
+            if nid != root:
+                node_lat[nid] = node_lat[parent_map[nid]] + uplink[nid]
+        self.node_root_latency = node_lat
+        self.client_root_latency = {
+            cid: node_lat[parent_map[cid]] + uplink[cid] for cid in client_order
+        }
+
+        # ---- dict templates for the engine's mutable state ---------------- #
+        self.remaining_template = {
+            cid: value for cid, value in zip(client_order, self.client_requests)
+        }
+        subtree_requests = tree._subtree_requests
+        self.inreq_template = {
+            nid: float(subtree_requests[nid]) for nid in node_order
+        }
+        self.residual_template = {
+            nid: float(nodes_map[nid].capacity) for nid in node_order
+        }
+
+        #: memoised per-client QoS depth thresholds, keyed by QoS mode
+        #: (filled lazily by the fast engine; bounds live on the tree, so a
+        #: mode fully determines the thresholds).
+        self.qos_threshold_cache: Dict[object, List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction / caching
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_tree(cls, tree: TreeNetwork) -> "TreeIndex":
+        """Return the (cached) index of ``tree``, building it on first use."""
+        cached = tree._index_cache
+        if cached is None:
+            cached = cls(tree)
+            tree._index_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # QoS depth thresholds
+    # ------------------------------------------------------------------ #
+    def qos_depth_thresholds(self, problem) -> List[int]:
+        """Per-client minimal eligible server depth under ``problem``'s QoS.
+
+        Both built-in QoS metrics (hop distance, cumulative latency) are
+        monotone non-decreasing towards the root, so the eligible ancestors
+        of a client form a bottom-up prefix of its chain: an ancestor ``a``
+        is eligible iff ``depth(a) >= threshold``.  The comparisons below
+        reproduce ``problem.qos_satisfied`` operation for operation (hop
+        counts as float subtraction, latencies accumulated link by link in
+        path order), so boundary cases agree bit-for-bit.  Client bounds
+        live on the tree, so results are memoised per QoS mode.
+
+        Only defined for the exact built-in :class:`ConstraintSet` -- a
+        subclass may override the metric with a non-monotone rule that no
+        single depth threshold can represent, so callers must keep per-pair
+        ``qos_satisfied`` filtering for those (raises ``ValueError``).
+        """
+        from repro.core.constraints import ConstraintSet, QoSMode
+
+        constraints = problem.constraints
+        if type(constraints) is not ConstraintSet or constraints.qos_mode not in (
+            QoSMode.DISTANCE,
+            QoSMode.LATENCY,
+        ):
+            raise ValueError(
+                "qos_depth_thresholds only supports the built-in distance/latency "
+                "constraint set; filter with problem.qos_satisfied instead"
+            )
+        key: object = constraints.qos_mode
+        thresholds = self.qos_threshold_cache.get(key)
+        if thresholds is not None:
+            return thresholds
+
+        tree = self.tree
+        depth_map = tree._depth
+        thresholds = []
+        by_distance = constraints.qos_mode is QoSMode.DISTANCE
+        uplink = self.uplink_comm
+        for ci, client_id in enumerate(self.client_order):
+            bound = tree._clients[client_id].qos
+            client_depth = self.client_depth[ci]
+            best = client_depth  # sentinel: nothing eligible
+            if by_distance:
+                for ancestor in self.client_ancestors[ci]:
+                    depth = depth_map[ancestor]
+                    if float(client_depth - depth) <= bound:
+                        best = depth
+                    else:
+                        break  # monotone metric: everything above fails
+            else:
+                latency = 0.0
+                comm = uplink[client_id]
+                for ancestor in self.client_ancestors[ci]:
+                    latency += comm
+                    if latency <= bound:
+                        best = depth_map[ancestor]
+                    else:
+                        break
+                    comm = uplink.get(ancestor, 0.0)
+            thresholds.append(best)
+        self.qos_threshold_cache[key] = thresholds
+        return thresholds
+
+    # ------------------------------------------------------------------ #
+    # id <-> index translation
+    # ------------------------------------------------------------------ #
+    def node_index(self, node_id: NodeId) -> int:
+        """Dense pre-order index of an internal node."""
+        try:
+            return self.node_pos[node_id]
+        except KeyError:
+            raise TreeStructureError(f"unknown internal node {node_id!r}") from None
+
+    def client_index(self, client_id: NodeId) -> int:
+        """Dense layout position of a client."""
+        try:
+            return self.client_pos[client_id]
+        except KeyError:
+            raise TreeStructureError(f"unknown client {client_id!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # structural queries (mainly used by the cross-validation tests)
+    # ------------------------------------------------------------------ #
+    def parent_of(self, element_id: NodeId):
+        """Identifier of the parent of an element (``None`` for the root)."""
+        if element_id in self.node_pos:
+            parent = self.node_parent[self.node_pos[element_id]]
+            return None if parent < 0 else self.node_order[parent]
+        return self.node_order[self.client_parent[self.client_index(element_id)]]
+
+    def depth_of(self, element_id: NodeId) -> int:
+        """Number of links between an element and the root."""
+        if element_id in self.node_pos:
+            return self.node_depth[self.node_pos[element_id]]
+        return self.client_depth[self.client_index(element_id)]
+
+    def ancestors_of(self, element_id: NodeId) -> Tuple[NodeId, ...]:
+        """Bottom-up ancestor identifiers, mirroring ``TreeNetwork.ancestors``."""
+        if element_id in self.node_pos:
+            return self.node_ancestors[self.node_pos[element_id]]
+        return self.client_ancestors[self.client_index(element_id)]
+
+    def subtree_clients_of(self, node_id: NodeId) -> Tuple[NodeId, ...]:
+        """Clients of ``subtree(node_id)`` via the contiguous span."""
+        index = self.node_index(node_id)
+        return self.client_order[self.client_span_start[index] : self.client_span_end[index]]
+
+    def subtree_nodes_of(self, node_id: NodeId) -> Tuple[NodeId, ...]:
+        """Internal nodes of ``subtree(node_id)`` via the contiguous span."""
+        index = self.node_index(node_id)
+        return self.node_order[index : self.node_span_end[index]]
+
+    def subtree_requests_of(self, node_id: NodeId) -> float:
+        """Total requests issued inside ``subtree(node_id)``."""
+        if node_id not in self.inreq_template:
+            raise TreeStructureError(f"unknown internal node {node_id!r}")
+        return self.inreq_template[node_id]
+
+    def root_latency_of(self, element_id: NodeId) -> float:
+        """Sum of link communication times from an element up to the root."""
+        if element_id in self.node_root_latency:
+            return self.node_root_latency[element_id]
+        if element_id in self.client_root_latency:
+            return self.client_root_latency[element_id]
+        raise TreeStructureError(f"unknown element {element_id!r}")
+
+    def __repr__(self) -> str:
+        return f"TreeIndex(|N|={self.n_nodes}, |C|={self.n_clients})"

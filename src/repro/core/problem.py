@@ -105,11 +105,46 @@ class ReplicaPlacementProblem:
         """Ancestors of ``client_id`` allowed to serve it under the QoS constraint.
 
         Ordered bottom-up (closest ancestor first).  Without QoS this is the
-        full ancestor chain.
+        full ancestor chain.  Results are memoised per client: tree and
+        constraints are both immutable, and the heuristics query the same
+        chains over and over on large instances.
         """
         if not self.constraints.has_qos:
             return self.tree.ancestors(client_id)
-        return self.constraints.allowed_servers(self.tree, client_id)
+        cache = self.__dict__.get("_eligible_servers_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_eligible_servers_cache", cache)
+        servers = cache.get(client_id)
+        if servers is None:
+            servers = cache[client_id] = self._eligible_servers_uncached(client_id)
+        return servers
+
+    def _eligible_servers_uncached(self, client_id: NodeId):
+        """Compute a client's eligible chain via the indexed QoS thresholds.
+
+        Both built-in QoS metrics are monotone along the client-to-root
+        path, so the eligible ancestors are the bottom-up prefix whose depth
+        stays above the client's precomputed threshold (one shared pass per
+        tree, see :meth:`TreeIndex.qos_depth_thresholds`).  Non-standard
+        constraint subclasses keep the seed's per-pair filtering.
+        """
+        from repro.core.constraints import ConstraintSet
+        from repro.core.index import TreeIndex
+
+        if type(self.constraints) is not ConstraintSet:
+            return self.constraints.allowed_servers(self.tree, client_id)
+        tree = self.tree
+        index = TreeIndex.for_tree(tree)
+        threshold = index.qos_depth_thresholds(self)[index.client_index(client_id)]
+        depth_map = tree._depth
+        servers = []
+        for ancestor in tree.ancestors(client_id):
+            if depth_map[ancestor] >= threshold:
+                servers.append(ancestor)
+            else:
+                break  # depths only decrease towards the root
+        return tuple(servers)
 
     def qos_satisfied(self, client_id: NodeId, server_id: NodeId) -> bool:
         """``True`` when serving ``client_id`` from ``server_id`` respects QoS."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.exceptions import PolicyViolationError, TreeStructureError
 from repro.core.policies import Policy
@@ -120,6 +120,29 @@ class Assignment:
     def client_total(self, client_id: NodeId) -> float:
         """Total requests of ``client_id`` that are assigned to some server."""
         return sum(v for (c, _s), v in self._amounts.items() if c == client_id)
+
+    def client_totals(self) -> Dict[NodeId, float]:
+        """Assigned totals of every client with at least one assignment.
+
+        Single pass over the amounts; use this instead of per-client
+        :meth:`client_total` calls when walking all clients (validation,
+        reporting) to avoid a quadratic scan.
+        """
+        totals: Dict[NodeId, float] = {}
+        for (client, _server), value in self._amounts.items():
+            totals[client] = totals.get(client, 0.0) + value
+        return totals
+
+    def servers_by_client(self) -> Dict[NodeId, Tuple[NodeId, ...]]:
+        """The ``Servers(i)`` tuples of every assigned client, in one pass.
+
+        Per-client server order matches :meth:`servers_of` (assignment
+        insertion order).
+        """
+        servers: Dict[NodeId, List[NodeId]] = {}
+        for (client, server) in self._amounts:
+            servers.setdefault(client, []).append(server)
+        return {client: tuple(entries) for client, entries in servers.items()}
 
     def server_load(self, server_id: NodeId) -> float:
         """Total requests processed by ``server_id``."""

@@ -22,6 +22,7 @@ examples and generators.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -175,6 +176,12 @@ class TreeNetwork:
         "_subtree_clients",
         "_subtree_requests",
         "_post_order_nodes",
+        "_node_ids",
+        "_client_ids",
+        "_children_tuples",
+        "_child_nodes",
+        "_child_clients",
+        "_index_cache",
         "_hash",
     )
 
@@ -245,9 +252,9 @@ class TreeNetwork:
         # (which, combined with the single-parent check, detects cycles).
         order: List[NodeId] = []
         depth: Dict[NodeId, int] = {self._root: 0}
-        queue: List[NodeId] = [self._root]
+        queue: deque = deque([self._root])
         while queue:
-            current = queue.pop(0)
+            current = queue.popleft()
             order.append(current)
             for child in self._children.get(current, ()):  # clients have no entry
                 depth[child] = depth[current] + 1
@@ -293,6 +300,18 @@ class TreeNetwork:
         self._subtree_requests = subtree_requests
         #: internal nodes in post-order (children before parents)
         self._post_order_nodes = tuple(post_nodes)
+        self._node_ids = tuple(nid for nid in self._order if nid in self._nodes)
+        self._client_ids = tuple(cid for cid in self._order if cid in self._clients)
+        self._children_tuples = {nid: tuple(kids) for nid, kids in self._children.items()}
+        self._child_nodes = {
+            nid: tuple(c for c in kids if c in self._nodes)
+            for nid, kids in self._children_tuples.items()
+        }
+        self._child_clients = {
+            nid: tuple(c for c in kids if c in self._clients)
+            for nid, kids in self._children_tuples.items()
+        }
+        self._index_cache = None
         self._hash = None
 
     # ------------------------------------------------------------------ #
@@ -306,12 +325,12 @@ class TreeNetwork:
     @property
     def node_ids(self) -> Tuple[NodeId, ...]:
         """Identifiers of the internal nodes, in breadth-first order."""
-        return tuple(nid for nid in self._order if nid in self._nodes)
+        return self._node_ids
 
     @property
     def client_ids(self) -> Tuple[NodeId, ...]:
         """Identifiers of the clients, in breadth-first order."""
-        return tuple(cid for cid in self._order if cid in self._clients)
+        return self._client_ids
 
     @property
     def link_keys(self) -> Tuple[Tuple[NodeId, NodeId], ...]:
@@ -382,17 +401,24 @@ class TreeNetwork:
 
     def children(self, node_id: NodeId) -> Tuple[NodeId, ...]:
         """Children (internal nodes and clients) of an internal node."""
-        if node_id not in self._nodes:
-            raise TreeStructureError(f"unknown internal node {node_id!r}")
-        return tuple(self._children[node_id])
+        try:
+            return self._children_tuples[node_id]
+        except KeyError:
+            raise TreeStructureError(f"unknown internal node {node_id!r}") from None
 
     def child_nodes(self, node_id: NodeId) -> Tuple[NodeId, ...]:
         """Children of ``node_id`` that are internal nodes."""
-        return tuple(c for c in self.children(node_id) if c in self._nodes)
+        try:
+            return self._child_nodes[node_id]
+        except KeyError:
+            raise TreeStructureError(f"unknown internal node {node_id!r}") from None
 
     def child_clients(self, node_id: NodeId) -> Tuple[NodeId, ...]:
         """Children of ``node_id`` that are clients."""
-        return tuple(c for c in self.children(node_id) if c in self._clients)
+        try:
+            return self._child_clients[node_id]
+        except KeyError:
+            raise TreeStructureError(f"unknown internal node {node_id!r}") from None
 
     def ancestors(self, element_id: NodeId) -> Tuple[NodeId, ...]:
         """Ancestors of ``element_id``, bottom-up, excluding the element itself.

@@ -151,8 +151,10 @@ def validate_solution(
     # ------------------------------------------------------------------ #
     # 2. coverage
     # ------------------------------------------------------------------ #
+    client_totals = assignment.client_totals()
+    servers_by_client = assignment.servers_by_client()
     for client in tree.clients():
-        assigned = assignment.client_total(client.id)
+        assigned = client_totals.get(client.id, 0.0)
         if abs(assigned - client.requests) > tolerance:
             report.record(
                 "coverage",
@@ -165,7 +167,7 @@ def validate_solution(
     # ------------------------------------------------------------------ #
     if policy.single_server:
         for client in tree.clients():
-            servers = assignment.servers_of(client.id)
+            servers = servers_by_client.get(client.id, ())
             if client.requests > 0 and len(servers) > 1:
                 report.record(
                     "policy",
@@ -179,7 +181,7 @@ def validate_solution(
         for client in tree.clients():
             if client.requests <= 0:
                 continue
-            servers = assignment.servers_of(client.id)
+            servers = servers_by_client.get(client.id, ())
             if not servers:
                 continue  # already reported as a coverage violation
             expected = forced.get(client.id)

@@ -66,9 +66,9 @@ class _MBULargestFirst(MultipleBottomUp):
         # largest-first order on the second pass and a top-down first pass.
         # For a like-for-like comparison we keep MBU's bottom-up structure
         # and only flip the order, so we duplicate the two passes here.
-        from repro.algorithms.common import RequestState
+        from repro.algorithms.common import make_state
 
-        state = RequestState(problem)
+        state = make_state(problem)
         tree = problem.tree
         for node_id in tree.post_order_nodes():
             capacity = problem.capacity(node_id)

@@ -164,23 +164,10 @@ class CampaignResult:
         )
 
 
-def run_campaign(
-    config: CampaignConfig,
-    *,
-    progress: Optional[Callable[[InstanceRecord], None]] = None,
-) -> CampaignResult:
-    """Generate the campaign trees and evaluate every heuristic on each.
-
-    Parameters
-    ----------
-    progress:
-        Optional callback invoked with each finished :class:`InstanceRecord`
-        (used by the CLI to stream progress).
-    """
+def _generate_campaign_trees(config: CampaignConfig) -> List[Tuple[float, TreeNetwork]]:
+    """Draw the campaign's trees (deterministic given ``config.seed``)."""
     generator = TreeGenerator(config.seed)
-    heuristics = [(name, get_heuristic(name)) for name in config.heuristics]
-    records: List[InstanceRecord] = []
-
+    plan: List[Tuple[float, TreeNetwork]] = []
     for load in config.lambdas:
         for _ in range(config.trees_per_lambda):
             size = int(generator.rng.integers(config.size_range[0], config.size_range[1] + 1))
@@ -195,10 +182,67 @@ def run_campaign(
                     max_children=config.max_children,
                 )
             )
-            record = evaluate_instance(tree, float(load), config, heuristics)
+            plan.append((float(load), tree))
+    return plan
+
+
+def _evaluate_entry(entry: Tuple[float, TreeNetwork], config: CampaignConfig) -> InstanceRecord:
+    """Worker-side evaluation of one ``(load, tree)`` campaign entry."""
+    load, tree = entry
+    heuristics = [(name, get_heuristic(name)) for name in config.heuristics]
+    return evaluate_instance(tree, load, config, heuristics)
+
+
+def _evaluate_chunk(
+    chunk: List[Tuple[float, TreeNetwork]], *, config: CampaignConfig
+) -> List[InstanceRecord]:
+    """Evaluate a contiguous chunk of campaign entries (worker side)."""
+    heuristics = [(name, get_heuristic(name)) for name in config.heuristics]
+    return [
+        evaluate_instance(tree, load, config, heuristics) for load, tree in chunk
+    ]
+
+
+def run_campaign(
+    config: CampaignConfig,
+    *,
+    progress: Optional[Callable[[InstanceRecord], None]] = None,
+    workers: Optional[int] = None,
+) -> CampaignResult:
+    """Generate the campaign trees and evaluate every heuristic on each.
+
+    Parameters
+    ----------
+    progress:
+        Optional callback invoked with each finished :class:`InstanceRecord`
+        (used by the CLI to stream progress).  Records are always delivered
+        in generation order, whatever the worker count.
+    workers:
+        ``None`` or ``<= 1`` evaluates sequentially in-process.  Larger
+        values evaluate the generated instances over a process pool with
+        per-worker chunking (tree generation itself stays sequential so the
+        random campaign is identical to a sequential run).
+    """
+    plan = _generate_campaign_trees(config)
+
+    if workers is None or workers <= 1 or not plan:
+        heuristics = [(name, get_heuristic(name)) for name in config.heuristics]
+        records = []
+        for load, tree in plan:
+            record = evaluate_instance(tree, load, config, heuristics)
             records.append(record)
             if progress is not None:
                 progress(record)
+        return CampaignResult(config=config, records=records)
+
+    from functools import partial
+
+    from repro.api import chunked_pool_map
+
+    records = chunked_pool_map(partial(_evaluate_chunk, config=config), plan, workers)
+    if progress is not None:
+        for record in records:
+            progress(record)
     return CampaignResult(config=config, records=records)
 
 

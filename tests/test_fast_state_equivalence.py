@@ -1,0 +1,240 @@
+"""Cross-validation: the fast engine is bit-for-bit the seed dict engine.
+
+Every heuristic of the paper runs twice on every instance -- once on the
+seed :class:`~repro.algorithms.common.RequestState` (``engine="dict"``) and
+once on the indexed :class:`~repro.algorithms.fast_state.FastRequestState`
+(``engine="fast"``) -- and must produce *identical* feasibility verdicts,
+replica placements, request assignments and costs.  The instance population
+covers homogeneous and heterogeneous platforms, all client-attachment
+shapes, hop-count and latency QoS, and bandwidth-constrained links, across
+more than 50 seeded random instances.
+
+A second battery drives the two state implementations through the same
+scripted operation sequences (place / assign / drain / cover) and compares
+the full mutable state after every step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import available_heuristics, get_heuristic
+from repro.algorithms.common import RequestState, make_state, use_engine
+from repro.algorithms.fast_state import FastRequestState
+from repro.core.constraints import ConstraintSet
+from repro.core.problem import ProblemKind, ReplicaPlacementProblem
+from repro.core.tree import Link, TreeNetwork
+from repro.workloads.generator import GeneratorConfig, TreeGenerator
+
+#: The eight polynomial heuristics of paper Section 6.
+HEURISTICS = ("CTDA", "CTDLF", "CBU", "UTD", "UBCF", "MG", "MTD", "MBU")
+
+
+def with_bandwidth(tree: TreeNetwork, limit: float) -> TreeNetwork:
+    """Copy of ``tree`` whose every link carries a finite bandwidth."""
+    links = [
+        Link(child=l.child, parent=l.parent, comm_time=l.comm_time, bandwidth=limit)
+        for l in tree.links()
+    ]
+    return TreeNetwork(tree.nodes(), tree.clients(), links)
+
+
+def instance(seed: int) -> ReplicaPlacementProblem:
+    """Deterministic instance #seed; parameters sweep with the seed."""
+    homogeneous = seed % 2 == 0
+    qos = (2, 5) if seed % 3 == 1 else None
+    attachments = ("spread", "leaves", "uniform")
+    config = GeneratorConfig(
+        size=(20, 34, 48, 62)[seed % 4],
+        target_load=0.25 + 0.1 * (seed % 6),
+        homogeneous=homogeneous,
+        client_attachment=attachments[seed % 3],
+        max_children=2 + seed % 3,
+        qos_hops=qos,
+    )
+    tree = TreeGenerator(seed).generate(config)
+    if seed % 5 == 2:
+        # Bandwidth-limited links (generous enough to keep some instances
+        # feasible; validation rejects violating solutions either way).
+        tree = with_bandwidth(tree, limit=tree.total_capacity() / 2)
+        constraints = (
+            ConstraintSet.qos_distance(enforce_bandwidth=True)
+            if qos
+            else ConstraintSet(enforce_bandwidth=True)
+        )
+    elif qos and seed % 2 == 0:
+        constraints = ConstraintSet.qos_latency()
+    elif qos:
+        constraints = ConstraintSet.qos_distance()
+    else:
+        constraints = ConstraintSet.none()
+    kind = ProblemKind.REPLICA_COUNTING if homogeneous else ProblemKind.REPLICA_COST
+    return ReplicaPlacementProblem(tree=tree, constraints=constraints, kind=kind)
+
+
+#: >50 random instances, as the acceptance criteria require.
+INSTANCE_SEEDS = list(range(56))
+
+
+def solve_both(name: str, problem: ReplicaPlacementProblem):
+    heuristic = get_heuristic(name)
+    with use_engine("dict"):
+        seed_solution = heuristic.try_solve(problem)
+    with use_engine("fast"):
+        fast_solution = heuristic.try_solve(problem)
+    return seed_solution, fast_solution
+
+
+@pytest.mark.parametrize("name", HEURISTICS)
+def test_every_heuristic_matches_seed_engine(name):
+    mismatches = []
+    for seed in INSTANCE_SEEDS:
+        problem = instance(seed)
+        seed_solution, fast_solution = solve_both(name, problem)
+        if (seed_solution is None) != (fast_solution is None):
+            mismatches.append((seed, "feasibility", seed_solution, fast_solution))
+            continue
+        if seed_solution is None:
+            continue
+        if seed_solution.placement.replicas != fast_solution.placement.replicas:
+            mismatches.append((seed, "placement", seed_solution, fast_solution))
+        elif dict(seed_solution.assignment.items()) != dict(fast_solution.assignment.items()):
+            mismatches.append((seed, "assignment", seed_solution, fast_solution))
+        elif seed_solution.cost(problem) != fast_solution.cost(problem):
+            mismatches.append((seed, "cost", seed_solution, fast_solution))
+    assert not mismatches, f"{name} diverged from the seed engine: {mismatches[:3]}"
+
+
+def test_engine_selection_controls_state_type(small_problem):
+    with use_engine("dict"):
+        assert type(make_state(small_problem)) is RequestState
+    with use_engine("fast"):
+        assert isinstance(make_state(small_problem), FastRequestState)
+    assert isinstance(make_state(small_problem, engine="fast"), FastRequestState)
+    with pytest.raises(ValueError):
+        make_state(small_problem, engine="nope")
+
+
+def test_all_eight_heuristics_are_registered():
+    registered = set(available_heuristics())
+    assert set(HEURISTICS) <= registered
+
+
+# --------------------------------------------------------------------------- #
+# scripted state-operation equivalence
+# --------------------------------------------------------------------------- #
+def snapshot(state: RequestState):
+    return (
+        {cid: state.remaining[cid] for cid in state.tree.client_ids},
+        {nid: state.inreq[nid] for nid in state.tree.node_ids},
+        {nid: state.residual[nid] for nid in state.tree.node_ids},
+        set(state.replicas),
+        dict(state.amounts),
+    )
+
+
+def assert_states_agree(a: RequestState, b: RequestState):
+    assert snapshot(a) == snapshot(b)
+    assert a.total_pending() == b.total_pending()
+    assert a.all_requests_affected() == b.all_requests_affected()
+    for nid in a.tree.node_ids:
+        assert a.pending_clients(nid) == b.pending_clients(nid)
+        assert a.eligible_pending_clients(nid) == b.eligible_pending_clients(nid)
+        assert a.eligible_inreq(nid) == pytest.approx(b.eligible_inreq(nid))
+
+
+@pytest.mark.parametrize("qos", [None, (2, 5)])
+@pytest.mark.parametrize("seed", [0, 7, 19])
+def test_scripted_operations_match(seed, qos):
+    tree = TreeGenerator(seed).generate(
+        GeneratorConfig(size=36, target_load=0.5, homogeneous=False, qos_hops=qos)
+    )
+    constraints = ConstraintSet.qos_distance() if qos else ConstraintSet.none()
+    problem = ReplicaPlacementProblem(tree=tree, constraints=constraints)
+    dict_state = make_state(problem, engine="dict")
+    fast_state = make_state(problem, engine="fast")
+    assert_states_agree(dict_state, fast_state)
+
+    nodes = list(tree.post_order_nodes())
+    for step, node_id in enumerate(nodes):
+        capacity = problem.capacity(node_id)
+        if step % 3 == 0:
+            for state in (dict_state, fast_state):
+                state.place(node_id)
+                state.drain(node_id, capacity / 2, largest_first=True, split_last=False)
+        elif step % 3 == 1:
+            for state in (dict_state, fast_state):
+                state.drain(node_id, capacity, largest_first=False, split_last=True)
+        else:
+            for state in (dict_state, fast_state):
+                state.cover(node_id)
+        assert_states_agree(dict_state, fast_state)
+
+    # Explicit single assignments exercise assign() symmetrically.
+    for client in tree.clients():
+        servers = problem.eligible_servers(client.id)
+        if not servers:
+            continue
+        amount = min(2.0, dict_state.remaining[client.id])
+        if amount <= 0:
+            continue
+        for state in (dict_state, fast_state):
+            state.assign(client.id, servers[-1], amount)
+    assert_states_agree(dict_state, fast_state)
+
+
+class _EvenDepthQoS(ConstraintSet):
+    """Deliberately non-monotone QoS metric: only even-depth servers allowed.
+
+    A single depth threshold cannot represent this eligible set, so the
+    fast engine must fall back to per-pair filtering to match the seed.
+    """
+
+    def qos_metric(self, tree, client_id, server_id):
+        return 0.0 if tree.depth(server_id) % 2 == 0 else float("inf")
+
+
+def test_non_monotone_constraint_subclass_matches_seed_engine():
+    from repro.core.constraints import QoSMode
+
+    constraints = _EvenDepthQoS(qos_mode=QoSMode.DISTANCE)
+    for seed in range(6):
+        tree = TreeGenerator(seed).generate(
+            GeneratorConfig(size=30, target_load=0.4, homogeneous=False, qos_hops=(2, 5))
+        )
+        problem = ReplicaPlacementProblem(tree=tree, constraints=constraints)
+        dict_state = make_state(problem, engine="dict")
+        fast_state = make_state(problem, engine="fast")
+        for nid in tree.node_ids:
+            assert dict_state.eligible_pending_clients(nid) == fast_state.eligible_pending_clients(nid)
+            assert dict_state.eligible_inreq(nid) == pytest.approx(fast_state.eligible_inreq(nid))
+        for name in HEURISTICS:
+            seed_solution, fast_solution = solve_both(name, problem)
+            assert (seed_solution is None) == (fast_solution is None), name
+            if seed_solution is not None:
+                assert seed_solution.placement.replicas == fast_solution.placement.replicas
+                assert dict(seed_solution.assignment.items()) == dict(
+                    fast_solution.assignment.items()
+                )
+
+
+def test_unserved_summary_matches(small_problem):
+    dict_state = make_state(small_problem, engine="dict")
+    fast_state = make_state(small_problem, engine="fast")
+    assert dict_state.unserved_summary() == fast_state.unserved_summary()
+    for state in (dict_state, fast_state):
+        state.place("n1")
+        state.cover("n1")
+    assert dict_state.unserved_summary() == fast_state.unserved_summary()
+
+
+def test_fast_state_to_solution_round_trip(small_problem):
+    from repro.core.policies import Policy
+
+    state = make_state(small_problem, engine="fast")
+    state.place("root")
+    covered = state.cover("root")
+    assert covered == pytest.approx(12.0)
+    solution = state.to_solution(Policy.MULTIPLE, "manual")
+    assert solution.assignment.total_assigned() == pytest.approx(12.0)
+    assert solution.placement.replicas == frozenset({"root"})

@@ -1,0 +1,174 @@
+"""Property-based cross-validation of :class:`repro.core.index.TreeIndex`.
+
+The indexed flat-tree engine is only trustworthy if its interned arrays
+agree with the authoritative dict-based :class:`TreeNetwork` queries.  These
+tests draw a broad population of seeded random trees (plus the hand-built
+fixtures) and assert, element by element, that every structural quantity the
+index precomputes -- parents, depths, ancestor chains, subtree client spans,
+subtree node spans, request sums, root latencies -- matches the tree.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.builder import TreeBuilder
+from repro.core.exceptions import TreeStructureError
+from repro.core.index import TreeIndex
+from repro.workloads.generator import GeneratorConfig, TreeGenerator
+
+
+def random_tree(seed: int):
+    """One seeded random tree; parameters vary deterministically with the seed."""
+    sizes = (12, 20, 33, 47, 60)
+    attachments = ("spread", "leaves", "uniform")
+    config = GeneratorConfig(
+        size=sizes[seed % len(sizes)],
+        target_load=0.2 + 0.15 * (seed % 5),
+        homogeneous=seed % 2 == 0,
+        client_attachment=attachments[seed % len(attachments)],
+        max_children=2 + seed % 3,
+        qos_hops=(2, 5) if seed % 3 == 0 else None,
+        link_comm_time=1.0 if seed % 2 == 0 else 0.5,
+    )
+    return TreeGenerator(seed).generate(config)
+
+
+#: 50+ seeded random trees, as required by the cross-validation suite.
+RANDOM_SEEDS = list(range(52))
+
+
+def assert_index_matches_tree(tree):
+    index = TreeIndex(tree)
+
+    # --- populations ---------------------------------------------------- #
+    assert sorted(map(repr, index.node_order)) == sorted(map(repr, tree.node_ids))
+    assert sorted(map(repr, index.client_order)) == sorted(map(repr, tree.client_ids))
+    assert index.n_nodes == len(tree.node_ids)
+    assert index.n_clients == len(tree.client_ids)
+    assert index.height == tree.height()
+
+    # --- interning round-trips ------------------------------------------ #
+    for position, node_id in enumerate(index.node_order):
+        assert index.node_pos[node_id] == position
+        assert index.node_index(node_id) == position
+    for position, client_id in enumerate(index.client_order):
+        assert index.client_pos[client_id] == position
+        assert index.client_index(client_id) == position
+
+    # --- the client layout is exactly the tree's root client tuple ------- #
+    assert index.client_order == tree.subtree_clients(tree.root)
+
+    # --- parents, depths, ancestors ------------------------------------- #
+    for element_id in tree.node_ids + tree.client_ids:
+        assert index.parent_of(element_id) == tree.parent(element_id)
+        assert index.depth_of(element_id) == tree.depth(element_id)
+        assert index.ancestors_of(element_id) == tree.ancestors(element_id)
+
+    # --- subtree spans: clients in identical order, nodes as sets -------- #
+    for node_id in tree.node_ids:
+        assert index.subtree_clients_of(node_id) == tree.subtree_clients(node_id)
+        assert sorted(map(repr, index.subtree_nodes_of(node_id))) == sorted(
+            map(repr, tree.subtree_nodes(node_id))
+        )
+        assert index.subtree_requests_of(node_id) == pytest.approx(
+            tree.subtree_requests(node_id)
+        )
+
+    # --- request vectors ------------------------------------------------- #
+    for position, client_id in enumerate(index.client_order):
+        assert index.client_requests[position] == float(tree.client(client_id).requests)
+
+    # --- root latencies -------------------------------------------------- #
+    for element_id in tree.node_ids + tree.client_ids:
+        expected = tree.latency(element_id, tree.root) if element_id != tree.root else 0.0
+        assert index.root_latency_of(element_id) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_index_matches_tree_on_random_trees(seed):
+    assert_index_matches_tree(random_tree(seed))
+
+
+def test_index_matches_hand_built_trees(small_tree, hetero_tree, qos_tree, chain_tree):
+    for tree in (small_tree, hetero_tree, qos_tree, chain_tree):
+        assert_index_matches_tree(tree)
+
+
+def test_index_is_cached_per_tree(small_tree):
+    assert TreeIndex.for_tree(small_tree) is TreeIndex.for_tree(small_tree)
+    # A rebuilt (equal) tree gets its own index.
+    other = (
+        TreeBuilder()
+        .add_node("root", capacity=10)
+        .add_node("n1", capacity=10, parent="root")
+        .add_client("c1", requests=7, parent="n1")
+        .add_client("c2", requests=3, parent="n1")
+        .add_client("c3", requests=2, parent="root")
+        .build()
+    )
+    assert TreeIndex.for_tree(other) is not TreeIndex.for_tree(small_tree)
+
+
+def test_index_rejects_unknown_ids(small_tree):
+    index = TreeIndex.for_tree(small_tree)
+    with pytest.raises(TreeStructureError):
+        index.node_index("nope")
+    with pytest.raises(TreeStructureError):
+        index.client_index("nope")
+    with pytest.raises(TreeStructureError):
+        index.subtree_clients_of("c1")  # clients have no node span
+    with pytest.raises(TreeStructureError):
+        index.root_latency_of("nope")
+
+
+def test_qos_thresholds_match_eligible_servers():
+    """The depth thresholds reproduce the per-pair QoS filtering exactly."""
+    from repro.core.constraints import ConstraintSet
+    from repro.core.problem import ReplicaPlacementProblem
+
+    for seed in range(12):
+        tree = TreeGenerator(seed).generate(
+            GeneratorConfig(
+                size=40,
+                target_load=0.4,
+                homogeneous=seed % 2 == 0,
+                qos_hops=(1, 4),
+                link_comm_time=1.0 if seed % 2 == 0 else 2.0,
+            )
+        )
+        for constraints in (ConstraintSet.qos_distance(), ConstraintSet.qos_latency()):
+            problem = ReplicaPlacementProblem(tree=tree, constraints=constraints)
+            index = TreeIndex.for_tree(tree)
+            thresholds = index.qos_depth_thresholds(problem)
+            for ci, client_id in enumerate(index.client_order):
+                expected = tuple(
+                    ancestor
+                    for ancestor in tree.ancestors(client_id)
+                    if problem.qos_satisfied(client_id, ancestor)
+                )
+                via_threshold = tuple(
+                    ancestor
+                    for ancestor in tree.ancestors(client_id)
+                    if tree.depth(ancestor) >= thresholds[ci]
+                )
+                assert via_threshold == expected
+                # eligible_servers (the memoised public query) agrees too.
+                assert problem.eligible_servers(client_id) == expected
+
+
+def test_infinite_qos_keeps_all_ancestors():
+    from repro.core.constraints import ConstraintSet
+    from repro.core.problem import ReplicaPlacementProblem
+
+    tree = (
+        TreeBuilder()
+        .add_node("root", capacity=10)
+        .add_node("mid", capacity=10, parent="root")
+        .add_client("c", requests=5, parent="mid", qos=math.inf)
+        .build()
+    )
+    problem = ReplicaPlacementProblem(tree=tree, constraints=ConstraintSet.qos_distance())
+    assert problem.eligible_servers("c") == ("mid", "root")
