@@ -54,7 +54,14 @@ from repro.core.problem import (
 from repro.core.solution import Assignment, Placement, Solution
 from repro.core.validation import validate_solution, ValidationReport
 from repro.core.costs import placement_cost, request_lower_bound
-from repro.api import solve, solve_many, compare_policies, lower_bound
+from repro.api import (
+    solve,
+    solve_many,
+    solve_sequence,
+    SequenceResult,
+    compare_policies,
+    lower_bound,
+)
 
 __all__ = [
     "__version__",
@@ -78,6 +85,8 @@ __all__ = [
     "request_lower_bound",
     "solve",
     "solve_many",
+    "solve_sequence",
+    "SequenceResult",
     "compare_policies",
     "lower_bound",
 ]

@@ -20,6 +20,9 @@ Contents
 * :mod:`repro.algorithms.upwards` -- UTD and UBCF (Section 6.2);
 * :mod:`repro.algorithms.multiple` -- MTD, MBU and MG (Section 6.3);
 * :mod:`repro.algorithms.mixed_best` -- the MixedBest combiner;
+* :mod:`repro.algorithms.incremental` -- the epoch-by-epoch
+  :class:`IncrementalResolver` for dynamic workloads (reuse / patch /
+  re-solve strategies with migration accounting);
 * :mod:`repro.algorithms.exhaustive` -- brute-force optimal placements for
   small instances, used to validate everything else.
 """
@@ -51,6 +54,13 @@ from repro.algorithms.upwards import UpwardsTopDown, UpwardsBigClientFirst
 from repro.algorithms.multiple import MultipleTopDown, MultipleBottomUp, MultipleGreedy
 from repro.algorithms.mixed_best import MixedBest
 from repro.algorithms.exhaustive import ExhaustiveSearch, optimal_cost
+from repro.algorithms.incremental import (
+    IncrementalResolver,
+    ProblemDelta,
+    ResolveStats,
+    diff_problems,
+    migration_stats,
+)
 
 __all__ = [
     "PlacementHeuristic",
@@ -78,4 +88,9 @@ __all__ = [
     "MixedBest",
     "ExhaustiveSearch",
     "optimal_cost",
+    "IncrementalResolver",
+    "ProblemDelta",
+    "ResolveStats",
+    "diff_problems",
+    "migration_stats",
 ]

@@ -10,6 +10,10 @@ Most users only need four calls:
   instances, optionally fanned out over worker processes with per-worker
   chunking.  Results are order-preserving, and infeasible instances are
   reported as ``None`` or raised depending on ``on_error``;
+* :func:`solve_sequence` -- dynamic-workload variant: solve a sequence of
+  *epochs* (e.g. built by :mod:`repro.workloads.dynamic`) with the
+  incremental re-solver, returning per-epoch solutions plus migration
+  statistics;
 * :func:`lower_bound` -- the LP-based lower bound of paper Section 7.1,
   used to judge how far a solution is from the optimum;
 * :func:`compare_policies` -- solve the same instance under Closest, Upwards
@@ -29,6 +33,15 @@ seed implementation.  For campaign-scale workloads, :func:`solve_many`
 with ``workers=N`` forks a process pool and splits the instance list into
 per-worker chunks, turning a load sweep over hundreds of trees into an
 embarrassingly parallel map.
+
+For *time-varying* workloads, :func:`solve_sequence` replaces the naive
+per-epoch loop: epochs that did not change are reused outright, rate-only
+epochs run on patched tree indexes instead of fresh DFS builds, and
+``mode="patch"`` keeps the placement frozen and re-routes only the changed
+clients (migration-minimal operation).  The default ``mode="incremental"``
+is cost-identical to from-scratch solves -- cross-validated per epoch by
+the dynamic-workload suite -- while doing measurably less work on
+low-churn sequences (see ``benchmarks/test_incremental_speed.py``).
 """
 
 from __future__ import annotations
@@ -36,8 +49,9 @@ from __future__ import annotations
 import math
 import uuid
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.constraints import ConstraintSet
 from repro.core.exceptions import InfeasibleError
@@ -46,7 +60,18 @@ from repro.core.problem import ProblemKind, ReplicaPlacementProblem
 from repro.core.solution import Solution
 from repro.core.tree import TreeNetwork
 
-__all__ = ["solve", "solve_many", "lower_bound", "compare_policies", "as_problem"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.incremental import ResolveStats
+
+__all__ = [
+    "solve",
+    "solve_many",
+    "solve_sequence",
+    "SequenceResult",
+    "lower_bound",
+    "compare_policies",
+    "as_problem",
+]
 
 #: Heuristics tried (in order) per policy when no explicit algorithm is given.
 _DEFAULT_PORTFOLIO = {
@@ -316,6 +341,144 @@ def solve_many(
             raise error
         solutions.append(solution)
     return solutions
+
+
+#: solve_sequence mode -> IncrementalResolver mode.
+_SEQUENCE_MODES = {"incremental": "exact", "patch": "patch", "scratch": "scratch"}
+
+
+@dataclass
+class SequenceResult:
+    """Outcome of :func:`solve_sequence` over one epoch sequence.
+
+    ``solutions[t]`` is the epoch-``t`` solution (``None`` when infeasible
+    and ``on_error="none"``); ``stats[t]`` records the strategy used and the
+    migration cost relative to epoch ``t - 1`` (epoch 0 migrates from an
+    empty placement: its stats are the cold-start deployment).
+    """
+
+    mode: str
+    policy: Policy
+    solutions: List[Optional[Solution]]
+    stats: List["ResolveStats"]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def costs(self) -> List[Optional[float]]:
+        """Per-epoch storage costs (``None`` for infeasible epochs)."""
+        return [entry.cost for entry in self.stats]
+
+    @property
+    def solved_epochs(self) -> int:
+        """Number of epochs with a valid solution."""
+        return sum(solution is not None for solution in self.solutions)
+
+    def strategy_counts(self) -> Dict[str, int]:
+        """How many epochs were reused / patched / solved."""
+        counts: Dict[str, int] = {}
+        for entry in self.stats:
+            counts[entry.strategy] = counts.get(entry.strategy, 0) + 1
+        return counts
+
+    def total_migrations(self) -> Dict[str, float]:
+        """Aggregate migration cost over the sequence, excluding epoch 0.
+
+        Epoch 0 is the cold-start deployment, not a migration; including it
+        would make every trajectory look churn-heavy.
+        """
+        tail = self.stats[1:]
+        return {
+            "replicas_added": sum(entry.replicas_added for entry in tail),
+            "replicas_dropped": sum(entry.replicas_dropped for entry in tail),
+            "requests_reassigned": sum(entry.requests_reassigned for entry in tail),
+        }
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI."""
+        counts = self.strategy_counts()
+        strategies = ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+        migrations = self.total_migrations()
+        return (
+            f"{len(self.solutions)} epochs ({self.solved_epochs} solved: {strategies}), "
+            f"+{migrations['replicas_added']}/-{migrations['replicas_dropped']} replicas, "
+            f"{migrations['requests_reassigned']:g} requests re-routed"
+        )
+
+
+def solve_sequence(
+    epochs: Iterable[Union[TreeNetwork, ReplicaPlacementProblem]],
+    *,
+    policy: Union[Policy, str] = Policy.MULTIPLE,
+    algorithm: Optional[str] = None,
+    constraints: Optional[ConstraintSet] = None,
+    kind: Optional[ProblemKind] = None,
+    mode: str = "incremental",
+    on_error: str = "none",
+    engine: Optional[str] = None,
+) -> SequenceResult:
+    """Solve a dynamic-workload epoch sequence with warm starts.
+
+    Parameters
+    ----------
+    epochs:
+        Trees or problems, one per epoch, e.g. a trajectory built by
+        :mod:`repro.workloads.dynamic`.  Epochs forked with
+        :meth:`TreeNetwork.with_requests` (as the trajectory generators do)
+        get the cheapest incremental treatment.
+    policy, algorithm, constraints, kind:
+        Forwarded to :func:`solve` whenever a full solve runs.
+    mode:
+        ``"incremental"`` (default) -- reuse unchanged epochs, re-solve the
+        rest; per-epoch results are cost-identical to ``"scratch"``.
+        ``"patch"`` -- additionally keep the placement frozen across
+        rate-only epochs and re-route just the changed clients (minimal
+        migrations, possibly higher cost, falls back to a full re-solve
+        when the frozen placement cannot absorb the new rates).
+        ``"scratch"`` -- plain per-epoch solving (the baseline).
+    on_error:
+        ``"none"`` records infeasible epochs as ``None``; ``"raise"``
+        re-raises the first :class:`~repro.core.exceptions.InfeasibleError`
+        in epoch order.
+    engine:
+        Optional request-state engine override (``"fast"`` or ``"dict"``).
+
+    Returns
+    -------
+    SequenceResult
+        Per-epoch solutions plus strategy and migration statistics.
+    """
+    import contextlib
+
+    from repro.algorithms.common import use_engine
+    from repro.algorithms.incremental import IncrementalResolver
+
+    if mode not in _SEQUENCE_MODES:
+        raise ValueError(
+            f"unknown mode {mode!r}; expected one of {sorted(_SEQUENCE_MODES)}"
+        )
+    if on_error not in ("none", "raise"):
+        raise ValueError(f"on_error must be 'none' or 'raise', got {on_error!r}")
+
+    resolver = IncrementalResolver(
+        policy=policy, algorithm=algorithm, mode=_SEQUENCE_MODES[mode]
+    )
+    solutions: List[Optional[Solution]] = []
+    stats: List[ResolveStats] = []
+    with use_engine(engine) if engine else contextlib.nullcontext():
+        for epoch in epochs:
+            problem = as_problem(epoch, constraints=constraints, kind=kind)
+            solution, entry = resolver.resolve(problem)
+            if solution is None and on_error == "raise":
+                raise InfeasibleError(
+                    f"epoch {entry.epoch} has no valid solution under the "
+                    f"{resolver.policy.value} policy",
+                    policy=resolver.policy,
+                )
+            solutions.append(solution)
+            stats.append(entry)
+    return SequenceResult(
+        mode=mode, policy=resolver.policy, solutions=solutions, stats=stats
+    )
 
 
 def lower_bound(

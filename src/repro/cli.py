@@ -16,6 +16,13 @@ Sub-commands
     Run a (reduced) experimental campaign and print the success-rate and
     relative-cost tables of Figures 9-12; ``--workers N`` fans the
     instances out over a process pool.
+``dynamic``
+    Solve a dynamic-workload trajectory (rate churn, ramps, seasonal
+    cycles, steps, client join/leave) over a tree with the incremental
+    re-solver, printing per-epoch costs, strategies and migration stats;
+    ``--simulate`` replays the solution sequence and reports transient
+    saturation, ``--campaign`` sweeps churn intensity and prints the
+    cost-vs-stability tables instead.
 ``table1``
     Print the computational evidence backing paper Table 1.
 """
@@ -26,7 +33,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.api import compare_policies, solve, solve_many
+from repro.api import compare_policies, solve, solve_many, solve_sequence
 from repro.core.exceptions import InfeasibleError, ReproError
 from repro.core.policies import Policy
 from repro.core.problem import ProblemKind, ReplicaPlacementProblem
@@ -102,6 +109,56 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="evaluate instances over N worker processes",
+    )
+
+    dyn = sub.add_parser(
+        "dynamic", help="solve a dynamic-workload trajectory incrementally"
+    )
+    dyn.add_argument(
+        "tree", nargs="?", default=None, help="tree JSON file (omit with --campaign)"
+    )
+    dyn.add_argument(
+        "--trajectory",
+        choices=("churn", "ramp", "seasonal", "step", "join-leave"),
+        default="churn",
+        help="request-rate trajectory family (default: churn)",
+    )
+    dyn.add_argument("--epochs", type=int, default=12, help="number of epochs")
+    dyn.add_argument("--policy", default="multiple", help="closest | upwards | multiple")
+    dyn.add_argument(
+        "--mode",
+        choices=("incremental", "patch", "scratch"),
+        default="incremental",
+        help="re-solve strategy (default: incremental, cost-identical to scratch)",
+    )
+    dyn.add_argument("--counting", action="store_true", help="Replica Counting cost")
+    dyn.add_argument("--seed", type=int, default=None, help="trajectory random seed")
+    dyn.add_argument("--churn", type=float, default=0.1, help="per-client churn probability")
+    dyn.add_argument("--magnitude", type=float, default=0.5, help="churn drift magnitude")
+    dyn.add_argument(
+        "--quiet", type=float, default=0.25, help="probability an epoch has no change"
+    )
+    dyn.add_argument("--factor", type=float, default=1.5, help="step/ramp end factor")
+    dyn.add_argument("--at", type=int, default=1, help="epoch of the step change")
+    dyn.add_argument("--amplitude", type=float, default=0.3, help="seasonal amplitude")
+    dyn.add_argument("--period", type=float, default=8.0, help="seasonal period (epochs)")
+    dyn.add_argument("--join-rate", type=float, default=0.05, help="client join rate")
+    dyn.add_argument("--leave-rate", type=float, default=0.05, help="client leave rate")
+    dyn.add_argument(
+        "--simulate",
+        action="store_true",
+        help="replay the solved sequence and report transient saturation",
+    )
+    dyn.add_argument(
+        "--campaign",
+        action="store_true",
+        help="sweep churn intensity on generated trees (ignores the tree argument)",
+    )
+    dyn.add_argument(
+        "--heterogeneous", action="store_true", help="campaign: mix server classes"
+    )
+    dyn.add_argument(
+        "--trees-per-level", type=int, default=3, help="campaign: trees per churn level"
     )
 
     sub.add_parser("table1", help="print the computational evidence for paper Table 1")
@@ -199,6 +256,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(result.relative_cost_table())
         return 0
 
+    if args.command == "dynamic":
+        return _dispatch_dynamic(args)
+
     if args.command == "table1":
         from repro.experiments.tables import table1_table
 
@@ -206,6 +266,150 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+def _dispatch_dynamic(args: argparse.Namespace) -> int:
+    """The ``dynamic`` sub-command: trajectories and the churn campaign."""
+    if args.campaign:
+        from repro.experiments.harness import ChurnCampaignConfig, run_churn_campaign
+
+        # The campaign fixes its own churn sweep, cost mode and trajectory
+        # family; warn about every single-trajectory flag it drops.
+        ignored = ["the tree file"] if args.tree is not None else []
+        for flag, inactive in (
+            ("--simulate", not args.simulate),
+            ("--trajectory", args.trajectory == "churn"),
+            ("--mode", args.mode == "incremental"),
+            ("--churn", args.churn == 0.1),
+            ("--counting", not args.counting),
+            ("--factor", args.factor == 1.5),
+            ("--at", args.at == 1),
+            ("--amplitude", args.amplitude == 0.3),
+            ("--period", args.period == 8.0),
+            ("--join-rate", args.join_rate == 0.05),
+            ("--leave-rate", args.leave_rate == 0.05),
+        ):
+            if not inactive:
+                ignored.append(flag)
+        if ignored:
+            print(
+                f"warning: --campaign sweeps its own churn trajectories under "
+                f"every mode; ignoring {', '.join(ignored)}",
+                file=sys.stderr,
+            )
+
+        config = ChurnCampaignConfig(
+            epochs=args.epochs,
+            trees_per_level=args.trees_per_level,
+            homogeneous=not args.heterogeneous,
+            policy=args.policy,
+            magnitude=args.magnitude,
+            quiet_probability=args.quiet,
+            seed=args.seed if args.seed is not None else 2026,
+        )
+        result = run_churn_campaign(config)
+        print(result.describe())
+        print()
+        print("Mean per-epoch cost by churn intensity:")
+        print(result.cost_table())
+        print()
+        print("Requests re-routed per epoch (placement stability):")
+        print(result.stability_table())
+        print()
+        print("Replicas moved per epoch:")
+        print(result.replica_churn_table())
+        return 0
+
+    if args.tree is None:
+        print("error: a tree JSON file is required unless --campaign is given", file=sys.stderr)
+        return 1
+
+    from repro.workloads import dynamic as trajectories
+
+    # Warn about non-default flags the chosen trajectory family never reads,
+    # mirroring the --campaign branch (silently dropping them reads as the
+    # flags being honoured).
+    flag_owners = {
+        "--churn": ("churn",),
+        "--magnitude": ("churn",),
+        "--quiet": ("churn",),
+        "--factor": ("ramp", "step"),
+        "--at": ("step",),
+        "--amplitude": ("seasonal",),
+        "--period": ("seasonal",),
+        "--join-rate": ("join-leave",),
+        "--leave-rate": ("join-leave",),
+    }
+    defaults = {
+        "--churn": args.churn == 0.1,
+        "--magnitude": args.magnitude == 0.5,
+        "--quiet": args.quiet == 0.25,
+        "--factor": args.factor == 1.5,
+        "--at": args.at == 1,
+        "--amplitude": args.amplitude == 0.3,
+        "--period": args.period == 8.0,
+        "--join-rate": args.join_rate == 0.05,
+        "--leave-rate": args.leave_rate == 0.05,
+    }
+    ignored = [
+        flag
+        for flag, owners in flag_owners.items()
+        if args.trajectory not in owners and not defaults[flag]
+    ]
+    if ignored:
+        print(
+            f"warning: the {args.trajectory} trajectory ignores "
+            f"{', '.join(ignored)}",
+            file=sys.stderr,
+        )
+
+    problem = _load_problem(args.tree, counting=args.counting)
+    if args.trajectory == "churn":
+        epochs = trajectories.rate_churn(
+            problem,
+            args.epochs,
+            churn=args.churn,
+            magnitude=args.magnitude,
+            quiet_probability=args.quiet,
+            seed=args.seed,
+        )
+    elif args.trajectory == "ramp":
+        epochs = trajectories.ramp(problem, args.epochs, end_factor=args.factor)
+    elif args.trajectory == "seasonal":
+        epochs = trajectories.seasonal(
+            problem, args.epochs, amplitude=args.amplitude, period=args.period
+        )
+    elif args.trajectory == "step":
+        epochs = trajectories.step_change(
+            problem, args.epochs, at=args.at, factor=args.factor
+        )
+    else:  # join-leave
+        epochs = trajectories.client_join_leave(
+            problem,
+            args.epochs,
+            join_rate=args.join_rate,
+            leave_rate=args.leave_rate,
+            seed=args.seed,
+        )
+
+    result = solve_sequence(epochs, policy=args.policy, mode=args.mode)
+    print(
+        f"{args.trajectory} trajectory over {args.tree} "
+        f"({args.mode} mode, {args.policy} policy)"
+    )
+    print(result.describe())
+    for entry in result.stats:
+        print("  " + entry.describe())
+
+    if args.simulate:
+        from repro.simulation import simulate_sequence
+
+        replay = simulate_sequence(epochs, result.solutions)
+        print()
+        print("Replay: " + replay.summary())
+        for epoch, link in replay.transient_saturations():
+            print(f"  epoch {epoch}: link {link[0]!r}->{link[1]!r} saturates")
+    return 0 if result.solved_epochs else 2
 
 
 def _load_problem(path: str, *, counting: bool) -> ReplicaPlacementProblem:

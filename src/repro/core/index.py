@@ -31,7 +31,7 @@ tree, which is what makes batch solving over many scenarios cheap.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.core.exceptions import TreeStructureError
 from repro.core.tree import NodeId, TreeNetwork
@@ -185,12 +185,103 @@ class TreeIndex:
     # ------------------------------------------------------------------ #
     @classmethod
     def for_tree(cls, tree: TreeNetwork) -> "TreeIndex":
-        """Return the (cached) index of ``tree``, building it on first use."""
+        """Return the (cached) index of ``tree``, building it on first use.
+
+        Trees forked through :meth:`TreeNetwork.with_requests` remember their
+        base tree; when an ancestor along that fork chain carries an index,
+        the fork's index is *patched* from it (structural arrays shared,
+        workload vectors recomputed for the union of the chain's changed
+        clients) instead of being rebuilt with a full DFS.  Never-indexed
+        intermediate forks -- e.g. quiet epochs the incremental resolver
+        reused without solving -- are walked through, so a low-churn epoch
+        sequence keeps patching whatever subset of epochs actually gets
+        solved.  The patched index is identical to a fresh build -- the
+        dynamic-workload tests pin the two to each other field by field.
+
+        The consumed ``_patch_source`` link is cleared afterwards: once a
+        tree has its own index the back-references (and the ancestor trees
+        they keep alive) serve no further purpose, which keeps long-running
+        epoch chains from accumulating their whole history in memory.
+        """
         cached = tree._index_cache
         if cached is None:
-            cached = cls(tree)
+            source = tree._patch_source
+            changed: set = set()
+            while source is not None:
+                base, base_changed = source
+                changed.update(base_changed)
+                if base._index_cache is not None:
+                    break
+                source = base._patch_source
+            if source is not None:
+                cached = base._index_cache.patched(tree, changed)
+            else:
+                cached = cls(tree)
             tree._index_cache = cached
+            tree._patch_source = None
         return cached
+
+    def patched(self, tree: TreeNetwork, changed_clients: Iterable[NodeId]) -> "TreeIndex":
+        """Index of an epoch fork of this index's tree (same topology).
+
+        Structural layouts (orders, spans, ancestor chains, depths, link
+        latencies, repr keys, QoS threshold memo) are shared with this index;
+        only the request-dependent vectors and dict templates are recomputed
+        from ``tree``.  ``changed_clients`` are the ids whose rate differs
+        from this index's tree (an empty iterable shares everything).
+        """
+        fork = TreeIndex.__new__(TreeIndex)
+        fork.tree = tree
+        fork.n_nodes = self.n_nodes
+        fork.n_clients = self.n_clients
+        fork.height = self.height
+        fork.node_order = self.node_order
+        fork.node_pos = self.node_pos
+        fork.client_order = self.client_order
+        fork.client_pos = self.client_pos
+        fork.node_parent = self.node_parent
+        fork.node_depth = self.node_depth
+        fork.client_parent = self.client_parent
+        fork.client_depth = self.client_depth
+        fork.node_span_end = self.node_span_end
+        fork.client_span_start = self.client_span_start
+        fork.client_span_end = self.client_span_end
+        fork.node_ancestors = self.node_ancestors
+        fork.client_ancestors = self.client_ancestors
+        fork.client_repr = self.client_repr
+        fork.uplink_comm = self.uplink_comm
+        fork.node_root_latency = self.node_root_latency
+        fork.client_root_latency = self.client_root_latency
+        fork.residual_template = self.residual_template
+        #: thresholds depend on QoS bounds / depths / comm times only, all of
+        #: which an epoch fork leaves untouched -- share the memo.
+        fork.qos_threshold_cache = self.qos_threshold_cache
+
+        changed = tuple(changed_clients)
+        if not changed:
+            fork.client_requests = self.client_requests
+            fork.remaining_template = self.remaining_template
+            fork.inreq_template = self.inreq_template
+            return fork
+
+        clients_map = tree._clients
+        client_pos = self.client_pos
+        requests_vec = list(self.client_requests)
+        remaining = dict(self.remaining_template)
+        for client_id in changed:
+            value = float(clients_map[client_id].requests)
+            requests_vec[client_pos[client_id]] = value
+            remaining[client_id] = value
+        fork.client_requests = requests_vec
+        fork.remaining_template = remaining
+        # The fork's subtree sums were re-accumulated in fresh-build order by
+        # with_requests, so reading them back gives the same floats a full
+        # rebuild would produce.
+        subtree_requests = tree._subtree_requests
+        fork.inreq_template = {
+            nid: float(subtree_requests[nid]) for nid in self.node_order
+        }
+        return fork
 
     # ------------------------------------------------------------------ #
     # QoS depth thresholds

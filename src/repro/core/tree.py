@@ -182,6 +182,7 @@ class TreeNetwork:
         "_child_nodes",
         "_child_clients",
         "_index_cache",
+        "_patch_source",
         "_hash",
     )
 
@@ -312,6 +313,7 @@ class TreeNetwork:
             for nid, kids in self._children_tuples.items()
         }
         self._index_cache = None
+        self._patch_source = None
         self._hash = None
 
     # ------------------------------------------------------------------ #
@@ -616,6 +618,81 @@ class TreeNetwork:
             raise TreeStructureError(f"unknown clients {sorted(map(repr, unknown))}")
         new_clients = [override.get(cid, client) for cid, client in self._clients.items()]
         return TreeNetwork(self._nodes.values(), new_clients, self._links.values())
+
+    def with_requests(self, requests: Mapping[NodeId, float]) -> "TreeNetwork":
+        """Return an *epoch fork* of this tree with some request rates replaced.
+
+        Unlike :meth:`with_clients`, which rebuilds and re-validates the whole
+        network, this fork reuses every structural cache (topology, ancestor
+        chains, depths, subtree client layouts) of the original tree: only the
+        affected :class:`Client` records, the subtree request sums and the
+        workload vectors of the cached :class:`~repro.core.index.TreeIndex`
+        are recomputed.  Subtree request sums are re-accumulated in the exact
+        order of a fresh build, so the fork is bit-for-bit identical to
+        ``with_clients`` with the same rates -- which is what lets the
+        incremental re-solver guarantee solutions identical to from-scratch
+        solves on dynamic-workload epochs.
+
+        Rates equal to the current ones are ignored; when nothing actually
+        changes the fork still returns a new (cheap) instance so epochs stay
+        distinct objects.
+        """
+        changed: Dict[NodeId, float] = {}
+        for client_id, value in requests.items():
+            client = self._clients.get(client_id)
+            if client is None:
+                raise TreeStructureError(f"unknown client {client_id!r}")
+            value = float(value)
+            if value != client.requests:
+                changed[client_id] = value
+
+        fork = TreeNetwork.__new__(TreeNetwork)
+        # Shared immutable structure: same topology, links and internal nodes.
+        fork._nodes = self._nodes
+        fork._links = self._links
+        fork._parent = self._parent
+        fork._children = self._children
+        fork._root = self._root
+        fork._order = self._order
+        fork._ancestors = self._ancestors
+        fork._depth = self._depth
+        fork._subtree_clients = self._subtree_clients
+        fork._post_order_nodes = self._post_order_nodes
+        fork._node_ids = self._node_ids
+        fork._client_ids = self._client_ids
+        fork._children_tuples = self._children_tuples
+        fork._child_nodes = self._child_nodes
+        fork._child_clients = self._child_clients
+        fork._hash = None
+        fork._index_cache = None
+
+        if not changed:
+            fork._clients = self._clients
+            fork._subtree_requests = self._subtree_requests
+            fork._patch_source = (self, ())
+            return fork
+
+        fork._clients = dict(self._clients)
+        for client_id, value in changed.items():
+            fork._clients[client_id] = replace(self._clients[client_id], requests=value)
+
+        # Re-accumulate the subtree request sums bottom-up in the same order
+        # as _validate_and_index so float results match a fresh build exactly.
+        subtree_requests: Dict[NodeId, float] = {}
+        clients_map = fork._clients
+        children_map = self._children
+        for element in reversed(self._order):
+            client = clients_map.get(element)
+            if client is not None:
+                subtree_requests[element] = client.requests
+            else:
+                total = 0.0
+                for child in children_map[element]:
+                    total += subtree_requests[child]
+                subtree_requests[element] = total
+        fork._subtree_requests = subtree_requests
+        fork._patch_source = (self, tuple(changed))
+        return fork
 
     def __len__(self) -> int:
         return self.size

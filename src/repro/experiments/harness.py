@@ -25,7 +25,17 @@ from repro.experiments.metrics import RelativeCostAccumulator, success_rate
 from repro.experiments.reporting import series_table
 from repro.workloads.generator import GeneratorConfig, TreeGenerator
 
-__all__ = ["CampaignConfig", "InstanceRecord", "CampaignResult", "run_campaign", "PAPER_HEURISTICS"]
+__all__ = [
+    "CampaignConfig",
+    "InstanceRecord",
+    "CampaignResult",
+    "run_campaign",
+    "PAPER_HEURISTICS",
+    "ChurnCampaignConfig",
+    "ChurnRecord",
+    "ChurnCampaignResult",
+    "run_churn_campaign",
+]
 
 #: The heuristics compared in the paper's figures, plus the MixedBest combiner.
 PAPER_HEURISTICS: Tuple[str, ...] = (
@@ -272,6 +282,184 @@ def evaluate_instance(
         costs=costs,
         runtimes=runtimes,
     )
+
+
+# --------------------------------------------------------------------------- #
+# dynamic-workload churn campaign
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ChurnCampaignConfig:
+    """Parameters of a dynamic-workload churn sweep.
+
+    For every churn intensity, ``trees_per_level`` base trees are generated
+    and a :func:`repro.workloads.dynamic.rate_churn` trajectory is solved
+    under each mode of :func:`repro.api.solve_sequence`.  The aggregated
+    series answer the operational question the static campaign cannot: *how
+    much placement stability does each re-solve strategy buy, at what cost,
+    as traffic churn grows?*
+    """
+
+    churn_levels: Sequence[float] = (0.05, 0.1, 0.2, 0.4)
+    epochs: int = 12
+    trees_per_level: int = 3
+    size: int = 60
+    load: float = 0.5
+    homogeneous: bool = True
+    policy: str = "multiple"
+    magnitude: float = 0.5
+    quiet_probability: float = 0.25
+    modes: Sequence[str] = ("incremental", "patch")
+    seed: int = 2026
+
+    def problem_kind(self) -> ProblemKind:
+        """Replica Counting on homogeneous platforms, Replica Cost otherwise."""
+        return ProblemKind.REPLICA_COUNTING if self.homogeneous else ProblemKind.REPLICA_COST
+
+
+@dataclass
+class ChurnRecord:
+    """Outcome of one (churn level, base tree, mode) trajectory solve."""
+
+    churn: float
+    tree_seed: int
+    mode: str
+    mean_cost: float
+    solved_epochs: int
+    epochs: int
+    replicas_moved: int
+    requests_reassigned: float
+    strategies: Dict[str, int]
+    runtime: float
+
+
+@dataclass
+class ChurnCampaignResult:
+    """All churn records plus the cost-vs-stability aggregations."""
+
+    config: ChurnCampaignConfig
+    records: List[ChurnRecord]
+
+    # ------------------------------------------------------------------ #
+    def records_for(self, churn: float, mode: str) -> List[ChurnRecord]:
+        """Records of one churn level under one mode."""
+        return [
+            record
+            for record in self.records
+            if record.mode == mode and abs(record.churn - churn) < 1e-9
+        ]
+
+    def _series(self, value) -> Dict[str, Dict[float, float]]:
+        series: Dict[str, Dict[float, float]] = {}
+        for mode in self.config.modes:
+            entries: Dict[float, float] = {}
+            for churn in self.config.churn_levels:
+                records = self.records_for(churn, mode)
+                if records:
+                    entries[float(churn)] = sum(map(value, records)) / len(records)
+            series[mode] = entries
+        return series
+
+    def cost_series(self) -> Dict[str, Dict[float, float]]:
+        """Mean per-epoch cost by churn level, one series per mode."""
+        return self._series(lambda record: record.mean_cost)
+
+    def stability_series(self) -> Dict[str, Dict[float, float]]:
+        """Mean requests re-routed per epoch by churn level and mode."""
+        return self._series(
+            lambda record: record.requests_reassigned / max(1, record.epochs - 1)
+        )
+
+    def replica_churn_series(self) -> Dict[str, Dict[float, float]]:
+        """Mean replicas moved (added + dropped) per epoch by churn level."""
+        return self._series(
+            lambda record: record.replicas_moved / max(1, record.epochs - 1)
+        )
+
+    def cost_table(self) -> str:
+        """ASCII table of the cost series (x axis: churn intensity)."""
+        return series_table(self.cost_series(), x_label="churn")
+
+    def stability_table(self) -> str:
+        """ASCII table of the request re-routing series."""
+        return series_table(self.stability_series(), x_label="churn")
+
+    def replica_churn_table(self) -> str:
+        """ASCII table of the replica movement series."""
+        return series_table(self.replica_churn_series(), x_label="churn")
+
+    def describe(self) -> str:
+        """Short campaign summary."""
+        kind = "homogeneous" if self.config.homogeneous else "heterogeneous"
+        return (
+            f"{len(self.records)} trajectory solves ({kind}, size {self.config.size}, "
+            f"{self.config.epochs} epochs, {self.config.trees_per_level} trees per "
+            f"churn level, modes {'/'.join(self.config.modes)})"
+        )
+
+
+def run_churn_campaign(config: ChurnCampaignConfig) -> ChurnCampaignResult:
+    """Sweep churn intensity and solve each trajectory under every mode.
+
+    Trajectories are deterministic given ``config.seed``: the same epochs
+    are handed to every mode, so the per-level series are directly
+    comparable (identical demand, different re-solve strategies).
+    """
+    from repro.api import solve_sequence
+    from repro.workloads.dynamic import rate_churn
+
+    records: List[ChurnRecord] = []
+    kind = config.problem_kind()
+    for level_index, churn in enumerate(config.churn_levels):
+        for tree_index in range(config.trees_per_level):
+            tree_seed = config.seed + 1000 * level_index + tree_index
+
+            def build_epochs():
+                # Regenerated per mode (deterministic, so every mode sees
+                # identical demand) to keep the recorded runtimes honest:
+                # sharing epoch objects would hand later modes the earlier
+                # mode's warm tree-index caches.
+                tree = TreeGenerator(tree_seed).generate(
+                    GeneratorConfig(
+                        size=config.size,
+                        target_load=config.load,
+                        homogeneous=config.homogeneous,
+                    )
+                )
+                base = ReplicaPlacementProblem(
+                    tree=tree, kind=kind, name=f"churn{churn:g}"
+                )
+                return rate_churn(
+                    base,
+                    config.epochs,
+                    churn=float(churn),
+                    magnitude=config.magnitude,
+                    quiet_probability=config.quiet_probability,
+                    seed=tree_seed,
+                )
+
+            for mode in config.modes:
+                epochs = build_epochs()
+                start = time.perf_counter()
+                result = solve_sequence(epochs, policy=config.policy, mode=mode)
+                runtime = time.perf_counter() - start
+                costs = [cost for cost in result.costs if cost is not None]
+                migrations = result.total_migrations()
+                records.append(
+                    ChurnRecord(
+                        churn=float(churn),
+                        tree_seed=tree_seed,
+                        mode=mode,
+                        mean_cost=sum(costs) / len(costs) if costs else math.nan,
+                        solved_epochs=result.solved_epochs,
+                        epochs=config.epochs,
+                        replicas_moved=migrations["replicas_added"]
+                        + migrations["replicas_dropped"],
+                        requests_reassigned=migrations["requests_reassigned"],
+                        strategies=result.strategy_counts(),
+                        runtime=runtime,
+                    )
+                )
+    return ChurnCampaignResult(config=config, records=records)
 
 
 def _lower_bound(problem: ReplicaPlacementProblem, config: CampaignConfig) -> float:

@@ -51,12 +51,13 @@ def solve_program(program: LinearProgramData, *, time_limit: Optional[float] = N
     Parameters
     ----------
     time_limit:
-        Optional wall-clock limit (seconds) passed to the MILP backend.
+        Optional wall-clock limit (seconds) forwarded to the backend (both
+        the MILP and the pure-LP HiGHS paths honour it).
     """
     has_integer = bool(np.any(program.integrality > 0))
     if has_integer:
         return _solve_milp(program, time_limit)
-    return _solve_linprog(program)
+    return _solve_linprog(program, time_limit)
 
 
 def _solve_milp(program: LinearProgramData, time_limit: Optional[float]) -> LPResult:
@@ -77,7 +78,7 @@ def _solve_milp(program: LinearProgramData, time_limit: Optional[float]) -> LPRe
     return _normalise(result)
 
 
-def _solve_linprog(program: LinearProgramData) -> LPResult:
+def _solve_linprog(program: LinearProgramData, time_limit: Optional[float] = None) -> LPResult:
     # linprog only accepts one-sided inequality rows plus equality rows, so
     # split the two-sided rows of the generic formulation.
     matrix = program.constraint_matrix.tocsr()
@@ -101,6 +102,11 @@ def _solve_linprog(program: LinearProgramData) -> LPResult:
     a_ub = sparse.vstack(blocks) if blocks else None
     b_ub = np.concatenate(rhs) if rhs else None
 
+    options = {}
+    if time_limit is not None:
+        # The rational relaxations go through this pure-LP path; dropping the
+        # caller's limit here let pathological instances run unbounded.
+        options["time_limit"] = float(time_limit)
     result = optimize.linprog(
         c=program.objective,
         A_ub=a_ub,
@@ -109,6 +115,7 @@ def _solve_linprog(program: LinearProgramData) -> LPResult:
         b_eq=b_eq,
         bounds=list(zip(program.variable_lower, program.variable_upper)),
         method="highs",
+        options=options,
     )
     return _normalise(result)
 

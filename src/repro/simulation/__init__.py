@@ -1,8 +1,21 @@
-"""Deterministic request-flow simulation over a solved placement."""
+"""Deterministic request-flow simulation over solved placements.
+
+:func:`simulate_solution` computes the steady state of one solution;
+:func:`simulate_sequence` replays a dynamic-workload solution sequence and
+surfaces transient saturation (see :mod:`repro.workloads.dynamic` and
+:func:`repro.api.solve_sequence`).
+"""
 
 from repro.simulation.request_flow import (
     FlowSimulation,
+    SequenceFlowSimulation,
     simulate_solution,
+    simulate_sequence,
 )
 
-__all__ = ["FlowSimulation", "simulate_solution"]
+__all__ = [
+    "FlowSimulation",
+    "SequenceFlowSimulation",
+    "simulate_solution",
+    "simulate_sequence",
+]

@@ -15,19 +15,26 @@ state and summarises it:
 The examples use it to contrast the three access policies on the same tree:
 Closest keeps latency low but needs more replicas; Multiple uses fewer
 replicas but ships requests farther.
+
+For dynamic workloads, :func:`simulate_sequence` replays a whole epoch
+sequence (problems plus the solutions of
+:func:`repro.api.solve_sequence`) and surfaces the *transient* behaviour a
+single steady state cannot show: epochs where links saturate as demand
+moves faster than the placement, utilisation spikes, and the windows where
+no valid placement existed at all.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.problem import ReplicaPlacementProblem
 from repro.core.solution import Solution
 from repro.core.tree import NodeId, TreeNetwork
 
-__all__ = ["FlowSimulation", "simulate_solution"]
+__all__ = ["FlowSimulation", "SequenceFlowSimulation", "simulate_solution", "simulate_sequence"]
 
 LinkKey = Tuple[NodeId, NodeId]
 
@@ -46,8 +53,13 @@ class FlowSimulation:
     max_latency: float
     saturated_links: List[LinkKey] = field(default_factory=list)
 
-    def hottest_server(self) -> Tuple[NodeId, float]:
-        """The most utilised replica and its utilisation."""
+    def hottest_server(self) -> Tuple[Optional[NodeId], float]:
+        """The most utilised replica and its utilisation.
+
+        ``(None, 0.0)`` when the solution assigns nothing (e.g. a tree whose
+        clients all issue zero requests) -- callers never have to special-case
+        empty assignments.
+        """
         if not self.server_utilisation:
             return (None, 0.0)
         node = max(self.server_utilisation, key=lambda nid: self.server_utilisation[nid])
@@ -56,6 +68,11 @@ class FlowSimulation:
     def summary(self) -> str:
         """Short human-readable report used by the examples."""
         node, utilisation = self.hottest_server()
+        if node is None:
+            return (
+                "0 active replicas, no assigned requests, "
+                f"total traffic {self.total_traffic:g} request-hops"
+            )
         return (
             f"{len(self.server_load)} active replicas, "
             f"mean latency {self.mean_latency:.2f}, max latency {self.max_latency:.2f}, "
@@ -89,6 +106,11 @@ def simulate_solution(
             link_utilisation[link.key] = ratio
             if ratio >= saturation_threshold:
                 saturated.append(link.key)
+        elif link.bandwidth == 0 and flow > 0:
+            # A capacity-0 link carrying flow is infinitely (not 0%) loaded;
+            # reporting 0.0 used to hide exactly the links most in trouble.
+            link_utilisation[link.key] = math.inf
+            saturated.append(link.key)
         else:
             link_utilisation[link.key] = 0.0
 
@@ -100,6 +122,12 @@ def simulate_solution(
     per_client_weighted: Dict[NodeId, float] = {}
     per_client_requests: Dict[NodeId, float] = {}
     for (client_id, server_id), amount in solution.assignment.items():
+        if amount <= 0:
+            # Defensive: Assignment's constructor strips non-positive
+            # amounts, but hand-mutated or deserialised assignments can
+            # carry them; a zero split moves no traffic and must not feed
+            # max_latency or the per-client averages.
+            continue
         latency = tree.latency(client_id, server_id)
         hops = tree.distance(client_id, server_id)
         per_client_weighted[client_id] = per_client_weighted.get(client_id, 0.0) + latency * amount
@@ -124,3 +152,97 @@ def simulate_solution(
         max_latency=max_latency,
         saturated_links=saturated,
     )
+
+
+# --------------------------------------------------------------------------- #
+# time-stepped replay of a dynamic-workload sequence
+# --------------------------------------------------------------------------- #
+@dataclass
+class SequenceFlowSimulation:
+    """Epoch-by-epoch steady states of a replayed solution sequence.
+
+    ``epochs[t]`` is the :class:`FlowSimulation` of epoch ``t`` (``None``
+    when that epoch had no valid solution -- a service brown-out window).
+    """
+
+    epochs: List[Optional[FlowSimulation]]
+
+    # ------------------------------------------------------------------ #
+    def saturation_epochs(self) -> List[int]:
+        """Epochs during which at least one link runs saturated."""
+        return [
+            t
+            for t, sim in enumerate(self.epochs)
+            if sim is not None and sim.saturated_links
+        ]
+
+    def unsolved_epochs(self) -> List[int]:
+        """Epochs with no valid placement at all."""
+        return [t for t, sim in enumerate(self.epochs) if sim is None]
+
+    def transient_saturations(self) -> List[Tuple[int, LinkKey]]:
+        """Links that saturate *transiently*: saturated at ``t`` but not ``t-1``.
+
+        These are the epochs where demand moved faster than the placement --
+        the signal an operator would alert on.
+        """
+        events: List[Tuple[int, LinkKey]] = []
+        previous: frozenset = frozenset()
+        for t, sim in enumerate(self.epochs):
+            current = frozenset(sim.saturated_links) if sim is not None else frozenset()
+            events.extend((t, key) for key in sorted(current - previous, key=repr))
+            previous = current
+        return events
+
+    def peak_link_utilisation(self) -> List[float]:
+        """Per-epoch maximum link utilisation (0.0 for empty/unsolved epochs)."""
+        return [
+            max(sim.link_utilisation.values(), default=0.0) if sim is not None else 0.0
+            for sim in self.epochs
+        ]
+
+    def mean_latency_series(self) -> List[Optional[float]]:
+        """Per-epoch mean service latency (``None`` for unsolved epochs)."""
+        return [sim.mean_latency if sim is not None else None for sim in self.epochs]
+
+    def summary(self) -> str:
+        """Short report of the transient behaviour over the whole replay."""
+        saturated = self.saturation_epochs()
+        unsolved = self.unsolved_epochs()
+        transients = self.transient_saturations()
+        parts = [f"{len(self.epochs)} epochs replayed"]
+        parts.append(
+            f"{len(saturated)} with saturated links" if saturated else "no saturation"
+        )
+        if transients:
+            parts.append(f"{len(transients)} transient saturation events")
+        if unsolved:
+            parts.append(f"{len(unsolved)} unsolved epochs {unsolved}")
+        return ", ".join(parts)
+
+
+def simulate_sequence(
+    problems: Sequence[ReplicaPlacementProblem],
+    solutions: Sequence[Optional[Solution]],
+    *,
+    saturation_threshold: float = 0.999,
+) -> SequenceFlowSimulation:
+    """Replay a solution sequence epoch by epoch.
+
+    ``problems`` and ``solutions`` must be aligned (as produced by
+    :func:`repro.api.solve_sequence`); ``None`` solutions are carried
+    through as unsolved epochs rather than raising, so brown-out windows
+    stay visible in the replay.
+    """
+    if len(problems) != len(solutions):
+        raise ValueError(
+            f"sequence mismatch: {len(problems)} problems vs "
+            f"{len(solutions)} solutions"
+        )
+    epochs = [
+        simulate_solution(problem, solution, saturation_threshold=saturation_threshold)
+        if solution is not None
+        else None
+        for problem, solution in zip(problems, solutions)
+    ]
+    return SequenceFlowSimulation(epochs=epochs)

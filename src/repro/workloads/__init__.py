@@ -7,7 +7,11 @@
   used to populate generated trees;
 * :mod:`repro.workloads.reference_trees` -- the hand-built trees of the
   paper's motivating examples and NP-completeness reductions (Figures 1-5,
-  7 and 8).
+  7 and 8);
+* :mod:`repro.workloads.dynamic` -- request-rate trajectories (steps, ramps,
+  seasonal cycles, random churn, client join/leave, capacity incidents)
+  turning one base instance into a sequence of epochs for the incremental
+  re-solver.
 """
 
 from repro.workloads.generator import (
@@ -23,8 +27,22 @@ from repro.workloads.distributions import (
     zipf_requests,
 )
 from repro.workloads import reference_trees
+from repro.workloads.dynamic import (
+    capacity_incident,
+    client_join_leave,
+    ramp,
+    rate_churn,
+    seasonal,
+    step_change,
+)
 
 __all__ = [
+    "capacity_incident",
+    "client_join_leave",
+    "ramp",
+    "rate_churn",
+    "seasonal",
+    "step_change",
     "GeneratorConfig",
     "TreeGenerator",
     "generate_tree",

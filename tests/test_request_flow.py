@@ -1,0 +1,253 @@
+"""Dedicated coverage of :mod:`repro.simulation.request_flow`.
+
+Previously the flow simulation was only exercised indirectly through
+``test_extensions``; this suite pins the per-policy accounting, the
+saturated-link detection and the edge cases fixed in PR 2 (zero-amount
+pairs, capacity-0 links, empty assignments), plus the time-stepped
+sequence replay.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.api import solve, solve_sequence
+from repro.core.builder import TreeBuilder
+from repro.core.policies import Policy
+from repro.core.problem import replica_cost_problem, replica_counting_problem
+from repro.core.solution import Assignment, Placement, Solution
+from repro.simulation import (
+    FlowSimulation,
+    SequenceFlowSimulation,
+    simulate_sequence,
+    simulate_solution,
+)
+from repro.workloads import generate_tree, rate_churn, step_change
+
+
+def make_solution(policy, placement, amounts):
+    """A hand-built solution (bypasses heuristics for precise accounting)."""
+    return Solution(
+        placement=Placement(placement),
+        assignment=Assignment(amounts),
+        policy=Policy.parse(policy),
+        algorithm="hand",
+    )
+
+
+@pytest.fixture
+def chain_problem():
+    """top -- mid -- low -- c (6 requests); comm times 1 except low-c = 2."""
+    tree = (
+        TreeBuilder()
+        .add_node("top", capacity=10)
+        .add_node("mid", capacity=10, parent="top")
+        .add_node("low", capacity=10, parent="mid")
+        .add_client("c", requests=6, parent="low", comm_time=2.0)
+        .build()
+    )
+    return replica_cost_problem(tree)
+
+
+# --------------------------------------------------------------------------- #
+# per-policy latency / traffic accounting
+# --------------------------------------------------------------------------- #
+class TestAccounting:
+    def test_single_server_latency_and_traffic(self, chain_problem):
+        solution = make_solution("upwards", ["mid"], {("c", "mid"): 6})
+        sim = simulate_solution(chain_problem, solution)
+        # path c -> mid: comm 2 + 1 = 3, hops 2.
+        assert sim.client_latency["c"] == pytest.approx(3.0)
+        assert sim.mean_latency == pytest.approx(3.0)
+        assert sim.max_latency == pytest.approx(3.0)
+        assert sim.total_traffic == pytest.approx(12.0)  # 6 requests * 2 hops
+        assert sim.server_load == {"mid": 6.0}
+        assert sim.server_utilisation["mid"] == pytest.approx(0.6)
+
+    def test_multiple_split_weights_latency_by_amount(self, chain_problem):
+        solution = make_solution(
+            "multiple", ["low", "top"], {("c", "low"): 4, ("c", "top"): 2}
+        )
+        sim = simulate_solution(chain_problem, solution)
+        # 4 requests at latency 2 (1 hop), 2 requests at latency 4 (3 hops).
+        assert sim.client_latency["c"] == pytest.approx((4 * 2 + 2 * 4) / 6)
+        assert sim.mean_latency == pytest.approx((4 * 2 + 2 * 4) / 6)
+        assert sim.max_latency == pytest.approx(4.0)
+        assert sim.total_traffic == pytest.approx(4 * 1 + 2 * 3)
+        assert sim.link_flow[("c", "low")] == pytest.approx(6.0)
+        assert sim.link_flow[("low", "mid")] == pytest.approx(2.0)
+        assert sim.link_flow[("mid", "top")] == pytest.approx(2.0)
+
+    def test_closest_serves_at_lowest_replica(self):
+        tree = generate_tree(size=30, target_load=0.2, seed=5)
+        problem = replica_counting_problem(tree)
+        solution = solve(problem, policy="closest")
+        sim = simulate_solution(problem, solution)
+        assert sum(sim.server_load.values()) == pytest.approx(tree.total_requests())
+        # Every client is served by exactly one replica under Closest, so the
+        # per-client latency equals the latency to that server.
+        for client_id, server_id in (
+            (c, s) for (c, s) in dict(solution.assignment.items())
+        ):
+            assert sim.client_latency[client_id] == pytest.approx(
+                tree.latency(client_id, server_id)
+            )
+
+    def test_flow_conservation_per_policy(self):
+        tree = generate_tree(size=40, target_load=0.2, seed=13)
+        problem = replica_counting_problem(tree)
+        for policy in ("closest", "upwards", "multiple"):
+            solution = solve(problem, policy=policy)
+            sim = simulate_solution(problem, solution)
+            assert sum(sim.server_load.values()) == pytest.approx(tree.total_requests())
+            # Each client's uplink carries exactly its non-locally-served load.
+            for (client_id, server_id), amount in solution.assignment.items():
+                assert sim.link_flow[(client_id, tree.parent(client_id))] >= amount - 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# saturation detection
+# --------------------------------------------------------------------------- #
+class TestSaturation:
+    def make_problem(self, bandwidth):
+        tree = (
+            TreeBuilder()
+            .add_node("root", capacity=50)
+            .add_node("mid", capacity=5, parent="root", bandwidth=bandwidth)
+            .add_client("c", requests=10, parent="mid")
+            .build()
+        )
+        return replica_cost_problem(tree)
+
+    def test_saturated_link_detected(self):
+        problem = self.make_problem(bandwidth=5)
+        solution = make_solution(
+            "multiple", ["mid", "root"], {("c", "mid"): 5, ("c", "root"): 5}
+        )
+        sim = simulate_solution(problem, solution)
+        assert sim.link_utilisation[("mid", "root")] == pytest.approx(1.0)
+        assert ("mid", "root") in sim.saturated_links
+
+    def test_below_threshold_not_saturated(self):
+        problem = self.make_problem(bandwidth=20)
+        solution = make_solution(
+            "multiple", ["mid", "root"], {("c", "mid"): 5, ("c", "root"): 5}
+        )
+        sim = simulate_solution(problem, solution)
+        assert sim.link_utilisation[("mid", "root")] == pytest.approx(0.25)
+        assert sim.saturated_links == []
+
+    def test_zero_bandwidth_link_with_flow_reports_inf(self):
+        """Regression: capacity-0 links carrying flow reported 0% utilisation."""
+        problem = self.make_problem(bandwidth=0)
+        solution = make_solution(
+            "multiple", ["mid", "root"], {("c", "mid"): 5, ("c", "root"): 5}
+        )
+        sim = simulate_solution(problem, solution)
+        assert math.isinf(sim.link_utilisation[("mid", "root")])
+        assert ("mid", "root") in sim.saturated_links
+
+    def test_zero_bandwidth_link_without_flow_is_idle(self):
+        problem = self.make_problem(bandwidth=0)
+        solution = make_solution("multiple", ["mid"], {("c", "mid"): 10})
+        sim = simulate_solution(problem, solution)
+        assert sim.link_utilisation[("mid", "root")] == 0.0
+        assert sim.saturated_links == []
+
+    def test_infinite_bandwidth_link_never_saturates(self, chain_problem):
+        solution = make_solution("upwards", ["top"], {("c", "top"): 6})
+        sim = simulate_solution(chain_problem, solution)
+        assert all(value == 0.0 for value in sim.link_utilisation.values())
+        assert sim.saturated_links == []
+
+
+# --------------------------------------------------------------------------- #
+# fixed edge cases
+# --------------------------------------------------------------------------- #
+class TestEdgeCases:
+    def test_zero_amount_pairs_excluded_from_latency_stats(self, chain_problem):
+        """Regression: empty splits inflated max latency / client averages."""
+        solution = make_solution("multiple", ["low", "top"], {("c", "low"): 6})
+        # Inject a zero-amount pair the way a mutated/deserialised assignment
+        # could carry one (the constructor itself strips zeros).
+        solution.assignment._amounts[("c", "top")] = 0.0
+        sim = simulate_solution(chain_problem, solution)
+        assert sim.max_latency == pytest.approx(2.0)  # not 4.0 via the root
+        assert sim.client_latency["c"] == pytest.approx(2.0)
+        assert sim.total_traffic == pytest.approx(6.0)
+
+    def test_empty_assignment_is_safe(self, chain_problem):
+        solution = make_solution("multiple", [], {})
+        sim = simulate_solution(chain_problem, solution)
+        assert sim.hottest_server() == (None, 0.0)
+        assert sim.mean_latency == 0.0 and sim.max_latency == 0.0
+        assert "no assigned requests" in sim.summary()
+
+    def test_zero_capacity_server_reports_inf_utilisation(self):
+        tree = (
+            TreeBuilder()
+            .add_node("root", capacity=10)
+            .add_node("dead", capacity=0, parent="root")
+            .add_client("c", requests=2, parent="dead")
+            .build()
+        )
+        problem = replica_cost_problem(tree)
+        solution = make_solution("multiple", ["dead"], {("c", "dead"): 2})
+        sim = simulate_solution(problem, solution)
+        assert math.isinf(sim.server_utilisation["dead"])
+
+
+# --------------------------------------------------------------------------- #
+# time-stepped sequence replay
+# --------------------------------------------------------------------------- #
+class TestSequenceReplay:
+    def test_replay_matches_per_epoch_simulation(self):
+        tree = generate_tree(size=40, target_load=0.4, seed=21)
+        base = replica_counting_problem(tree)
+        epochs = rate_churn(base, 6, churn=0.2, seed=3)
+        result = solve_sequence(epochs, policy="multiple")
+        replay = simulate_sequence(epochs, result.solutions)
+        assert len(replay.epochs) == 6
+        for problem, solution, sim in zip(epochs, result.solutions, replay.epochs):
+            expected = simulate_solution(problem, solution)
+            assert sim.server_load == expected.server_load
+            assert sim.mean_latency == pytest.approx(expected.mean_latency)
+
+    def test_unsolved_epochs_are_carried_through(self):
+        tree = (
+            TreeBuilder()
+            .add_node("root", capacity=10)
+            .add_client("c", requests=5, parent="root")
+            .build()
+        )
+        base = replica_cost_problem(tree)
+        # The x10 step makes the tree infeasible from epoch 2 onwards.
+        epochs = step_change(base, 4, at=2, factor=10)
+        result = solve_sequence(epochs, policy="multiple")
+        replay = simulate_sequence(epochs, result.solutions)
+        assert replay.unsolved_epochs() == [2, 3]
+        assert replay.mean_latency_series()[2] is None
+        assert "unsolved" in replay.summary()
+
+    def test_transient_saturation_detected(self):
+        tree = (
+            TreeBuilder()
+            .add_node("root", capacity=50)
+            .add_node("mid", capacity=5, parent="root", bandwidth=6)
+            .add_client("c", requests=8, parent="mid")
+            .build()
+        )
+        problem = replica_cost_problem(tree)
+        quiet = make_solution("multiple", ["mid", "root"], {("c", "mid"): 5, ("c", "root"): 3})
+        loud = make_solution("multiple", ["root"], {("c", "root"): 8})
+        replay = simulate_sequence([problem, problem, problem], [quiet, loud, loud])
+        # Epoch 1 pushes all 8 requests through the bandwidth-6 uplink.
+        assert replay.saturation_epochs() == [1, 2]
+        assert replay.transient_saturations() == [(1, ("mid", "root"))]
+        assert replay.peak_link_utilisation()[1] == pytest.approx(8 / 6)
+
+    def test_length_mismatch_raises(self, chain_problem):
+        with pytest.raises(ValueError):
+            simulate_sequence([chain_problem], [])
