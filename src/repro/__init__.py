@@ -59,6 +59,8 @@ from repro.api import (
     solve_many,
     solve_sequence,
     SequenceResult,
+    bound_sequence,
+    BoundSequenceResult,
     compare_policies,
     lower_bound,
 )
@@ -87,6 +89,8 @@ __all__ = [
     "solve_many",
     "solve_sequence",
     "SequenceResult",
+    "bound_sequence",
+    "BoundSequenceResult",
     "compare_policies",
     "lower_bound",
 ]

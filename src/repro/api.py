@@ -42,6 +42,19 @@ clients (migration-minimal operation).  The default ``mode="incremental"``
 is cost-identical to from-scratch solves -- cross-validated per epoch by
 the dynamic-workload suite -- while doing measurably less work on
 low-churn sequences (see ``benchmarks/test_incremental_speed.py``).
+
+The LP layer scales the same way.  :func:`repro.lp.build_program` emits the
+Section 5 programs as bulk COO/CSR gathers over the
+:class:`~repro.core.index.TreeIndex` spans (several times faster than the
+row-by-row reference builder it is cross-validated against, see
+``benchmarks/test_lp_speed.py``), and :func:`bound_sequence` tracks the LP
+lower bound across a dynamic trajectory: unchanged epochs reuse the
+previous bound, rate-only epochs re-target the cached program through
+:meth:`~repro.lp.formulation.LinearProgramData.with_requests` (constraint
+sparsity shared verbatim, only the RHS and variable uppers rewritten)
+instead of re-assembling it.  Pairing :func:`solve_sequence` with
+:func:`bound_sequence` makes per-epoch cost-vs-bound gaps cheap enough to
+monitor on every trajectory (``repro dynamic --bounds``).
 """
 
 from __future__ import annotations
@@ -61,13 +74,16 @@ from repro.core.solution import Solution
 from repro.core.tree import TreeNetwork
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.algorithms.incremental import ResolveStats
+    from repro.algorithms.incremental import BoundStats, ResolveStats
+    from repro.lp.bounds import LowerBoundResult
 
 __all__ = [
     "solve",
     "solve_many",
     "solve_sequence",
     "SequenceResult",
+    "bound_sequence",
+    "BoundSequenceResult",
     "lower_bound",
     "compare_policies",
     "as_problem",
@@ -478,6 +494,120 @@ def solve_sequence(
             stats.append(entry)
     return SequenceResult(
         mode=mode, policy=resolver.policy, solutions=solutions, stats=stats
+    )
+
+
+@dataclass
+class BoundSequenceResult:
+    """Outcome of :func:`bound_sequence` over one epoch sequence.
+
+    ``values[t]`` is the epoch-``t`` lower bound (``math.inf`` when even the
+    Multiple formulation is infeasible); ``stats[t]`` records how it was
+    obtained (``reused`` / ``patched`` / ``built``) and its runtime.
+    """
+
+    method: str
+    policy: Policy
+    results: List["LowerBoundResult"]
+    stats: List["BoundStats"]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> List[float]:
+        """Per-epoch lower bounds (``math.inf`` on infeasible epochs)."""
+        return [entry.value for entry in self.results]
+
+    def strategy_counts(self) -> Dict[str, int]:
+        """How many epochs were reused / patched / built."""
+        counts: Dict[str, int] = {}
+        for entry in self.stats:
+            counts[entry.strategy] = counts.get(entry.strategy, 0) + 1
+        return counts
+
+    def gaps(self, costs: Sequence[Optional[float]]) -> List[Optional[float]]:
+        """Per-epoch relative cost-vs-bound gaps ``cost / bound``.
+
+        ``costs`` is typically :attr:`SequenceResult.costs` from
+        :func:`solve_sequence` over the same epochs.  Epochs without a cost,
+        without a finite positive bound, or with mismatched feasibility map
+        to ``None``.
+        """
+        if len(costs) != len(self.results):
+            raise ValueError(
+                f"{len(costs)} costs for {len(self.results)} bounded epochs"
+            )
+        gaps: List[Optional[float]] = []
+        for cost, entry in zip(costs, self.results):
+            if cost is None or not entry.feasible or entry.value <= 0:
+                gaps.append(None)
+            else:
+                gaps.append(cost / entry.value)
+        return gaps
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI."""
+        counts = self.strategy_counts()
+        strategies = ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+        finite = sum(1 for entry in self.results if entry.feasible)
+        return (
+            f"{len(self.results)} epochs bounded ({strategies}), "
+            f"{finite} feasible, method={self.method}"
+        )
+
+
+def bound_sequence(
+    epochs: Iterable[Union[TreeNetwork, ReplicaPlacementProblem]],
+    *,
+    policy: Union[Policy, str] = Policy.MULTIPLE,
+    constraints: Optional[ConstraintSet] = None,
+    kind: Optional[ProblemKind] = None,
+    method: str = "mixed",
+    mode: str = "incremental",
+    time_limit: Optional[float] = None,
+) -> BoundSequenceResult:
+    """Per-epoch LP lower bounds over a dynamic-workload epoch sequence.
+
+    The companion of :func:`solve_sequence`: where that function tracks what
+    the heuristics *achieve* across epochs, this one tracks what the LP says
+    is *achievable*, making per-epoch cost-vs-bound gaps a first-class
+    series (see :meth:`BoundSequenceResult.gaps`).
+
+    Parameters
+    ----------
+    epochs:
+        Trees or problems, one per epoch, as accepted by
+        :func:`solve_sequence`.
+    policy:
+        Policy whose formulation is relaxed; the default Multiple is a valid
+        lower bound for every policy (the paper's choice).
+    method:
+        ``"mixed"`` (default) -- the paper's refined bound: integer
+        placement, rational assignment.  ``"rational"`` -- the fully
+        rational relaxation (cheaper, looser).
+    mode:
+        ``"incremental"`` (default) -- reuse the bound of unchanged epochs,
+        re-target the cached program via
+        :meth:`~repro.lp.formulation.LinearProgramData.with_requests` for
+        rate-only epochs, rebuild otherwise.  Bounds are identical to
+        ``"scratch"`` (per-epoch rebuilds) -- cross-validated by the test
+        suite -- while skipping most of the per-epoch assembly work.
+    time_limit:
+        Optional per-epoch wall-clock limit forwarded to the backend.
+    """
+    from repro.algorithms.incremental import IncrementalBounder
+
+    bounder = IncrementalBounder(
+        policy=policy, method=method, mode=mode, time_limit=time_limit
+    )
+    results: List["LowerBoundResult"] = []
+    stats: List["BoundStats"] = []
+    for epoch in epochs:
+        problem = as_problem(epoch, constraints=constraints, kind=kind)
+        result, entry = bounder.bound(problem)
+        results.append(result)
+        stats.append(entry)
+    return BoundSequenceResult(
+        method=method, policy=bounder.policy, results=results, stats=stats
     )
 
 

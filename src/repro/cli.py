@@ -150,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the solved sequence and report transient saturation",
     )
     dyn.add_argument(
+        "--bounds",
+        action="store_true",
+        help="track the per-epoch LP lower bound (incremental program patching) "
+        "and report cost-vs-bound gaps",
+    )
+    dyn.add_argument(
         "--campaign",
         action="store_true",
         help="sweep churn intensity on generated trees (ignores the tree argument)",
@@ -159,6 +165,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dyn.add_argument(
         "--trees-per-level", type=int, default=3, help="campaign: trees per churn level"
+    )
+    dyn.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="campaign: evaluate trajectories over N worker processes",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the bench-marked perf suites (each run appends an entry to "
+        "BENCH_engine.json)",
+    )
+    bench.add_argument(
+        "-k",
+        dest="keyword",
+        default=None,
+        help="pytest -k expression selecting a subset of the bench suites",
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available bench suites without running them",
+    )
+    bench.add_argument(
+        "--collect-only",
+        action="store_true",
+        help="collect the selected bench tests without running them",
     )
 
     sub.add_parser("table1", help="print the computational evidence for paper Table 1")
@@ -259,6 +293,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "dynamic":
         return _dispatch_dynamic(args)
 
+    if args.command == "bench":
+        return _dispatch_bench(args)
+
     if args.command == "table1":
         from repro.experiments.tables import table1_table
 
@@ -306,8 +343,9 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
             magnitude=args.magnitude,
             quiet_probability=args.quiet,
             seed=args.seed if args.seed is not None else 2026,
+            track_bounds=args.bounds,
         )
-        result = run_churn_campaign(config)
+        result = run_churn_campaign(config, workers=args.workers)
         print(result.describe())
         print()
         print("Mean per-epoch cost by churn intensity:")
@@ -318,11 +356,22 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
         print()
         print("Replicas moved per epoch:")
         print(result.replica_churn_table())
+        if args.bounds:
+            print()
+            print("Cost relative to the per-epoch LP lower bound:")
+            print(result.gap_table())
         return 0
 
     if args.tree is None:
         print("error: a tree JSON file is required unless --campaign is given", file=sys.stderr)
         return 1
+
+    if args.workers is not None:
+        print(
+            "warning: --workers only parallelises --campaign runs; a single "
+            "trajectory is solved sequentially (epochs are dependent)",
+            file=sys.stderr,
+        )
 
     from repro.workloads import dynamic as trajectories
 
@@ -398,8 +447,22 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
         f"({args.mode} mode, {args.policy} policy)"
     )
     print(result.describe())
-    for entry in result.stats:
-        print("  " + entry.describe())
+    bounds = None
+    if args.bounds:
+        from repro.api import bound_sequence
+
+        bounds = bound_sequence(epochs, policy=args.policy)
+        gaps = bounds.gaps(result.costs)
+    for epoch, entry in enumerate(result.stats):
+        line = "  " + entry.describe()
+        if bounds is not None:
+            value = bounds.values[epoch]
+            gap = gaps[epoch]
+            line += f" | bound {value:g}"
+            line += f" (gap {gap:.3f})" if gap is not None else " (no gap)"
+        print(line)
+    if bounds is not None:
+        print("Bounds: " + bounds.describe())
 
     if args.simulate:
         from repro.simulation import simulate_sequence
@@ -410,6 +473,52 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
         for epoch, link in replay.transient_saturations():
             print(f"  epoch {epoch}: link {link[0]!r}->{link[1]!r} saturates")
     return 0 if result.solved_epochs else 2
+
+
+def _dispatch_bench(args: argparse.Namespace) -> int:
+    """The ``bench`` sub-command: run the bench-marked perf suites.
+
+    A thin, reproducible front end over ``pytest -m bench benchmarks/`` so
+    the performance trajectory (every bench run appends an entry to
+    ``BENCH_engine.json``) no longer depends on ad-hoc pytest invocations.
+    """
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    bench_dir = root / "benchmarks"
+    if not bench_dir.is_dir():
+        print(
+            f"error: no benchmarks/ directory next to the package ({bench_dir}); "
+            "the bench suites only ship with a source checkout",
+            file=sys.stderr,
+        )
+        return 1
+
+    suites = sorted(path.name for path in bench_dir.glob("test_*.py"))
+    if args.list:
+        print(f"bench suites in {bench_dir}:")
+        for name in suites:
+            print(f"  {name}")
+        print("run them with: repro-placement bench [-k EXPR]")
+        return 0
+
+    import pytest
+
+    # The bench modules import helpers as ``benchmarks.conftest``, which
+    # resolves only with the repository root on sys.path (pytest normally
+    # gets this for free by being launched from the checkout).
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+
+    pytest_args = [str(bench_dir), "-m", "bench", "-q", "-p", "no:cacheprovider"]
+    if args.keyword:
+        pytest_args += ["-k", args.keyword]
+    if args.collect_only:
+        pytest_args.append("--collect-only")
+    code = int(pytest.main(pytest_args))
+    if not args.collect_only and code == 0:
+        print(f"bench entries appended to {root / 'BENCH_engine.json'}")
+    return code
 
 
 def _load_problem(path: str, *, counting: bool) -> ReplicaPlacementProblem:

@@ -69,6 +69,7 @@ class TreeIndex:
         "inreq_template",
         "residual_template",
         "qos_threshold_cache",
+        "_np_cache",
     )
 
     def __init__(self, tree: TreeNetwork):
@@ -180,6 +181,10 @@ class TreeIndex:
         #: mode fully determines the thresholds).
         self.qos_threshold_cache: Dict[object, List[int]] = {}
 
+        #: lazily-built *structural* numpy mirrors (no workload data), shared
+        #: verbatim by epoch forks; used by the vectorised LP assembly.
+        self._np_cache: Dict[str, object] = {}
+
     # ------------------------------------------------------------------ #
     # construction / caching
     # ------------------------------------------------------------------ #
@@ -256,6 +261,8 @@ class TreeIndex:
         #: thresholds depend on QoS bounds / depths / comm times only, all of
         #: which an epoch fork leaves untouched -- share the memo.
         fork.qos_threshold_cache = self.qos_threshold_cache
+        #: structural-only by construction, so epoch forks share the memo.
+        fork._np_cache = self._np_cache
 
         changed = tuple(changed_clients)
         if not changed:
@@ -348,6 +355,36 @@ class TreeIndex:
             thresholds.append(best)
         self.qos_threshold_cache[key] = thresholds
         return thresholds
+
+    # ------------------------------------------------------------------ #
+    # bulk structural views
+    # ------------------------------------------------------------------ #
+    def client_ancestor_positions(self):
+        """Flat dense-position ancestor chains: ``(positions, offsets)``.
+
+        ``positions`` concatenates every client's bottom-up ancestor chain
+        translated to dense node positions; client ``c``'s chain is the
+        slice ``positions[offsets[c] : offsets[c + 1]]``.  Purely
+        structural, hence built once per topology and shared by epoch forks
+        (used by the vectorised LP assembly to gather QoS-eligible pair
+        columns in bulk).
+        """
+        cached = self._np_cache.get("client_ancestor_positions")
+        if cached is None:
+            import numpy as np
+
+            node_pos = self.node_pos
+            lengths = [len(chain) for chain in self.client_ancestors]
+            offsets = np.zeros(self.n_clients + 1, dtype=np.intp)
+            np.cumsum(lengths, out=offsets[1:])
+            flat = np.fromiter(
+                (node_pos[nid] for chain in self.client_ancestors for nid in chain),
+                dtype=np.intp,
+                count=int(offsets[-1]),
+            )
+            cached = (flat, offsets)
+            self._np_cache["client_ancestor_positions"] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # id <-> index translation

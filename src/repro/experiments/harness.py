@@ -310,6 +310,11 @@ class ChurnCampaignConfig:
     quiet_probability: float = 0.25
     modes: Sequence[str] = ("incremental", "patch")
     seed: int = 2026
+    #: also compute the per-epoch LP lower bound of every trajectory (via
+    #: :func:`repro.api.bound_sequence`, incremental program patching) and
+    #: record mean bound and mean cost-vs-bound gap per record.
+    track_bounds: bool = False
+    bound_method: str = "mixed"
 
     def problem_kind(self) -> ProblemKind:
         """Replica Counting on homogeneous platforms, Replica Cost otherwise."""
@@ -330,6 +335,10 @@ class ChurnRecord:
     requests_reassigned: float
     strategies: Dict[str, int]
     runtime: float
+    #: mean per-epoch LP lower bound / cost-vs-bound gap, ``nan`` unless the
+    #: campaign ran with ``track_bounds=True``.
+    mean_bound: float = math.nan
+    mean_gap: float = math.nan
 
 
 @dataclass
@@ -363,6 +372,10 @@ class ChurnCampaignResult:
         """Mean per-epoch cost by churn level, one series per mode."""
         return self._series(lambda record: record.mean_cost)
 
+    def gap_series(self) -> Dict[str, Dict[float, float]]:
+        """Mean cost-vs-LP-bound gap by churn level (``track_bounds`` runs)."""
+        return self._series(lambda record: record.mean_gap)
+
     def stability_series(self) -> Dict[str, Dict[float, float]]:
         """Mean requests re-routed per epoch by churn level and mode."""
         return self._series(
@@ -378,6 +391,10 @@ class ChurnCampaignResult:
     def cost_table(self) -> str:
         """ASCII table of the cost series (x axis: churn intensity)."""
         return series_table(self.cost_series(), x_label="churn")
+
+    def gap_table(self) -> str:
+        """ASCII table of the cost-vs-bound gap series."""
+        return series_table(self.gap_series(), x_label="churn")
 
     def stability_table(self) -> str:
         """ASCII table of the request re-routing series."""
@@ -397,68 +414,126 @@ class ChurnCampaignResult:
         )
 
 
-def run_churn_campaign(config: ChurnCampaignConfig) -> ChurnCampaignResult:
+def _churn_trajectory_epochs(churn: float, tree_seed: int, config: ChurnCampaignConfig):
+    """Build one trajectory's epochs (deterministic given the seeds).
+
+    Regenerated per mode / per bound run (identical demand every time) to
+    keep the recorded runtimes honest: sharing epoch objects would hand
+    later runs the earlier runs' warm tree-index caches.
+    """
+    from repro.workloads.dynamic import rate_churn
+
+    tree = TreeGenerator(tree_seed).generate(
+        GeneratorConfig(
+            size=config.size,
+            target_load=config.load,
+            homogeneous=config.homogeneous,
+        )
+    )
+    base = ReplicaPlacementProblem(
+        tree=tree, kind=config.problem_kind(), name=f"churn{churn:g}"
+    )
+    return rate_churn(
+        base,
+        config.epochs,
+        churn=float(churn),
+        magnitude=config.magnitude,
+        quiet_probability=config.quiet_probability,
+        seed=tree_seed,
+    )
+
+
+def _evaluate_churn_entry(
+    entry: Tuple[float, int], config: ChurnCampaignConfig
+) -> List[ChurnRecord]:
+    """Solve one (churn level, base tree) trajectory under every mode."""
+    from repro.api import bound_sequence, solve_sequence
+
+    churn, tree_seed = entry
+    bounds = None
+    if config.track_bounds:
+        # The bounds depend on the epochs only, not on the re-solve mode:
+        # compute them once per trajectory and share across mode records.
+        bounds = bound_sequence(
+            _churn_trajectory_epochs(churn, tree_seed, config),
+            policy=config.policy,
+            method=config.bound_method,
+        )
+        finite = [value for value in bounds.values if math.isfinite(value)]
+        mean_bound = sum(finite) / len(finite) if finite else math.nan
+
+    records: List[ChurnRecord] = []
+    for mode in config.modes:
+        epochs = _churn_trajectory_epochs(churn, tree_seed, config)
+        start = time.perf_counter()
+        result = solve_sequence(epochs, policy=config.policy, mode=mode)
+        runtime = time.perf_counter() - start
+        costs = [cost for cost in result.costs if cost is not None]
+        migrations = result.total_migrations()
+        mean_gap = math.nan
+        if bounds is not None:
+            gaps = [gap for gap in bounds.gaps(result.costs) if gap is not None]
+            mean_gap = sum(gaps) / len(gaps) if gaps else math.nan
+        records.append(
+            ChurnRecord(
+                churn=float(churn),
+                tree_seed=tree_seed,
+                mode=mode,
+                mean_cost=sum(costs) / len(costs) if costs else math.nan,
+                solved_epochs=result.solved_epochs,
+                epochs=config.epochs,
+                replicas_moved=migrations["replicas_added"]
+                + migrations["replicas_dropped"],
+                requests_reassigned=migrations["requests_reassigned"],
+                strategies=result.strategy_counts(),
+                runtime=runtime,
+                mean_bound=mean_bound if bounds is not None else math.nan,
+                mean_gap=mean_gap,
+            )
+        )
+    return records
+
+
+def _churn_chunk(
+    chunk: List[Tuple[float, int]], *, config: ChurnCampaignConfig
+) -> List[List[ChurnRecord]]:
+    """Worker-side evaluation of a contiguous chunk of trajectory entries."""
+    return [_evaluate_churn_entry(entry, config) for entry in chunk]
+
+
+def run_churn_campaign(
+    config: ChurnCampaignConfig, *, workers: Optional[int] = None
+) -> ChurnCampaignResult:
     """Sweep churn intensity and solve each trajectory under every mode.
 
     Trajectories are deterministic given ``config.seed``: the same epochs
     are handed to every mode, so the per-level series are directly
     comparable (identical demand, different re-solve strategies).
-    """
-    from repro.api import solve_sequence
-    from repro.workloads.dynamic import rate_churn
 
-    records: List[ChurnRecord] = []
-    kind = config.problem_kind()
+    Parameters
+    ----------
+    workers:
+        ``None`` or ``<= 1`` evaluates sequentially in-process.  Larger
+        values fan the independent (churn level, base tree) trajectories
+        out over the shared :func:`repro.api.chunked_pool_map` process
+        pool, one contiguous chunk per worker; records come back in the
+        same deterministic order as a sequential run.
+    """
+    plan: List[Tuple[float, int]] = []
     for level_index, churn in enumerate(config.churn_levels):
         for tree_index in range(config.trees_per_level):
-            tree_seed = config.seed + 1000 * level_index + tree_index
+            plan.append((float(churn), config.seed + 1000 * level_index + tree_index))
 
-            def build_epochs():
-                # Regenerated per mode (deterministic, so every mode sees
-                # identical demand) to keep the recorded runtimes honest:
-                # sharing epoch objects would hand later modes the earlier
-                # mode's warm tree-index caches.
-                tree = TreeGenerator(tree_seed).generate(
-                    GeneratorConfig(
-                        size=config.size,
-                        target_load=config.load,
-                        homogeneous=config.homogeneous,
-                    )
-                )
-                base = ReplicaPlacementProblem(
-                    tree=tree, kind=kind, name=f"churn{churn:g}"
-                )
-                return rate_churn(
-                    base,
-                    config.epochs,
-                    churn=float(churn),
-                    magnitude=config.magnitude,
-                    quiet_probability=config.quiet_probability,
-                    seed=tree_seed,
-                )
+    if workers is None or workers <= 1 or not plan:
+        grouped = [_evaluate_churn_entry(entry, config) for entry in plan]
+    else:
+        from functools import partial
 
-            for mode in config.modes:
-                epochs = build_epochs()
-                start = time.perf_counter()
-                result = solve_sequence(epochs, policy=config.policy, mode=mode)
-                runtime = time.perf_counter() - start
-                costs = [cost for cost in result.costs if cost is not None]
-                migrations = result.total_migrations()
-                records.append(
-                    ChurnRecord(
-                        churn=float(churn),
-                        tree_seed=tree_seed,
-                        mode=mode,
-                        mean_cost=sum(costs) / len(costs) if costs else math.nan,
-                        solved_epochs=result.solved_epochs,
-                        epochs=config.epochs,
-                        replicas_moved=migrations["replicas_added"]
-                        + migrations["replicas_dropped"],
-                        requests_reassigned=migrations["requests_reassigned"],
-                        strategies=result.strategy_counts(),
-                        runtime=runtime,
-                    )
-                )
+        from repro.api import chunked_pool_map
+
+        grouped = chunked_pool_map(partial(_churn_chunk, config=config), plan, workers)
+
+    records = [record for group in grouped for record in group]
     return ChurnCampaignResult(config=config, records=records)
 
 

@@ -25,19 +25,32 @@ Contents
 """
 
 from repro.lp.variables import VariableSpace
-from repro.lp.formulation import LinearProgramData, build_program
+from repro.lp.formulation import (
+    LinearProgramData,
+    build_program,
+    build_program_reference,
+)
 from repro.lp.solver import LPResult, solve_program
-from repro.lp.bounds import lp_lower_bound, rational_relaxation_bound, LowerBoundResult
+from repro.lp.bounds import (
+    LowerBoundResult,
+    bound_for_program,
+    bound_program,
+    lp_lower_bound,
+    rational_relaxation_bound,
+)
 from repro.lp.exact import exact_solution, exact_cost
 
 __all__ = [
     "VariableSpace",
     "LinearProgramData",
     "build_program",
+    "build_program_reference",
     "LPResult",
     "solve_program",
     "lp_lower_bound",
     "rational_relaxation_bound",
+    "bound_for_program",
+    "bound_program",
     "LowerBoundResult",
     "exact_solution",
     "exact_cost",

@@ -26,10 +26,16 @@ from typing import Optional
 
 from repro.core.policies import Policy
 from repro.core.problem import ReplicaPlacementProblem
-from repro.lp.formulation import build_program
+from repro.lp.formulation import LinearProgramData, build_program
 from repro.lp.solver import LPResult, solve_program
 
-__all__ = ["LowerBoundResult", "lp_lower_bound", "rational_relaxation_bound"]
+__all__ = [
+    "LowerBoundResult",
+    "lp_lower_bound",
+    "rational_relaxation_bound",
+    "bound_for_program",
+    "bound_program",
+]
 
 
 @dataclass
@@ -81,6 +87,40 @@ def lp_lower_bound(
     )
     result = solve_program(program, time_limit=time_limit)
     return _to_bound(result, method="mixed", policy=Policy.parse(policy))
+
+
+def bound_program(
+    problem: ReplicaPlacementProblem,
+    *,
+    policy: Policy = Policy.MULTIPLE,
+    method: str = "mixed",
+) -> LinearProgramData:
+    """Assemble (without solving) the program behind an LP lower bound.
+
+    The epoch bounder of :mod:`repro.algorithms.incremental` keeps this
+    program across epochs and re-targets it with
+    :meth:`~repro.lp.formulation.LinearProgramData.with_requests` whenever
+    only request rates moved.
+    """
+    if method not in ("mixed", "rational"):
+        raise ValueError(f"unknown lower-bound method {method!r}")
+    return build_program(
+        problem,
+        policy,
+        integral_placement=(method == "mixed"),
+        integral_assignment=False,
+    )
+
+
+def bound_for_program(
+    program: LinearProgramData,
+    *,
+    method: str = "mixed",
+    time_limit: Optional[float] = None,
+) -> LowerBoundResult:
+    """Solve an already-assembled bound program (see :func:`bound_program`)."""
+    result = solve_program(program, time_limit=time_limit)
+    return _to_bound(result, method=method, policy=program.policy)
 
 
 def rational_relaxation_bound(

@@ -80,20 +80,23 @@ def exact_solution(
 
     values = result.values
     space = program.space
+    # Bulk extraction over the dense pair arrays: only the (typically few)
+    # active variables ever touch Python-level id lookups.
     replicas = {
-        node_id
-        for node_id in space.node_ids
-        if values[space.x_index(node_id)] > _BINARY_THRESHOLD
+        space.node_ids[position]
+        for position in np.flatnonzero(values[: space.num_x] > _BINARY_THRESHOLD)
     }
 
     amounts: Dict[Tuple[NodeId, NodeId], float] = {}
     single = policy.single_server
-    for client_id, server_id in space.pairs:
-        raw = values[space.y_index(client_id, server_id)]
-        if raw <= _VALUE_TOLERANCE:
-            continue
-        requests = problem.requests(client_id)
-        amount = requests * raw if single else raw
+    y_values = values[space.num_x :]
+    clients, nodes = space.client_ids, space.node_ids
+    pair_client, pair_server = space.pair_client_pos, space.pair_server_pos
+    for position in np.flatnonzero(y_values > _VALUE_TOLERANCE).tolist():
+        raw = y_values[position]
+        client_id = clients[pair_client[position]]
+        server_id = nodes[pair_server[position]]
+        amount = problem.requests(client_id) * raw if single else raw
         # Clean numerical noise: integral programs should produce integers.
         rounded = round(amount)
         if abs(amount - rounded) <= 1e-6:

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
-from scipy import optimize, sparse
+from scipy import optimize
 
 from repro.core.exceptions import SolverError
 from repro.lp.formulation import LinearProgramData
@@ -80,26 +80,19 @@ def _solve_milp(program: LinearProgramData, time_limit: Optional[float]) -> LPRe
 
 def _solve_linprog(program: LinearProgramData, time_limit: Optional[float] = None) -> LPResult:
     # linprog only accepts one-sided inequality rows plus equality rows, so
-    # split the two-sided rows of the generic formulation.
-    matrix = program.constraint_matrix.tocsr()
+    # split the two-sided rows of the generic formulation.  The split (and
+    # the sliced matrices) is structural and cached on the program, so
+    # epoch-patched programs built by ``with_requests`` skip the per-epoch
+    # re-slicing entirely; only the RHS vectors below are re-gathered.
+    (eq_rows, ub_rows, lb_rows), (a_eq, a_ub) = program.linprog_split()
     lower, upper = program.lower, program.upper
 
-    eq_rows = np.where(np.isclose(lower, upper))[0]
-    ub_rows = np.where(~np.isclose(lower, upper) & np.isfinite(upper))[0]
-    lb_rows = np.where(~np.isclose(lower, upper) & np.isfinite(lower))[0]
-
-    a_eq = matrix[eq_rows] if len(eq_rows) else None
     b_eq = upper[eq_rows] if len(eq_rows) else None
-
-    blocks = []
     rhs = []
     if len(ub_rows):
-        blocks.append(matrix[ub_rows])
         rhs.append(upper[ub_rows])
     if len(lb_rows):
-        blocks.append(-matrix[lb_rows])
         rhs.append(-lower[lb_rows])
-    a_ub = sparse.vstack(blocks) if blocks else None
     b_ub = np.concatenate(rhs) if rhs else None
 
     options = {}
@@ -113,7 +106,8 @@ def _solve_linprog(program: LinearProgramData, time_limit: Optional[float] = Non
         b_ub=b_ub,
         A_eq=a_eq,
         b_eq=b_eq,
-        bounds=list(zip(program.variable_lower, program.variable_upper)),
+        # One (n, 2) array instead of n per-variable tuples.
+        bounds=np.column_stack((program.variable_lower, program.variable_upper)),
         method="highs",
         options=options,
     )

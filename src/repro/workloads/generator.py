@@ -80,6 +80,10 @@ class GeneratorConfig:
         experiments); ``None`` leaves QoS unbounded.
     link_comm_time:
         Communication time attached to every link.
+    link_bandwidth:
+        When set, every link carries this finite bandwidth (used by the
+        bandwidth-constrained LP experiments and benchmarks); ``None``
+        leaves links uncapacitated (``math.inf``).
     """
 
     size: int = 50
@@ -94,6 +98,7 @@ class GeneratorConfig:
     request_high: int = 20
     qos_hops: Optional[Tuple[int, int]] = None
     link_comm_time: float = 1.0
+    link_bandwidth: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.size < 3:
@@ -112,6 +117,8 @@ class GeneratorConfig:
             )
         if not 1 <= self.request_low <= self.request_high:
             raise ValueError("request_low/request_high must satisfy 1 <= low <= high")
+        if self.link_bandwidth is not None and self.link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive (or None)")
 
 
 class TreeGenerator:
@@ -218,13 +225,26 @@ class TreeGenerator:
             )
             for i, name in enumerate(client_names)
         ]
+        bandwidth = (
+            math.inf if config.link_bandwidth is None else float(config.link_bandwidth)
+        )
         links = [
-            Link(child=name, parent=parent, comm_time=config.link_comm_time)
+            Link(
+                child=name,
+                parent=parent,
+                comm_time=config.link_comm_time,
+                bandwidth=bandwidth,
+            )
             for name, parent in parent_of.items()
             if parent is not None
         ]
         links.extend(
-            Link(child=name, parent=client_parent[name], comm_time=config.link_comm_time)
+            Link(
+                child=name,
+                parent=client_parent[name],
+                comm_time=config.link_comm_time,
+                bandwidth=bandwidth,
+            )
             for name in client_names
         )
         return TreeNetwork(nodes, clients, links)

@@ -152,3 +152,19 @@ class TestCLI:
         capsys.readouterr()
         assert main(["solve", str(tree_path), "--algorithm", "MG"]) == 0
         assert "[MG]" in capsys.readouterr().out
+
+
+class TestBenchCLI:
+    def test_list_names_the_bench_suites(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "bench suites" in out
+        assert "test_lp_speed.py" in out
+        assert "test_engine_speed.py" in out
+
+    def test_collect_only_selects_bench_marked_tests(self, capsys):
+        # Collection-only keeps the tier-1 suite fast while still proving the
+        # sub-command wires pytest, the marker filter and -k together.
+        assert main(["bench", "--collect-only", "-k", "lp"]) == 0
+        out = capsys.readouterr().out
+        assert "test_lp_speed" in out

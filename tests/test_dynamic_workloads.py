@@ -624,6 +624,61 @@ class TestDynamicCLI:
         assert code == 0
         assert "ignoring the tree file, --simulate" in captured.err
 
+    def test_bounds_flag_prints_per_epoch_gaps(self, tree_file, capsys):
+        code = cli_main(
+            ["dynamic", tree_file, "--epochs", "4", "--seed", "9", "--bounds"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bound" in out and "gap" in out
+        assert "Bounds:" in out and "epochs bounded" in out
+
+    def test_campaign_bounds_prints_gap_table(self, capsys):
+        code = cli_main(
+            [
+                "dynamic",
+                "--campaign",
+                "--bounds",
+                "--epochs",
+                "3",
+                "--trees-per-level",
+                "1",
+                "--seed",
+                "5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Cost relative to the per-epoch LP lower bound" in captured.out
+
+    def test_workers_warns_on_single_trajectory(self, tree_file, capsys):
+        code = cli_main(
+            ["dynamic", tree_file, "--epochs", "3", "--workers", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "--workers only parallelises --campaign" in captured.err
+
+    def test_campaign_accepts_workers(self, capsys):
+        code = cli_main(
+            [
+                "dynamic",
+                "--campaign",
+                "--workers",
+                "2",
+                "--epochs",
+                "3",
+                "--trees-per-level",
+                "1",
+                "--seed",
+                "5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Mean per-epoch cost" in captured.out
+        assert "warning" not in captured.err
+
 
 class TestChurnCampaign:
     def test_campaign_records_and_series(self):
@@ -645,3 +700,63 @@ class TestChurnCampaign:
             assert all(value >= 0 for value in stability[mode].values())
         assert "churn" in result.cost_table()
         assert "trajectory solves" in result.describe()
+
+    def test_parallel_campaign_matches_sequential(self):
+        from dataclasses import asdict
+
+        from repro.experiments.harness import ChurnCampaignConfig, run_churn_campaign
+
+        config = ChurnCampaignConfig(
+            churn_levels=(0.1, 0.3),
+            epochs=4,
+            trees_per_level=2,
+            size=30,
+            seed=77,
+        )
+        sequential = run_churn_campaign(config)
+        parallel = run_churn_campaign(config, workers=3)
+        assert len(parallel.records) == len(sequential.records)
+
+        def normalise(record):
+            fields = asdict(record)
+            fields.pop("runtime")  # wall times differ, outcomes must not
+            return {
+                key: None
+                if isinstance(value, float) and math.isnan(value)
+                else value
+                for key, value in fields.items()
+            }
+
+        for left, right in zip(sequential.records, parallel.records):
+            assert normalise(left) == normalise(right)
+
+    def test_track_bounds_populates_gap_series(self):
+        from repro.experiments.harness import ChurnCampaignConfig, run_churn_campaign
+
+        config = ChurnCampaignConfig(
+            churn_levels=(0.1,),
+            epochs=4,
+            trees_per_level=2,
+            size=30,
+            seed=78,
+            track_bounds=True,
+        )
+        result = run_churn_campaign(config)
+        for record in result.records:
+            assert math.isfinite(record.mean_bound)
+            # Heuristic costs can never beat the LP bound.
+            assert record.mean_gap >= 1.0 - 1e-9
+        gaps = result.gap_series()
+        for mode in config.modes:
+            assert set(gaps[mode]) == {0.1}
+        assert "churn" in result.gap_table()
+
+    def test_untracked_bounds_stay_nan(self):
+        from repro.experiments.harness import ChurnCampaignConfig, run_churn_campaign
+
+        config = ChurnCampaignConfig(
+            churn_levels=(0.1,), epochs=3, trees_per_level=1, size=24, seed=79
+        )
+        result = run_churn_campaign(config)
+        assert all(math.isnan(record.mean_gap) for record in result.records)
+        assert all(math.isnan(record.mean_bound) for record in result.records)

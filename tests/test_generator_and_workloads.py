@@ -61,11 +61,27 @@ class TestGeneratorConfig:
             {"max_children": 0},
             {"client_attachment": "anywhere"},
             {"request_low": 5, "request_high": 2},
+            {"link_bandwidth": 0.0},
+            {"link_bandwidth": -3.0},
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):
         with pytest.raises(ValueError):
             GeneratorConfig(**kwargs)
+
+    def test_link_bandwidth_applied_to_every_link(self):
+        import math
+
+        from repro.workloads.generator import TreeGenerator
+
+        capped = TreeGenerator(5).generate(
+            GeneratorConfig(size=24, target_load=0.4, link_bandwidth=42.0)
+        )
+        assert all(link.bandwidth == 42.0 for link in capped.links())
+        unbounded = TreeGenerator(5).generate(
+            GeneratorConfig(size=24, target_load=0.4)
+        )
+        assert all(math.isinf(link.bandwidth) for link in unbounded.links())
 
 
 class TestTreeGenerator:
