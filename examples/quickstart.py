@@ -6,17 +6,20 @@ Run with::
 
 The script builds a small content-distribution tree by hand, solves it under
 the Closest, Upwards and Multiple access policies, compares the costs with
-the LP-based lower bound and prints where the replicas end up.  A "scaling
-up" section shows the batch API solving a whole sweep of random instances in
-one call, a "dynamic workloads" section revises a placement across a
-churning request-rate trajectory with the incremental re-solver, and an "LP
-bounds on sequences" section tracks the cost-vs-bound gap of that revision
-epoch by epoch.
+the LP-based lower bound and prints where the replicas end up.  A "session
+API" section walks the stateful ``PlacementSession`` (one object owning the
+tree index, the LP program and the incremental solver state across epochs),
+a "scaling up" section shows the batch API solving a whole sweep of random
+instances in one call, a "dynamic workloads" section revises a placement
+across a churning request-rate trajectory with the incremental re-solver,
+and an "LP bounds on sequences" section tracks the cost-vs-bound gap of
+that revision epoch by epoch.
 """
 
 from __future__ import annotations
 
 from repro import (
+    PlacementSession,
     Policy,
     TreeBuilder,
     bound_sequence,
@@ -72,11 +75,45 @@ def main() -> None:
     print("The Multiple policy needs the fewest replicas: splitting a client's")
     print("requests over several ancestors makes every unit of capacity usable.")
     print()
+    session_api()
+    print()
     scaling_up()
     print()
     dynamic_workloads()
     print()
     lp_bounds_on_sequences()
+
+
+def session_api() -> None:
+    """Session API: one stateful object, every cache warm across queries.
+
+    ``PlacementSession`` is what a long-running service keeps per tree: the
+    tree index, the LP bound program and the incremental solver state all
+    live on the session, so a solve-then-bound never re-indexes or
+    re-assembles anything, and ``update(requests=...)`` steps to the next
+    epoch by *patching* the cached structures.  Every result implements the
+    unified ``describe()`` / ``to_dict()`` / ``to_json()`` protocol (the
+    CLI's ``--json`` output).
+    """
+    print("Session API: cache-owning solves on one stateful object")
+    session = PlacementSession(replica_counting_problem(build_tree()))
+
+    placed = session.solve()                  # portfolio solve (caches warm now)
+    bound = session.bound()                   # same index, program now resident
+    print(f"  solve: {placed.describe()}")
+    print(f"  bound: {bound.describe()}  -> gap {placed.cost / bound.value:.3f}")
+
+    comparison = session.compare(bounds=True)  # rides the warm caches
+    print(f"  compare: {comparison.describe()}")
+
+    # An epoch step: one client's demand surges.  The resolver re-solves
+    # incrementally and the next bound() patches the resident LP program
+    # (strategy 'patched') instead of re-assembling it.
+    session.update(requests={"c_east_1": 9.0})
+    rebound = session.bound()
+    print(f"  after update(requests=...): {rebound.describe()}")
+    print(f"  cache reuse: {session.stats.describe()}")
+    print(f"  machine-readable: result.to_json() -> {len(placed.to_json())} bytes")
 
 
 def scaling_up() -> None:

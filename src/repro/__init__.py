@@ -21,6 +21,10 @@ It provides:
   :mod:`repro.workloads`,
 * the experiment harness regenerating paper Figures 9-12 and Table 1 in
   :mod:`repro.experiments`,
+* a stateful, cache-owning session API
+  (:class:`~repro.session.PlacementSession`) with a unified
+  ``describe()``/``to_dict()``/``to_json()`` result protocol in
+  :mod:`repro.session` and :mod:`repro.core.results`,
 * extensions of paper Section 8 (multiple objects, richer objective
   functions) in :mod:`repro.multiobject` and :mod:`repro.objectives`.
 
@@ -54,6 +58,13 @@ from repro.core.problem import (
 from repro.core.solution import Assignment, Placement, Solution
 from repro.core.validation import validate_solution, ValidationReport
 from repro.core.costs import placement_cost, request_lower_bound
+from repro.core.results import result_from_dict, result_from_json
+from repro.session import (
+    PlacementSession,
+    SolveResult,
+    BoundResult,
+    CompareResult,
+)
 from repro.api import (
     solve,
     solve_many,
@@ -85,6 +96,12 @@ __all__ = [
     "ValidationReport",
     "placement_cost",
     "request_lower_bound",
+    "PlacementSession",
+    "SolveResult",
+    "BoundResult",
+    "CompareResult",
+    "result_from_dict",
+    "result_from_json",
     "solve",
     "solve_many",
     "solve_sequence",

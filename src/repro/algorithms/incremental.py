@@ -221,6 +221,39 @@ class ResolveStats:
             f"{self.requests_reassigned:g} requests re-routed"
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible payload (part of the result protocol)."""
+        from repro.core.results import encode_float
+
+        return {
+            "epoch": self.epoch,
+            "strategy": self.strategy,
+            "changed_clients": self.changed_clients,
+            "cost": encode_float(self.cost),
+            "replicas_added": self.replicas_added,
+            "replicas_dropped": self.replicas_dropped,
+            "requests_reassigned": self.requests_reassigned,
+            "runtime": self.runtime,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "ResolveStats":
+        """Rebuild stats from a :meth:`to_dict` payload."""
+        from repro.core.results import decode_float
+
+        return cls(
+            epoch=int(payload["epoch"]),
+            strategy=str(payload["strategy"]),
+            changed_clients=int(payload["changed_clients"]),
+            cost=decode_float(payload.get("cost")),
+            replicas_added=int(payload["replicas_added"]),
+            replicas_dropped=int(payload["replicas_dropped"]),
+            requests_reassigned=float(payload["requests_reassigned"]),
+            runtime=float(payload.get("runtime", 0.0)),
+            notes=str(payload.get("notes", "")),
+        )
+
 
 # --------------------------------------------------------------------------- #
 # the resolver
@@ -265,10 +298,10 @@ class IncrementalResolver:
         self, problem: ReplicaPlacementProblem
     ) -> Optional[Solution]:
         """Full solve of one epoch (no warm start); ``None`` when infeasible."""
-        from repro.api import solve
+        from repro.algorithms.portfolio import portfolio_solve
 
         try:
-            return solve(problem, policy=self.policy, algorithm=self.algorithm)
+            return portfolio_solve(problem, policy=self.policy, algorithm=self.algorithm)
         except InfeasibleError:
             return None
 
@@ -432,6 +465,31 @@ class BoundStats:
         return (
             f"epoch {self.epoch:>3}: {value:>14} [{self.strategy}] "
             f"changed={self.changed_clients}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible payload (part of the result protocol)."""
+        from repro.core.results import encode_float
+
+        return {
+            "epoch": self.epoch,
+            "strategy": self.strategy,
+            "changed_clients": self.changed_clients,
+            "value": encode_float(self.value),
+            "runtime": self.runtime,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "BoundStats":
+        """Rebuild stats from a :meth:`to_dict` payload."""
+        from repro.core.results import decode_float
+
+        return cls(
+            epoch=int(payload["epoch"]),
+            strategy=str(payload["strategy"]),
+            changed_clients=int(payload["changed_clients"]),
+            value=decode_float(payload["value"]),
+            runtime=float(payload.get("runtime", 0.0)),
         )
 
 

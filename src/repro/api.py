@@ -1,83 +1,108 @@
 """High-level convenience API.
 
-Most users only need four calls:
+The session model
+-----------------
+
+The package's public surface is organised around one stateful object and a
+set of stateless shims over it.  :class:`repro.session.PlacementSession` is
+the primary entry point for anything that issues *more than one* query
+against the same tree: construct it once and it owns every cache the fast
+layers provide -- the :class:`~repro.core.index.TreeIndex`, the assembled
+LP programs (re-targeted in place across rate-only epochs via
+:meth:`~repro.lp.formulation.LinearProgramData.with_requests`), the
+incremental resolver/bounder state, and the per-epoch results themselves.
+A ``session.solve()`` followed by ``session.bound()`` never re-indexes the
+tree or re-assembles the program; ``session.update(requests=...)`` steps to
+the next epoch with an incremental re-solve; ``session.compare()`` and
+``session.simulate()`` ride the same warm caches.
+
+The free functions below are **thin shims**: each constructs a throwaway
+session and forwards.  They remain the convenient one-shot spelling and are
+bit-identical to the session calls (pinned by ``tests/test_session_api.py``):
 
 * :func:`solve` -- place replicas on a tree under a chosen access policy,
-  automatically picking the best available algorithm (the optimal greedy for
-  Multiple on homogeneous platforms, the best of the paper's heuristics
-  otherwise);
-* :func:`solve_many` -- batch variant of :func:`solve`: solve a sequence of
-  instances, optionally fanned out over worker processes with per-worker
-  chunking.  Results are order-preserving, and infeasible instances are
-  reported as ``None`` or raised depending on ``on_error``;
-* :func:`solve_sequence` -- dynamic-workload variant: solve a sequence of
-  *epochs* (e.g. built by :mod:`repro.workloads.dynamic`) with the
-  incremental re-solver, returning per-epoch solutions plus migration
-  statistics;
-* :func:`lower_bound` -- the LP-based lower bound of paper Section 7.1,
-  used to judge how far a solution is from the optimum;
-* :func:`compare_policies` -- solve the same instance under Closest, Upwards
-  and Multiple and report the costs side by side (the experiment of the
-  paper in miniature).
+  automatically picking the best available algorithm;
+* :func:`solve_many` -- batch variant of :func:`solve`, optionally fanned
+  out over worker processes with per-worker chunking;
+* :func:`solve_sequence` -- dynamic-workload variant: one session consumes
+  the epochs, so unchanged epochs are reused and rate-only epochs run on
+  patched tree indexes (``mode="patch"`` additionally keeps the placement
+  frozen and re-routes only the changed clients);
+* :func:`bound_sequence` -- the LP companion of :func:`solve_sequence`:
+  per-epoch lower bounds on a resident, epoch-patched program;
+* :func:`lower_bound` -- the LP-based lower bound of paper Section 7.1;
+* :func:`compare_policies` -- solve the same instance under Closest,
+  Upwards and Multiple side by side, optionally with the per-policy
+  cost-vs-LP-bound gap (``bounds=True``).
+
+Every result object -- :class:`~repro.session.SolveResult`,
+:class:`~repro.session.BoundResult`, :class:`~repro.session.CompareResult`,
+:class:`SequenceResult`, :class:`BoundSequenceResult` and the campaign
+results of :mod:`repro.experiments.harness` -- implements the unified
+protocol of :mod:`repro.core.results`: ``describe()`` for a one-line human
+summary, ``to_dict()`` / ``to_json()`` for machine-readable payloads (what
+the CLI emits under ``--json``), round-trippable through
+:func:`repro.core.results.result_from_dict`.
 
 Scaling up
 ----------
 
 Every solve runs on the indexed flat-tree engine
 (:class:`repro.core.index.TreeIndex` + the array-backed state of
-:mod:`repro.algorithms.fast_state`), which interns node ids to dense
-integers once per tree and is cross-validated bit-for-bit against the
-paper-faithful dict engine.  ``REPRO_ENGINE=dict`` (or
-:func:`repro.algorithms.common.set_default_engine`) switches back to the
-seed implementation.  For campaign-scale workloads, :func:`solve_many`
-with ``workers=N`` forks a process pool and splits the instance list into
-per-worker chunks, turning a load sweep over hundreds of trees into an
-embarrassingly parallel map.
-
-For *time-varying* workloads, :func:`solve_sequence` replaces the naive
-per-epoch loop: epochs that did not change are reused outright, rate-only
-epochs run on patched tree indexes instead of fresh DFS builds, and
-``mode="patch"`` keeps the placement frozen and re-routes only the changed
-clients (migration-minimal operation).  The default ``mode="incremental"``
-is cost-identical to from-scratch solves -- cross-validated per epoch by
-the dynamic-workload suite -- while doing measurably less work on
-low-churn sequences (see ``benchmarks/test_incremental_speed.py``).
-
-The LP layer scales the same way.  :func:`repro.lp.build_program` emits the
-Section 5 programs as bulk COO/CSR gathers over the
-:class:`~repro.core.index.TreeIndex` spans (several times faster than the
-row-by-row reference builder it is cross-validated against, see
-``benchmarks/test_lp_speed.py``), and :func:`bound_sequence` tracks the LP
-lower bound across a dynamic trajectory: unchanged epochs reuse the
-previous bound, rate-only epochs re-target the cached program through
-:meth:`~repro.lp.formulation.LinearProgramData.with_requests` (constraint
-sparsity shared verbatim, only the RHS and variable uppers rewritten)
-instead of re-assembling it.  Pairing :func:`solve_sequence` with
-:func:`bound_sequence` makes per-epoch cost-vs-bound gaps cheap enough to
-monitor on every trajectory (``repro dynamic --bounds``).
+:mod:`repro.algorithms.fast_state`), cross-validated bit-for-bit against
+the paper-faithful dict engine (``REPRO_ENGINE=dict``, ``engine="dict"``,
+or :func:`repro.algorithms.common.set_default_engine` switch back).  For
+campaign-scale workloads, :func:`solve_many` with ``workers=N`` forks a
+process pool and splits the instance list into per-worker chunks.  For
+long-lived serving, keep a :class:`~repro.session.PlacementSession` per
+tree: the caches that a one-shot call pays for on every invocation are paid
+once and then patched, which is what
+``benchmarks/test_session_reuse.py`` measures.
 """
 
 from __future__ import annotations
 
-import math
+import contextlib
 import uuid
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.constraints import ConstraintSet
 from repro.core.exceptions import InfeasibleError
 from repro.core.policies import Policy
 from repro.core.problem import ProblemKind, ReplicaPlacementProblem
+from repro.core.results import ResultBase, encode_float, register_result
 from repro.core.solution import Solution
 from repro.core.tree import TreeNetwork
+from repro.session import (
+    SESSION_MODES,
+    BoundResult,
+    CompareResult,
+    PlacementSession,
+    SolveResult,
+    as_problem,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.algorithms.incremental import BoundStats, ResolveStats
     from repro.lp.bounds import LowerBoundResult
 
 __all__ = [
+    "PlacementSession",
     "solve",
     "solve_many",
     "solve_sequence",
@@ -86,36 +111,11 @@ __all__ = [
     "BoundSequenceResult",
     "lower_bound",
     "compare_policies",
+    "SolveResult",
+    "BoundResult",
+    "CompareResult",
     "as_problem",
 ]
-
-#: Heuristics tried (in order) per policy when no explicit algorithm is given.
-_DEFAULT_PORTFOLIO = {
-    Policy.CLOSEST: ("CTDA", "CTDLF", "CBU"),
-    Policy.UPWARDS: ("UBCF", "UTD"),
-    Policy.MULTIPLE: ("MTD", "MBU", "MG"),
-}
-
-
-def as_problem(
-    instance: Union[TreeNetwork, ReplicaPlacementProblem],
-    *,
-    constraints: Optional[ConstraintSet] = None,
-    kind: Optional[ProblemKind] = None,
-) -> ReplicaPlacementProblem:
-    """Coerce a tree or problem into a :class:`ReplicaPlacementProblem`."""
-    if isinstance(instance, ReplicaPlacementProblem):
-        problem = instance
-        if constraints is not None:
-            problem = problem.with_constraints(constraints)
-        if kind is not None:
-            problem = problem.with_kind(kind)
-        return problem
-    return ReplicaPlacementProblem(
-        tree=instance,
-        constraints=constraints or ConstraintSet.none(),
-        kind=kind or ProblemKind.REPLICA_COST,
-    )
 
 
 def solve(
@@ -127,6 +127,9 @@ def solve(
     kind: Optional[ProblemKind] = None,
 ) -> Solution:
     """Solve a replica-placement instance under the given access policy.
+
+    A shim over a throwaway :class:`~repro.session.PlacementSession`; use a
+    session directly when issuing several queries against the same tree.
 
     Parameters
     ----------
@@ -145,35 +148,14 @@ def solve(
     InfeasibleError
         When no algorithm produces a valid solution.
     """
-    from repro.algorithms.base import get_heuristic
-
-    problem = as_problem(instance, constraints=constraints, kind=kind)
-    policy = Policy.parse(policy)
-
-    if algorithm is not None:
-        return get_heuristic(algorithm).solve(problem)
-
-    candidates = list(_DEFAULT_PORTFOLIO[policy])
-    if policy is Policy.MULTIPLE and problem.is_homogeneous:
-        candidates = ["MultipleOptimalHomogeneous"] + candidates
-
-    best: Optional[Solution] = None
-    best_cost = math.inf
-    for name in candidates:
-        candidate = get_heuristic(name).try_solve(problem)
-        if candidate is None:
-            continue
-        cost = candidate.cost(problem)
-        if cost < best_cost:
-            best, best_cost = candidate, cost
-        if name == "MultipleOptimalHomogeneous":
-            # Provably optimal: no need to try the heuristics.
-            break
-    if best is None:
-        raise InfeasibleError(
-            f"no valid solution found under the {policy.value} policy", policy=policy
-        )
-    return best
+    session = PlacementSession(
+        instance,
+        constraints=constraints,
+        kind=kind,
+        policy=policy,
+        algorithm=algorithm,
+    )
+    return session.solve().solution
 
 
 def _solve_chunk(
@@ -190,8 +172,6 @@ def _solve_chunk(
     Returns one ``(solution, error)`` pair per instance so the parent can
     re-raise in input order under ``on_error="raise"``.
     """
-    import contextlib
-
     from repro.algorithms.common import use_engine
 
     results: List[Tuple[Optional[Solution], Optional[Exception]]] = []
@@ -359,12 +339,9 @@ def solve_many(
     return solutions
 
 
-#: solve_sequence mode -> IncrementalResolver mode.
-_SEQUENCE_MODES = {"incremental": "exact", "patch": "patch", "scratch": "scratch"}
-
-
+@register_result
 @dataclass
-class SequenceResult:
+class SequenceResult(ResultBase):
     """Outcome of :func:`solve_sequence` over one epoch sequence.
 
     ``solutions[t]`` is the epoch-``t`` solution (``None`` when infeasible
@@ -372,6 +349,8 @@ class SequenceResult:
     migration cost relative to epoch ``t - 1`` (epoch 0 migrates from an
     empty placement: its stats are the cold-start deployment).
     """
+
+    payload_type = "sequence_result"
 
     mode: str
     policy: Policy
@@ -420,6 +399,43 @@ class SequenceResult:
             f"{migrations['requests_reassigned']:g} requests re-routed"
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible payload (unified result protocol)."""
+        from repro.core.serialization import solution_to_dict
+
+        return self._tagged(
+            {
+                "mode": self.mode,
+                "policy": self.policy.value,
+                "epochs": len(self.solutions),
+                "solved_epochs": self.solved_epochs,
+                "costs": [encode_float(cost) for cost in self.costs],
+                "strategies": self.strategy_counts(),
+                "migrations": self.total_migrations(),
+                "stats": [entry.to_dict() for entry in self.stats],
+                "solutions": [
+                    solution_to_dict(solution) if solution is not None else None
+                    for solution in self.solutions
+                ],
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SequenceResult":
+        """Rebuild a sequence result from a :meth:`to_dict` payload."""
+        from repro.algorithms.incremental import ResolveStats
+        from repro.core.serialization import solution_from_dict
+
+        return cls(
+            mode=str(payload["mode"]),
+            policy=Policy.parse(payload["policy"]),
+            solutions=[
+                solution_from_dict(entry) if entry is not None else None
+                for entry in payload["solutions"]
+            ],
+            stats=[ResolveStats.from_dict(entry) for entry in payload["stats"]],
+        )
+
 
 def solve_sequence(
     epochs: Iterable[Union[TreeNetwork, ReplicaPlacementProblem]],
@@ -434,6 +450,9 @@ def solve_sequence(
 ) -> SequenceResult:
     """Solve a dynamic-workload epoch sequence with warm starts.
 
+    A shim over one :class:`~repro.session.PlacementSession` fed every
+    epoch through :meth:`~repro.session.PlacementSession.update`.
+
     Parameters
     ----------
     epochs:
@@ -442,7 +461,7 @@ def solve_sequence(
         :meth:`TreeNetwork.with_requests` (as the trajectory generators do)
         get the cheapest incremental treatment.
     policy, algorithm, constraints, kind:
-        Forwarded to :func:`solve` whenever a full solve runs.
+        Forwarded to the session for every epoch.
     mode:
         ``"incremental"`` (default) -- reuse unchanged epochs, re-solve the
         rest; per-epoch results are cost-identical to ``"scratch"``.
@@ -463,48 +482,57 @@ def solve_sequence(
     SequenceResult
         Per-epoch solutions plus strategy and migration statistics.
     """
-    import contextlib
-
-    from repro.algorithms.common import use_engine
-    from repro.algorithms.incremental import IncrementalResolver
-
-    if mode not in _SEQUENCE_MODES:
+    # Validate up front (the session re-validates, but an empty epoch
+    # iterable would otherwise let a bad mode through unreported).
+    if mode not in SESSION_MODES:
         raise ValueError(
-            f"unknown mode {mode!r}; expected one of {sorted(_SEQUENCE_MODES)}"
+            f"unknown mode {mode!r}; expected one of {sorted(SESSION_MODES)}"
         )
     if on_error not in ("none", "raise"):
         raise ValueError(f"on_error must be 'none' or 'raise', got {on_error!r}")
 
-    resolver = IncrementalResolver(
-        policy=policy, algorithm=algorithm, mode=_SEQUENCE_MODES[mode]
-    )
+    session: Optional[PlacementSession] = None
     solutions: List[Optional[Solution]] = []
-    stats: List[ResolveStats] = []
-    with use_engine(engine) if engine else contextlib.nullcontext():
-        for epoch in epochs:
-            problem = as_problem(epoch, constraints=constraints, kind=kind)
-            solution, entry = resolver.resolve(problem)
-            if solution is None and on_error == "raise":
-                raise InfeasibleError(
-                    f"epoch {entry.epoch} has no valid solution under the "
-                    f"{resolver.policy.value} policy",
-                    policy=resolver.policy,
-                )
-            solutions.append(solution)
-            stats.append(entry)
+    stats: List["ResolveStats"] = []
+    for epoch in epochs:
+        if session is None:
+            session = PlacementSession(
+                epoch,
+                constraints=constraints,
+                kind=kind,
+                policy=policy,
+                algorithm=algorithm,
+                mode=mode,
+                engine=engine,
+            )
+            result = session.solve(on_error="none")
+        else:
+            result = session.update(epoch)
+        if result.solution is None and on_error == "raise":
+            raise InfeasibleError(
+                f"epoch {result.stats.epoch} has no valid solution under the "
+                f"{session.policy.value} policy",
+                policy=session.policy,
+            )
+        solutions.append(result.solution)
+        stats.append(result.stats)
+    resolved_policy = session.policy if session is not None else Policy.parse(policy)
     return SequenceResult(
-        mode=mode, policy=resolver.policy, solutions=solutions, stats=stats
+        mode=mode, policy=resolved_policy, solutions=solutions, stats=stats
     )
 
 
+@register_result
 @dataclass
-class BoundSequenceResult:
+class BoundSequenceResult(ResultBase):
     """Outcome of :func:`bound_sequence` over one epoch sequence.
 
     ``values[t]`` is the epoch-``t`` lower bound (``math.inf`` when even the
     Multiple formulation is infeasible); ``stats[t]`` records how it was
     obtained (``reused`` / ``patched`` / ``built``) and its runtime.
     """
+
+    payload_type = "bound_sequence_result"
 
     method: str
     policy: Policy
@@ -554,6 +582,33 @@ class BoundSequenceResult:
             f"{finite} feasible, method={self.method}"
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible payload (unified result protocol)."""
+        return self._tagged(
+            {
+                "method": self.method,
+                "policy": self.policy.value,
+                "epochs": len(self.results),
+                "values": [encode_float(value) for value in self.values],
+                "strategies": self.strategy_counts(),
+                "results": [entry.to_dict() for entry in self.results],
+                "stats": [entry.to_dict() for entry in self.stats],
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BoundSequenceResult":
+        """Rebuild a bound-sequence result from a :meth:`to_dict` payload."""
+        from repro.algorithms.incremental import BoundStats
+        from repro.lp.bounds import LowerBoundResult
+
+        return cls(
+            method=str(payload["method"]),
+            policy=Policy.parse(payload["policy"]),
+            results=[LowerBoundResult.from_dict(entry) for entry in payload["results"]],
+            stats=[BoundStats.from_dict(entry) for entry in payload["stats"]],
+        )
+
 
 def bound_sequence(
     epochs: Iterable[Union[TreeNetwork, ReplicaPlacementProblem]],
@@ -567,10 +622,12 @@ def bound_sequence(
 ) -> BoundSequenceResult:
     """Per-epoch LP lower bounds over a dynamic-workload epoch sequence.
 
-    The companion of :func:`solve_sequence`: where that function tracks what
-    the heuristics *achieve* across epochs, this one tracks what the LP says
-    is *achievable*, making per-epoch cost-vs-bound gaps a first-class
-    series (see :meth:`BoundSequenceResult.gaps`).
+    The companion of :func:`solve_sequence` (and a shim over one
+    bound-only :class:`~repro.session.PlacementSession`): where that
+    function tracks what the heuristics *achieve* across epochs, this one
+    tracks what the LP says is *achievable*, making per-epoch
+    cost-vs-bound gaps a first-class series (see
+    :meth:`BoundSequenceResult.gaps`).
 
     Parameters
     ----------
@@ -594,20 +651,32 @@ def bound_sequence(
     time_limit:
         Optional per-epoch wall-clock limit forwarded to the backend.
     """
-    from repro.algorithms.incremental import IncrementalBounder
+    if mode not in ("incremental", "scratch"):
+        raise ValueError(
+            f"unknown mode {mode!r}; expected one of ('incremental', 'scratch')"
+        )
+    if method not in ("mixed", "rational"):
+        raise ValueError(
+            f"unknown lower-bound method {method!r}; expected one of "
+            f"('mixed', 'rational')"
+        )
 
-    bounder = IncrementalBounder(
-        policy=policy, method=method, mode=mode, time_limit=time_limit
-    )
+    session: Optional[PlacementSession] = None
     results: List["LowerBoundResult"] = []
     stats: List["BoundStats"] = []
     for epoch in epochs:
-        problem = as_problem(epoch, constraints=constraints, kind=kind)
-        result, entry = bounder.bound(problem)
-        results.append(result)
-        stats.append(entry)
+        if session is None:
+            session = PlacementSession(
+                epoch, constraints=constraints, kind=kind, mode=mode
+            )
+        else:
+            session.update(epoch, resolve=False)
+        entry = session.bound(policy=policy, method=method, time_limit=time_limit)
+        results.append(entry.result)
+        stats.append(entry.stats)
+    resolved_policy = Policy.parse(policy)
     return BoundSequenceResult(
-        method=method, policy=bounder.policy, results=results, stats=stats
+        method=method, policy=resolved_policy, results=results, stats=stats
     )
 
 
@@ -623,20 +692,11 @@ def lower_bound(
     ``method`` selects the refined bound of the paper (``"mixed"``: integer
     placement variables, rational assignments), the fully rational
     relaxation (``"rational"``) or the purely combinatorial bound
-    (``"trivial"``, no LP solve at all).
+    (``"trivial"``, no LP solve at all).  A shim over
+    :meth:`PlacementSession.bound`.
     """
-    problem = as_problem(instance, constraints=constraints, kind=kind)
-    if method == "trivial":
-        from repro.core.costs import trivial_lower_bound
-
-        return trivial_lower_bound(problem)
-    from repro.lp.bounds import lp_lower_bound, rational_relaxation_bound
-
-    if method == "mixed":
-        return lp_lower_bound(problem).value
-    if method == "rational":
-        return rational_relaxation_bound(problem).value
-    raise ValueError(f"unknown lower-bound method {method!r}")
+    session = PlacementSession(instance, constraints=constraints, kind=kind)
+    return session.bound(method=method).value
 
 
 def compare_policies(
@@ -645,20 +705,31 @@ def compare_policies(
     policies: Iterable[Union[Policy, str]] = Policy.ordered(),
     constraints: Optional[ConstraintSet] = None,
     kind: Optional[ProblemKind] = None,
-) -> Dict[Policy, Optional[Solution]]:
+    engine: Optional[str] = None,
+    bounds: bool = False,
+    bound_method: str = "mixed",
+) -> CompareResult:
     """Solve the same instance under several policies.
 
-    Returns a mapping from policy to the best solution found (or ``None``
-    when the policy admits no solution / every algorithm failed), mirroring
-    the paper's observation that Multiple solves strictly more instances
-    than Upwards, which solves strictly more than Closest.
+    Returns a :class:`~repro.session.CompareResult`: a mapping from policy
+    to the best solution found (or ``None`` when the policy admits no
+    solution / every algorithm failed) -- mirroring the paper's observation
+    that Multiple solves strictly more instances than Upwards, which solves
+    strictly more than Closest -- plus per-policy costs and, with
+    ``bounds=True``, the Multiple LP lower bound and the per-policy
+    cost-vs-bound gaps.
+
+    Parameters
+    ----------
+    engine:
+        Optional request-state engine override (``"fast"`` or ``"dict"``),
+        matching the :func:`solve_many` / :func:`solve_sequence`
+        convention.
+    bounds:
+        Also compute the LP lower bound (method ``bound_method``) and
+        report per-policy gaps via :meth:`CompareResult.gaps`.
     """
-    problem = as_problem(instance, constraints=constraints, kind=kind)
-    results: Dict[Policy, Optional[Solution]] = {}
-    for policy in policies:
-        policy = Policy.parse(policy)
-        try:
-            results[policy] = solve(problem, policy=policy)
-        except InfeasibleError:
-            results[policy] = None
-    return results
+    session = PlacementSession(
+        instance, constraints=constraints, kind=kind, engine=engine
+    )
+    return session.compare(policies=policies, bounds=bounds, bound_method=bound_method)

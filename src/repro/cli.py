@@ -25,15 +25,31 @@ Sub-commands
     cost-vs-stability tables instead.
 ``table1``
     Print the computational evidence backing paper Table 1.
+
+Machine-readable output
+-----------------------
+
+``solve``, ``compare``, ``batch`` and ``dynamic`` accept ``--json``:
+instead of prose they emit the ``to_dict()`` payloads of the unified
+result protocol (:mod:`repro.core.results`).  The ``solve``, ``compare``
+and ``dynamic`` payloads are registered result types, round-trippable
+through :func:`repro.core.results.result_from_dict`; ``batch`` emits a
+``{"type": "batch"}`` aggregate whose per-file ``solution`` entries decode
+with :func:`repro.core.serialization.solution_from_dict`.  ``solve``,
+``batch`` and ``dynamic`` also accept ``--engine {fast,dict}`` to pick the
+request-state engine per invocation (previously only reachable via the
+``REPRO_ENGINE`` environment variable).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
-from repro.api import compare_policies, solve, solve_many, solve_sequence
+from repro.api import compare_policies, solve_many, solve_sequence
+from repro.session import PlacementSession
 from repro.core.exceptions import InfeasibleError, ReproError
 from repro.core.policies import Policy
 from repro.core.problem import ProblemKind, ReplicaPlacementProblem
@@ -69,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the Replica Counting cost (homogeneous platforms)",
     )
+    slv.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result-protocol payload instead of prose",
+    )
+    slv.add_argument(
+        "--engine",
+        choices=("fast", "dict"),
+        default=None,
+        help="request-state engine (default: process-wide engine / REPRO_ENGINE)",
+    )
 
     batch = sub.add_parser(
         "batch", help="solve many tree JSON files (optionally in parallel)"
@@ -93,10 +120,31 @@ def build_parser() -> argparse.ArgumentParser:
         default="none",
         help="'none' prints 'no solution' for infeasible trees, 'raise' aborts",
     )
+    batch.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one result-protocol payload per file instead of prose",
+    )
+    batch.add_argument(
+        "--engine",
+        choices=("fast", "dict"),
+        default=None,
+        help="request-state engine (default: process-wide engine / REPRO_ENGINE)",
+    )
 
     cmp = sub.add_parser("compare", help="compare the three policies on a tree")
     cmp.add_argument("tree", help="tree JSON file")
     cmp.add_argument("--counting", action="store_true", help="Replica Counting cost")
+    cmp.add_argument(
+        "--bounds",
+        action="store_true",
+        help="also compute the LP lower bound and per-policy cost-vs-bound gaps",
+    )
+    cmp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result-protocol payload instead of prose",
+    )
 
     camp = sub.add_parser("campaign", help="run an experimental campaign (Figures 9-12)")
     camp.add_argument("--heterogeneous", action="store_true")
@@ -172,6 +220,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="campaign: evaluate trajectories over N worker processes",
     )
+    dyn.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result-protocol payload instead of prose",
+    )
+    dyn.add_argument(
+        "--engine",
+        choices=("fast", "dict"),
+        default=None,
+        help="request-state engine (default: process-wide engine / REPRO_ENGINE)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -226,11 +285,25 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "solve":
         problem = _load_problem(args.tree, counting=args.counting)
+        session = PlacementSession(
+            problem,
+            policy=args.policy,
+            algorithm=args.algorithm,
+            engine=args.engine,
+        )
         try:
-            solution = solve(problem, policy=args.policy, algorithm=args.algorithm)
+            result = session.solve()
         except InfeasibleError as error:
-            print(f"no solution: {error}")
+            if args.json:
+                # The failed SolveResult is cached; re-query without raising.
+                print(session.solve(on_error="none").to_json(indent=2))
+            else:
+                print(f"no solution: {error}")
             return 2
+        if args.json:
+            print(result.to_json(indent=2))
+            return 0
+        solution = result.solution
         print(solution.summary(problem))
         for node_id in solution.placement.sorted():
             load = solution.assignment.server_load(node_id)
@@ -245,11 +318,32 @@ def _dispatch(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             workers=args.workers,
             on_error=args.on_error,
+            engine=args.engine,
         )
-        failed = 0
+        failed = sum(solution is None for solution in solutions)
+        if args.json:
+            from repro.core.serialization import solution_to_dict
+
+            entries = []
+            for path, problem, solution in zip(args.trees, problems, solutions):
+                entry = {"path": path, "feasible": solution is not None}
+                if solution is not None:
+                    entry["cost"] = solution.cost(problem)
+                    entry["replicas"] = solution.replica_count()
+                    entry["algorithm"] = solution.algorithm
+                    entry["solution"] = solution_to_dict(solution)
+                entries.append(entry)
+            payload = {
+                "type": "batch",
+                "policy": str(args.policy),
+                "solved": len(problems) - failed,
+                "total": len(problems),
+                "results": entries,
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0 if failed < len(problems) else 2
         for path, problem, solution in zip(args.trees, problems, solutions):
             if solution is None:
-                failed += 1
                 print(f"{path}: no solution")
             else:
                 print(
@@ -261,16 +355,30 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "compare":
         problem = _load_problem(args.tree, counting=args.counting)
-        results = compare_policies(problem)
+        results = compare_policies(problem, bounds=args.bounds)
+        if args.json:
+            print(results.to_json(indent=2))
+            return 0
+        gaps = results.gaps()
         for policy in Policy.ordered():
             solution = results[policy]
             if solution is None:
                 print(f"{policy.value:>9}: no solution")
             else:
-                print(
+                line = (
                     f"{policy.value:>9}: cost {solution.cost(problem):g} "
                     f"with {solution.replica_count()} replicas ({solution.algorithm})"
                 )
+                gap = gaps.get(policy)
+                if gap is not None:
+                    line += f" | gap {gap:.3f} vs LP bound"
+                print(line)
+        if args.bounds and results.bound is not None:
+            value = results.bound.value
+            print(
+                "LP lower bound (Multiple relaxation): "
+                + ("infeasible" if not results.bound.feasible else f"{value:g}")
+            )
         return 0
 
     if args.command == "campaign":
@@ -325,6 +433,7 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
             ("--period", args.period == 8.0),
             ("--join-rate", args.join_rate == 0.05),
             ("--leave-rate", args.leave_rate == 0.05),
+            ("--engine", args.engine is None),
         ):
             if not inactive:
                 ignored.append(flag)
@@ -346,6 +455,9 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
             track_bounds=args.bounds,
         )
         result = run_churn_campaign(config, workers=args.workers)
+        if args.json:
+            print(result.to_json(indent=2))
+            return 0
         print(result.describe())
         print()
         print("Mean per-epoch cost by churn intensity:")
@@ -441,18 +553,41 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
 
-    result = solve_sequence(epochs, policy=args.policy, mode=args.mode)
-    print(
-        f"{args.trajectory} trajectory over {args.tree} "
-        f"({args.mode} mode, {args.policy} policy)"
+    result = solve_sequence(
+        epochs, policy=args.policy, mode=args.mode, engine=args.engine
     )
-    print(result.describe())
     bounds = None
     if args.bounds:
         from repro.api import bound_sequence
 
         bounds = bound_sequence(epochs, policy=args.policy)
         gaps = bounds.gaps(result.costs)
+    if args.json:
+        payload = result.to_dict()
+        payload["trajectory"] = args.trajectory
+        payload["tree"] = args.tree
+        if bounds is not None:
+            payload["bounds"] = bounds.to_dict()
+            # gaps() yields finite floats or None, both JSON-safe as-is.
+            payload["gaps"] = list(gaps)
+        if args.simulate:
+            from repro.simulation import simulate_sequence
+
+            replay = simulate_sequence(epochs, result.solutions)
+            payload["replay"] = {
+                "summary": replay.summary(),
+                "transient_saturations": [
+                    {"epoch": epoch, "link": [link[0], link[1]]}
+                    for epoch, link in replay.transient_saturations()
+                ],
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if result.solved_epochs else 2
+    print(
+        f"{args.trajectory} trajectory over {args.tree} "
+        f"({args.mode} mode, {args.policy} policy)"
+    )
+    print(result.describe())
     for epoch, entry in enumerate(result.stats):
         line = "  " + entry.describe()
         if bounds is not None:

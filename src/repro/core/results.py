@@ -1,0 +1,140 @@
+"""The unified result protocol: ``describe()`` / ``to_dict()`` / ``to_json()``.
+
+Every user-facing result object in this package -- single-solve and bound
+wrappers (:mod:`repro.session`), epoch-sequence results (:mod:`repro.api`)
+and campaign results (:mod:`repro.experiments.harness`) -- implements the
+same three-method protocol:
+
+``describe()``
+    A one-line human summary (what the CLI prints in prose mode).
+``to_dict()``
+    A JSON-compatible payload carrying a ``"type"`` tag plus every field
+    needed to rebuild the result.  Nested solutions and trees are encoded
+    through :mod:`repro.core.serialization`, so payloads round-trip.
+``to_json()``
+    ``json.dumps`` of the payload (what the CLI prints under ``--json``).
+
+Payloads are *round-trippable*: :func:`result_from_dict` (or
+:func:`result_from_json`) dispatches on the ``"type"`` tag and rebuilds the
+original result object through the class's ``from_dict`` constructor.  New
+result classes opt in with the :func:`register_result` decorator.
+
+Float encoding
+--------------
+
+JSON has no ``inf``/``nan``.  Results encode non-finite floats through
+:func:`encode_float` / :func:`decode_float`: ``math.inf`` becomes the
+string ``"inf"`` (an infeasible bound), ``math.nan`` becomes ``"nan"``
+(a metric that was never computed), and ``None`` stays ``None`` (a missing
+value, e.g. an infeasible epoch's cost).  The mapping is bijective, so
+round-trips preserve the distinction.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Callable, Dict, Optional, Type
+
+__all__ = [
+    "ResultBase",
+    "register_result",
+    "result_from_dict",
+    "result_from_json",
+    "encode_float",
+    "decode_float",
+]
+
+#: ``"type"`` tag -> result class, filled by :func:`register_result`.
+_RESULT_REGISTRY: Dict[str, Type["ResultBase"]] = {}
+
+#: Modules defining registered result classes; imported lazily by
+#: :func:`result_from_dict` so payloads written by one entry point can be
+#: decoded by another without import-order luck.
+_RESULT_MODULES = ("repro.session", "repro.api", "repro.experiments.harness")
+
+
+def encode_float(value: Optional[float]) -> Any:
+    """JSON-safe encoding of an optional float (see module docstring)."""
+    if value is None:
+        return None
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def decode_float(value: Any) -> Optional[float]:
+    """Inverse of :func:`encode_float`."""
+    if value is None:
+        return None
+    if value == "nan":
+        return math.nan
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    return float(value)
+
+
+class ResultBase:
+    """Mixin implementing the shared half of the result protocol.
+
+    Subclasses set the class attribute ``payload_type`` (the ``"type"`` tag
+    of their payloads), implement ``describe()`` and ``to_dict()``, and --
+    to be round-trippable through :func:`result_from_dict` -- provide a
+    ``from_dict(payload)`` classmethod and register with
+    :func:`register_result`.
+    """
+
+    #: ``"type"`` tag carried by the payloads of this result class.
+    payload_type: str = ""
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible payload tagged with ``payload_type``."""
+        raise NotImplementedError
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """The :meth:`to_dict` payload serialised as JSON."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def _tagged(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Prepend the ``"type"`` tag to a payload (helper for subclasses)."""
+        return {"type": type(self).payload_type, **payload}
+
+
+def register_result(cls: Type[ResultBase]) -> Type[ResultBase]:
+    """Class decorator registering ``cls`` for :func:`result_from_dict`."""
+    if not cls.payload_type:
+        raise ValueError(f"{cls.__name__} must define a payload_type tag")
+    _RESULT_REGISTRY[cls.payload_type] = cls
+    return cls
+
+
+def result_from_dict(payload: Dict[str, Any]) -> ResultBase:
+    """Rebuild a registered result object from a :meth:`to_dict` payload."""
+    tag = payload.get("type")
+    if tag not in _RESULT_REGISTRY:
+        import importlib
+
+        for module in _RESULT_MODULES:
+            importlib.import_module(module)
+    cls = _RESULT_REGISTRY.get(tag)
+    if cls is None:
+        raise ValueError(
+            f"unknown result payload type {tag!r}; "
+            f"known: {sorted(_RESULT_REGISTRY)}"
+        )
+    factory: Callable[[Dict[str, Any]], ResultBase] = cls.from_dict  # type: ignore[attr-defined]
+    return factory(payload)
+
+
+def result_from_json(text: str) -> ResultBase:
+    """Rebuild a registered result object from a :meth:`to_json` string."""
+    return result_from_dict(json.loads(text))

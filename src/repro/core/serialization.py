@@ -34,6 +34,8 @@ __all__ = [
     "load_tree",
     "solution_to_dict",
     "solution_from_dict",
+    "save_result",
+    "load_result",
 ]
 
 
@@ -134,6 +136,27 @@ def solution_to_dict(solution: Solution) -> Dict[str, Any]:
             )
         ],
     }
+
+
+def save_result(result, path: Union[str, Path]) -> Path:
+    """Write any unified-protocol result to ``path`` as JSON.
+
+    ``result`` is any object implementing the
+    :class:`repro.core.results.ResultBase` protocol (sequence, bound,
+    compare and campaign results all qualify); the payload is the tagged
+    :meth:`to_dict` output, so :func:`load_result` can rebuild the original
+    object without knowing its type in advance.
+    """
+    path = Path(path)
+    path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: Union[str, Path]):
+    """Rebuild a result previously written by :func:`save_result`."""
+    from repro.core.results import result_from_dict
+
+    return result_from_dict(json.loads(Path(path).read_text()))
 
 
 def solution_from_dict(payload: Dict[str, Any]) -> Solution:

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.algorithms.base import get_heuristic
 from repro.core.policies import Policy
 from repro.core.problem import ProblemKind, ReplicaPlacementProblem
+from repro.core.results import ResultBase, decode_float, encode_float, register_result
 from repro.core.tree import TreeNetwork
 from repro.experiments.metrics import RelativeCostAccumulator, success_rate
 from repro.experiments.reporting import series_table
@@ -84,6 +85,41 @@ class CampaignConfig:
         """A copy of this configuration with a smaller experimental plan."""
         return replace(self, trees_per_lambda=trees_per_lambda, size_range=size_range)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible payload (part of the result protocol)."""
+        return {
+            "lambdas": list(self.lambdas),
+            "trees_per_lambda": self.trees_per_lambda,
+            "size_range": list(self.size_range),
+            "homogeneous": self.homogeneous,
+            "seed": self.seed,
+            "heuristics": list(self.heuristics),
+            "lower_bound_method": self.lower_bound_method,
+            "base_capacity": self.base_capacity,
+            "capacity_choices": list(self.capacity_choices),
+            "client_fraction": self.client_fraction,
+            "max_children": self.max_children,
+            "lp_time_limit": self.lp_time_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "CampaignConfig":
+        """Rebuild a configuration from a :meth:`to_dict` payload."""
+        return cls(
+            lambdas=tuple(payload["lambdas"]),
+            trees_per_lambda=int(payload["trees_per_lambda"]),
+            size_range=tuple(payload["size_range"]),
+            homogeneous=bool(payload["homogeneous"]),
+            seed=int(payload["seed"]),
+            heuristics=tuple(payload["heuristics"]),
+            lower_bound_method=str(payload["lower_bound_method"]),
+            base_capacity=float(payload["base_capacity"]),
+            capacity_choices=tuple(payload["capacity_choices"]),
+            client_fraction=float(payload["client_fraction"]),
+            max_children=int(payload["max_children"]),
+            lp_time_limit=payload.get("lp_time_limit"),
+        )
+
 
 @dataclass
 class InstanceRecord:
@@ -101,10 +137,41 @@ class InstanceRecord:
         """Whether the LP proved the instance feasible (finite lower bound)."""
         return math.isfinite(self.lower_bound)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible payload (part of the result protocol)."""
+        return {
+            "load": self.load,
+            "size": self.size,
+            "homogeneous": self.homogeneous,
+            "lower_bound": encode_float(self.lower_bound),
+            "costs": {name: encode_float(cost) for name, cost in self.costs.items()},
+            "runtimes": dict(self.runtimes),
+        }
 
+    @classmethod
+    def from_dict(cls, payload) -> "InstanceRecord":
+        """Rebuild a record from a :meth:`to_dict` payload."""
+        return cls(
+            load=float(payload["load"]),
+            size=int(payload["size"]),
+            homogeneous=bool(payload["homogeneous"]),
+            lower_bound=decode_float(payload["lower_bound"]),
+            costs={
+                name: decode_float(cost) for name, cost in payload["costs"].items()
+            },
+            runtimes={
+                name: float(value)
+                for name, value in payload.get("runtimes", {}).items()
+            },
+        )
+
+
+@register_result
 @dataclass
-class CampaignResult:
+class CampaignResult(ResultBase):
     """All records of a campaign plus the aggregations used by the figures."""
+
+    payload_type = "campaign_result"
 
     config: CampaignConfig
     records: List[InstanceRecord]
@@ -171,6 +238,35 @@ class CampaignResult:
             f"{len(self.records)} instances, {kind}, "
             f"sizes {self.config.size_range[0]}-{self.config.size_range[1]}, "
             f"{self.config.trees_per_lambda} trees per lambda"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible payload (unified result protocol)."""
+        return self._tagged(
+            {
+                "config": self.config.to_dict(),
+                "records": [record.to_dict() for record in self.records],
+                "success": {
+                    name: {str(load): value for load, value in series.items()}
+                    for name, series in self.success_series().items()
+                },
+                "relative_cost": {
+                    name: {str(load): encode_float(value) for load, value in series.items()}
+                    for name, series in self.relative_cost_series().items()
+                },
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "CampaignResult":
+        """Rebuild a campaign result from a :meth:`to_dict` payload.
+
+        The aggregated series are derived data and recomputed from the
+        records rather than read back.
+        """
+        return cls(
+            config=CampaignConfig.from_dict(payload["config"]),
+            records=[InstanceRecord.from_dict(entry) for entry in payload["records"]],
         )
 
 
@@ -320,6 +416,43 @@ class ChurnCampaignConfig:
         """Replica Counting on homogeneous platforms, Replica Cost otherwise."""
         return ProblemKind.REPLICA_COUNTING if self.homogeneous else ProblemKind.REPLICA_COST
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible payload (part of the result protocol)."""
+        return {
+            "churn_levels": list(self.churn_levels),
+            "epochs": self.epochs,
+            "trees_per_level": self.trees_per_level,
+            "size": self.size,
+            "load": self.load,
+            "homogeneous": self.homogeneous,
+            "policy": self.policy,
+            "magnitude": self.magnitude,
+            "quiet_probability": self.quiet_probability,
+            "modes": list(self.modes),
+            "seed": self.seed,
+            "track_bounds": self.track_bounds,
+            "bound_method": self.bound_method,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "ChurnCampaignConfig":
+        """Rebuild a configuration from a :meth:`to_dict` payload."""
+        return cls(
+            churn_levels=tuple(payload["churn_levels"]),
+            epochs=int(payload["epochs"]),
+            trees_per_level=int(payload["trees_per_level"]),
+            size=int(payload["size"]),
+            load=float(payload["load"]),
+            homogeneous=bool(payload["homogeneous"]),
+            policy=str(payload["policy"]),
+            magnitude=float(payload["magnitude"]),
+            quiet_probability=float(payload["quiet_probability"]),
+            modes=tuple(payload["modes"]),
+            seed=int(payload["seed"]),
+            track_bounds=bool(payload.get("track_bounds", False)),
+            bound_method=str(payload.get("bound_method", "mixed")),
+        )
+
 
 @dataclass
 class ChurnRecord:
@@ -340,10 +473,51 @@ class ChurnRecord:
     mean_bound: float = math.nan
     mean_gap: float = math.nan
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible payload (part of the result protocol)."""
+        return {
+            "churn": self.churn,
+            "tree_seed": self.tree_seed,
+            "mode": self.mode,
+            "mean_cost": encode_float(self.mean_cost),
+            "solved_epochs": self.solved_epochs,
+            "epochs": self.epochs,
+            "replicas_moved": self.replicas_moved,
+            "requests_reassigned": self.requests_reassigned,
+            "strategies": dict(self.strategies),
+            "runtime": self.runtime,
+            "mean_bound": encode_float(self.mean_bound),
+            "mean_gap": encode_float(self.mean_gap),
+        }
 
+    @classmethod
+    def from_dict(cls, payload) -> "ChurnRecord":
+        """Rebuild a record from a :meth:`to_dict` payload."""
+        return cls(
+            churn=float(payload["churn"]),
+            tree_seed=int(payload["tree_seed"]),
+            mode=str(payload["mode"]),
+            mean_cost=decode_float(payload["mean_cost"]),
+            solved_epochs=int(payload["solved_epochs"]),
+            epochs=int(payload["epochs"]),
+            replicas_moved=int(payload["replicas_moved"]),
+            requests_reassigned=float(payload["requests_reassigned"]),
+            strategies={
+                name: int(count)
+                for name, count in payload.get("strategies", {}).items()
+            },
+            runtime=float(payload.get("runtime", 0.0)),
+            mean_bound=decode_float(payload.get("mean_bound", "nan")),
+            mean_gap=decode_float(payload.get("mean_gap", "nan")),
+        )
+
+
+@register_result
 @dataclass
-class ChurnCampaignResult:
+class ChurnCampaignResult(ResultBase):
     """All churn records plus the cost-vs-stability aggregations."""
+
+    payload_type = "churn_campaign_result"
 
     config: ChurnCampaignConfig
     records: List[ChurnRecord]
@@ -411,6 +585,38 @@ class ChurnCampaignResult:
             f"{len(self.records)} trajectory solves ({kind}, size {self.config.size}, "
             f"{self.config.epochs} epochs, {self.config.trees_per_level} trees per "
             f"churn level, modes {'/'.join(self.config.modes)})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible payload (unified result protocol)."""
+
+        def encode_series(series: Dict[str, Dict[float, float]]):
+            return {
+                mode: {str(churn): encode_float(value) for churn, value in entries.items()}
+                for mode, entries in series.items()
+            }
+
+        payload = {
+            "config": self.config.to_dict(),
+            "records": [record.to_dict() for record in self.records],
+            "cost": encode_series(self.cost_series()),
+            "stability": encode_series(self.stability_series()),
+            "replica_churn": encode_series(self.replica_churn_series()),
+        }
+        if self.config.track_bounds:
+            payload["gap"] = encode_series(self.gap_series())
+        return self._tagged(payload)
+
+    @classmethod
+    def from_dict(cls, payload) -> "ChurnCampaignResult":
+        """Rebuild a churn-campaign result from a :meth:`to_dict` payload.
+
+        The aggregated series are derived data and recomputed from the
+        records rather than read back.
+        """
+        return cls(
+            config=ChurnCampaignConfig.from_dict(payload["config"]),
+            records=[ChurnRecord.from_dict(entry) for entry in payload["records"]],
         )
 
 

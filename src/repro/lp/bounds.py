@@ -66,6 +66,31 @@ class LowerBoundResult:
     def __float__(self) -> float:  # pragma: no cover - convenience
         return self.value
 
+    def to_dict(self) -> dict:
+        """JSON-compatible payload (part of the result protocol)."""
+        from repro.core.results import encode_float
+
+        return {
+            "value": encode_float(self.value),
+            "feasible": self.feasible,
+            "method": self.method,
+            "policy": self.policy.value,
+            "objective": encode_float(self.objective),
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "LowerBoundResult":
+        """Rebuild a bound from a :meth:`to_dict` payload."""
+        from repro.core.results import decode_float
+
+        return cls(
+            value=decode_float(payload["value"]),
+            feasible=bool(payload["feasible"]),
+            method=str(payload["method"]),
+            policy=Policy.parse(payload["policy"]),
+            objective=decode_float(payload.get("objective")),
+        )
+
 
 def lp_lower_bound(
     problem: ReplicaPlacementProblem,

@@ -290,6 +290,28 @@ class LinearProgramData:
         return program
 
     # ------------------------------------------------------------------ #
+    def shares_structure_with(self, other: "LinearProgramData") -> bool:
+        """Whether this program shares its structural arrays with ``other``.
+
+        ``True`` exactly for programs related through :meth:`with_requests`
+        or :meth:`with_integrality`: the objective vector, the sparsity
+        pattern (CSR ``indices``/``indptr``) and the variable pair layout
+        of the :class:`~repro.lp.variables.VariableSpace` are then the
+        *same objects*, not equal copies (epoch forks get a patched
+        :class:`~repro.core.index.TreeIndex` but share every structural
+        array).  The session layer's tests and benchmarks use this to prove
+        that rate-only epoch steps patched the resident program instead of
+        rebuilding it.
+        """
+        mine, theirs = self.constraint_matrix, other.constraint_matrix
+        return (
+            self.objective is other.objective
+            and mine.indices is theirs.indices
+            and mine.indptr is theirs.indptr
+            and self.space.pair_client_pos is other.space.pair_client_pos
+        )
+
+    # ------------------------------------------------------------------ #
     def linprog_split(self):
         """Cached eq/ub/lb row split for the one-sided ``linprog`` backend.
 

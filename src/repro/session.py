@@ -1,0 +1,772 @@
+"""Session-oriented public API: :class:`PlacementSession`.
+
+The free functions of :mod:`repro.api` are stateless: every call rebuilds
+the tree index, the LP variable layout and the constraint program from
+scratch.  A :class:`PlacementSession` is the stateful counterpart a
+long-running service wants: construct it **once** from a tree or problem
+and it owns every cache the fast layers provide --
+
+* the :class:`~repro.core.index.TreeIndex` of the tree (built on first use,
+  shared by every subsequent solve, bound and simulation);
+* one :class:`~repro.algorithms.incremental.IncrementalResolver` per
+  ``(policy, algorithm)`` pair, so epoch updates re-solve incrementally;
+* one :class:`~repro.algorithms.incremental.IncrementalBounder` per
+  ``(policy, method, time_limit)`` triple, keeping the assembled
+  :class:`~repro.lp.formulation.LinearProgramData` resident across epochs
+  and re-targeting it via
+  :meth:`~repro.lp.formulation.LinearProgramData.with_requests` when only
+  request rates moved;
+* the per-epoch results themselves, so repeating a query within an epoch
+  costs a dictionary lookup.
+
+A solve-then-bound on the same session never re-indexes the tree or
+re-assembles the program; a rate-only :meth:`~PlacementSession.update`
+patches the cached structures instead of rebuilding them
+(``benchmarks/test_session_reuse.py`` pins both with identity checks and a
+wall-clock floor).  The free functions of :mod:`repro.api` are thin shims
+over a throwaway session and remain bit-identical to direct session calls
+(``tests/test_session_api.py``).
+
+Usage
+-----
+
+>>> from repro import PlacementSession                      # doctest: +SKIP
+>>> session = PlacementSession(tree, policy="multiple")     # doctest: +SKIP
+>>> placed = session.solve()          # portfolio solve, caches warm now
+>>> bound = session.bound()           # same index, fresh program, cached
+>>> gap = placed.cost / bound.value   # cost-vs-LP-bound gap
+>>> session.update(requests={"c1": 9.0})  # epoch step, incremental re-solve
+>>> session.bound()                   # program *patched*, not rebuilt
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.constraints import ConstraintSet
+from repro.core.exceptions import InfeasibleError
+from repro.core.policies import Policy
+from repro.core.problem import ProblemKind, ReplicaPlacementProblem
+from repro.core.results import ResultBase, decode_float, encode_float, register_result
+from repro.core.solution import Solution
+from repro.core.tree import NodeId, TreeNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.incremental import (
+        BoundStats,
+        IncrementalBounder,
+        IncrementalResolver,
+        ResolveStats,
+    )
+    from repro.lp.bounds import LowerBoundResult
+    from repro.lp.formulation import LinearProgramData
+    from repro.simulation.request_flow import FlowSimulation
+
+__all__ = [
+    "PlacementSession",
+    "SessionStats",
+    "SolveResult",
+    "BoundResult",
+    "CompareResult",
+    "as_problem",
+]
+
+#: session mode -> IncrementalResolver mode.
+SESSION_MODES = {"incremental": "exact", "patch": "patch", "scratch": "scratch"}
+
+#: lower-bound methods the session accepts (``"trivial"`` needs no LP).
+BOUND_METHODS = ("mixed", "rational", "trivial")
+
+
+def as_problem(
+    instance: Union[TreeNetwork, ReplicaPlacementProblem],
+    *,
+    constraints: Optional[ConstraintSet] = None,
+    kind: Optional[ProblemKind] = None,
+) -> ReplicaPlacementProblem:
+    """Coerce a tree or problem into a :class:`ReplicaPlacementProblem`."""
+    if isinstance(instance, ReplicaPlacementProblem):
+        problem = instance
+        if constraints is not None:
+            problem = problem.with_constraints(constraints)
+        if kind is not None:
+            problem = problem.with_kind(kind)
+        return problem
+    return ReplicaPlacementProblem(
+        tree=instance,
+        constraints=constraints or ConstraintSet.none(),
+        kind=kind or ProblemKind.REPLICA_COST,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# result wrappers
+# --------------------------------------------------------------------------- #
+@register_result
+@dataclass
+class SolveResult(ResultBase):
+    """One epoch solve of a session (the :class:`Solution` wrapper).
+
+    ``solution`` is ``None`` when the epoch is infeasible and the call was
+    made with ``on_error="none"`` (session updates and sequence shims);
+    ``stats`` carries the resolver's strategy and migration bookkeeping.
+    """
+
+    payload_type = "solve_result"
+
+    epoch: int
+    policy: Policy
+    solution: Optional[Solution]
+    cost: Optional[float]
+    stats: "ResolveStats"
+    #: the problem the solve ran on; not serialised (trees round-trip
+    #: separately through :mod:`repro.core.serialization`).
+    problem: Optional[ReplicaPlacementProblem] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the epoch admitted a valid solution."""
+        return self.solution is not None
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI."""
+        if self.solution is None:
+            return (
+                f"epoch {self.epoch}: no valid solution under the "
+                f"{self.policy.value} policy"
+            )
+        return (
+            f"epoch {self.epoch}: [{self.solution.algorithm}] "
+            f"policy={self.policy.value} "
+            f"replicas={self.solution.replica_count()} cost={self.cost:g} "
+            f"[{self.stats.strategy}]"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        from repro.core.serialization import solution_to_dict
+
+        return self._tagged(
+            {
+                "epoch": self.epoch,
+                "policy": self.policy.value,
+                "feasible": self.feasible,
+                "cost": encode_float(self.cost),
+                "solution": (
+                    solution_to_dict(self.solution) if self.solution else None
+                ),
+                "stats": self.stats.to_dict(),
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SolveResult":
+        from repro.algorithms.incremental import ResolveStats
+        from repro.core.serialization import solution_from_dict
+
+        solution = payload.get("solution")
+        return cls(
+            epoch=int(payload["epoch"]),
+            policy=Policy.parse(payload["policy"]),
+            solution=solution_from_dict(solution) if solution else None,
+            cost=decode_float(payload.get("cost")),
+            stats=ResolveStats.from_dict(payload["stats"]),
+        )
+
+
+@register_result
+@dataclass
+class BoundResult(ResultBase):
+    """One epoch LP lower bound of a session."""
+
+    payload_type = "bound_result"
+
+    epoch: int
+    policy: Policy
+    method: str
+    result: "LowerBoundResult"
+    stats: "BoundStats"
+
+    @property
+    def value(self) -> float:
+        """The bound (``math.inf`` when the formulation is infeasible)."""
+        return self.result.value
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the relaxed formulation admits a solution."""
+        return self.result.feasible
+
+    def gap(self, cost: Optional[float]) -> Optional[float]:
+        """Relative cost-vs-bound gap ``cost / value`` (``None`` if undefined)."""
+        if cost is None or not self.feasible or self.value <= 0:
+            return None
+        return cost / self.value
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI."""
+        value = "infeasible" if not self.feasible else f"{self.value:g}"
+        return (
+            f"epoch {self.epoch}: bound {value} "
+            f"(method={self.method}, policy={self.policy.value}) "
+            f"[{self.stats.strategy}]"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self._tagged(
+            {
+                "epoch": self.epoch,
+                "policy": self.policy.value,
+                "method": self.method,
+                "result": self.result.to_dict(),
+                "stats": self.stats.to_dict(),
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BoundResult":
+        from repro.algorithms.incremental import BoundStats
+        from repro.lp.bounds import LowerBoundResult
+
+        return cls(
+            epoch=int(payload["epoch"]),
+            policy=Policy.parse(payload["policy"]),
+            method=str(payload["method"]),
+            result=LowerBoundResult.from_dict(payload["result"]),
+            stats=BoundStats.from_dict(payload["stats"]),
+        )
+
+
+@register_result
+class CompareResult(ResultBase, Mapping):
+    """Side-by-side solves of one instance under several policies.
+
+    Behaves as the mapping ``policy -> Optional[Solution]`` the legacy
+    :func:`repro.api.compare_policies` returned (indexing, iteration and
+    ``items()`` all work, and string policy names are accepted as keys), and
+    additionally carries per-policy costs plus -- when requested with
+    ``bounds=True`` -- the LP lower bound and per-policy cost-vs-bound gaps.
+    """
+
+    payload_type = "compare_result"
+
+    def __init__(
+        self,
+        *,
+        epoch: int,
+        solutions: Dict[Policy, Optional[Solution]],
+        costs: Dict[Policy, Optional[float]],
+        bound: Optional["LowerBoundResult"] = None,
+    ) -> None:
+        self.epoch = epoch
+        self.solutions = solutions
+        self.costs = costs
+        self.bound = bound
+
+    # ------------------------------------------------------------------ #
+    # mapping protocol (legacy compare_policies compatibility)
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, policy: Union[Policy, str]) -> Optional[Solution]:
+        try:
+            key = Policy.parse(policy)
+        except ValueError:
+            # Mapping semantics: unknown keys are missing keys, so get()
+            # returns its default and `in` returns False instead of raising.
+            raise KeyError(policy) from None
+        return self.solutions[key]
+
+    def __iter__(self) -> Iterator[Policy]:
+        return iter(self.solutions)
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+    # ------------------------------------------------------------------ #
+    def gaps(self) -> Dict[Policy, Optional[float]]:
+        """Per-policy cost-vs-LP-bound gaps (``{}`` without ``bounds=True``).
+
+        The bound comes from the Multiple relaxation (a valid lower bound
+        for every policy); a policy without a solution, or a non-positive /
+        infeasible bound, maps to ``None``.
+        """
+        if self.bound is None:
+            return {}
+        value = self.bound.value
+        usable = self.bound.feasible and value > 0
+        return {
+            policy: (cost / value if usable and cost is not None else None)
+            for policy, cost in self.costs.items()
+        }
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI."""
+        parts = []
+        gaps = self.gaps()
+        for policy, solution in self.solutions.items():
+            if solution is None:
+                parts.append(f"{policy.value}: no solution")
+                continue
+            entry = f"{policy.value}: cost {self.costs[policy]:g}"
+            gap = gaps.get(policy)
+            if gap is not None:
+                entry += f" (gap {gap:.3f})"
+            parts.append(entry)
+        summary = "; ".join(parts)
+        if self.bound is not None and self.bound.feasible:
+            summary += f" | LP bound {self.bound.value:g}"
+        return summary
+
+    def to_dict(self) -> Dict[str, Any]:
+        from repro.core.serialization import solution_to_dict
+
+        gaps = self.gaps()
+        return self._tagged(
+            {
+                "epoch": self.epoch,
+                "policies": [policy.value for policy in self.solutions],
+                "results": {
+                    policy.value: {
+                        "feasible": solution is not None,
+                        "cost": encode_float(self.costs[policy]),
+                        "gap": encode_float(gaps.get(policy)),
+                        "solution": (
+                            solution_to_dict(solution) if solution else None
+                        ),
+                    }
+                    for policy, solution in self.solutions.items()
+                },
+                "bound": self.bound.to_dict() if self.bound else None,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CompareResult":
+        from repro.core.serialization import solution_from_dict
+        from repro.lp.bounds import LowerBoundResult
+
+        solutions: Dict[Policy, Optional[Solution]] = {}
+        costs: Dict[Policy, Optional[float]] = {}
+        for name in payload["policies"]:
+            policy = Policy.parse(name)
+            entry = payload["results"][name]
+            encoded = entry.get("solution")
+            solutions[policy] = solution_from_dict(encoded) if encoded else None
+            costs[policy] = decode_float(entry.get("cost"))
+        bound = payload.get("bound")
+        return cls(
+            epoch=int(payload.get("epoch", 0)),
+            solutions=solutions,
+            costs=costs,
+            bound=LowerBoundResult.from_dict(bound) if bound else None,
+        )
+
+    def __repr__(self) -> str:
+        return f"CompareResult({self.describe()})"
+
+
+# --------------------------------------------------------------------------- #
+# cache accounting
+# --------------------------------------------------------------------------- #
+@dataclass
+class SessionStats:
+    """Cache-reuse counters of one session (what the benchmarks assert on).
+
+    ``solves``/``bounds`` count the resolver/bounder invocations that
+    actually ran; ``*_cache_hits`` count queries answered from the per-epoch
+    result cache without touching the solvers at all.  The strategy
+    counters split the invocations by how much work they really did
+    (``reused`` = previous epoch's answer returned outright, ``patched`` =
+    cached structure re-targeted, ``solved``/``built`` = full work).
+    """
+
+    epochs: int = 0
+    solves: int = 0
+    solve_cache_hits: int = 0
+    solve_strategies: Dict[str, int] = field(default_factory=dict)
+    bounds: int = 0
+    bound_cache_hits: int = 0
+    bound_strategies: Dict[str, int] = field(default_factory=dict)
+
+    def _tally(self, counters: Dict[str, int], strategy: str) -> None:
+        counters[strategy] = counters.get(strategy, 0) + 1
+
+    def describe(self) -> str:
+        """One-line cache-reuse summary."""
+        solve = ", ".join(
+            f"{count} {name}" for name, count in sorted(self.solve_strategies.items())
+        )
+        bound = ", ".join(
+            f"{count} {name}" for name, count in sorted(self.bound_strategies.items())
+        )
+        return (
+            f"{self.epochs + 1} epochs: {self.solves} solves ({solve or 'none'}, "
+            f"{self.solve_cache_hits} cache hits), {self.bounds} bounds "
+            f"({bound or 'none'}, {self.bound_cache_hits} cache hits)"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# the session
+# --------------------------------------------------------------------------- #
+class PlacementSession:
+    """Stateful, cache-owning entry point for repeated placement queries.
+
+    Parameters
+    ----------
+    instance:
+        A :class:`~repro.core.tree.TreeNetwork` or a fully-specified
+        :class:`~repro.core.problem.ReplicaPlacementProblem` (epoch 0).
+    constraints, kind:
+        Optional coercion overrides, applied to the initial instance *and*
+        to every epoch passed to :meth:`update` -- the same convention as
+        the free functions.
+    policy, algorithm:
+        Defaults used by :meth:`solve` / :meth:`update` when no explicit
+        policy is given.  ``algorithm`` applies only together with the
+        default policy (an explicit ``solve(policy=...)`` with no algorithm
+        runs that policy's portfolio, like :func:`repro.api.solve`).
+    mode:
+        Epoch re-solve strategy: ``"incremental"`` (default, cost-identical
+        to from-scratch), ``"patch"`` (placement stability first) or
+        ``"scratch"`` (no warm starts; also disables bound patching --
+        the baseline the other modes are validated against).
+    engine:
+        Optional request-state engine override (``"fast"`` or ``"dict"``)
+        applied around every internal solve.
+    """
+
+    def __init__(
+        self,
+        instance: Union[TreeNetwork, ReplicaPlacementProblem],
+        *,
+        constraints: Optional[ConstraintSet] = None,
+        kind: Optional[ProblemKind] = None,
+        policy: Union[Policy, str] = Policy.MULTIPLE,
+        algorithm: Optional[str] = None,
+        mode: str = "incremental",
+        engine: Optional[str] = None,
+    ) -> None:
+        if mode not in SESSION_MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {sorted(SESSION_MODES)}"
+            )
+        self._constraints = constraints
+        self._kind = kind
+        self.problem = as_problem(instance, constraints=constraints, kind=kind)
+        self.policy = Policy.parse(policy)
+        self.algorithm = algorithm
+        self.mode = mode
+        self.engine = engine
+        self.epoch = 0
+        self.stats = SessionStats()
+
+        self._resolvers: Dict[Tuple[Policy, Optional[str]], "IncrementalResolver"] = {}
+        self._bounders: Dict[
+            Tuple[Policy, str, Optional[float]], "IncrementalBounder"
+        ] = {}
+        #: per-epoch result caches, cleared by :meth:`update`.
+        self._solve_cache: Dict[Tuple[Policy, Optional[str]], SolveResult] = {}
+        self._bound_cache: Dict[Tuple[Policy, str, Optional[float]], BoundResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # cache handles
+    # ------------------------------------------------------------------ #
+    @property
+    def tree(self) -> TreeNetwork:
+        """The current epoch's tree."""
+        return self.problem.tree
+
+    @property
+    def index(self):
+        """The (cached) :class:`~repro.core.index.TreeIndex` of the tree."""
+        from repro.core.index import TreeIndex
+
+        return TreeIndex.for_tree(self.problem.tree)
+
+    def program(
+        self,
+        *,
+        policy: Union[Policy, str] = Policy.MULTIPLE,
+        method: str = "mixed",
+        time_limit: Optional[float] = None,
+    ) -> Optional["LinearProgramData"]:
+        """The resident bound program of a ``(policy, method)`` pair, if any.
+
+        Introspection for tests and benchmarks: returns the
+        :class:`~repro.lp.formulation.LinearProgramData` the matching
+        :meth:`bound` calls keep warm, or ``None`` before the first call.
+        """
+        bounder = self._bounders.get((Policy.parse(policy), method, time_limit))
+        return None if bounder is None else bounder._program
+
+    def _engine_context(self):
+        if not self.engine:
+            return contextlib.nullcontext()
+        from repro.algorithms.common import use_engine
+
+        return use_engine(self.engine)
+
+    # ------------------------------------------------------------------ #
+    # solving
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        *,
+        policy: Optional[Union[Policy, str]] = None,
+        algorithm: Optional[str] = None,
+        on_error: str = "raise",
+    ) -> SolveResult:
+        """Solve the current epoch (warm caches, per-epoch memoised).
+
+        With no arguments the session's default policy/algorithm apply.
+        ``on_error="raise"`` (default) raises
+        :class:`~repro.core.exceptions.InfeasibleError` like
+        :func:`repro.api.solve`; ``"none"`` returns a :class:`SolveResult`
+        with ``solution=None`` instead (sequence semantics).
+        """
+        if on_error not in ("none", "raise"):
+            raise ValueError(f"on_error must be 'none' or 'raise', got {on_error!r}")
+        if policy is None:
+            policy, algorithm = self.policy, (
+                algorithm if algorithm is not None else self.algorithm
+            )
+        else:
+            policy = Policy.parse(policy)
+
+        key = (policy, algorithm)
+        result = self._solve_cache.get(key)
+        if result is not None:
+            self.stats.solve_cache_hits += 1
+        else:
+            from repro.algorithms.incremental import IncrementalResolver
+
+            resolver = self._resolvers.get(key)
+            if resolver is None:
+                resolver = self._resolvers[key] = IncrementalResolver(
+                    policy=policy, algorithm=algorithm, mode=SESSION_MODES[self.mode]
+                )
+            with self._engine_context():
+                solution, stats = resolver.resolve(self.problem)
+            result = SolveResult(
+                epoch=self.epoch,
+                policy=policy,
+                solution=solution,
+                cost=stats.cost,
+                stats=stats,
+                problem=self.problem,
+            )
+            self._solve_cache[key] = result
+            self.stats.solves += 1
+            self.stats._tally(self.stats.solve_strategies, stats.strategy)
+
+        if result.solution is None and on_error == "raise":
+            raise InfeasibleError(
+                f"no valid solution found under the {policy.value} policy",
+                policy=policy,
+            )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # bounding
+    # ------------------------------------------------------------------ #
+    def bound(
+        self,
+        *,
+        policy: Union[Policy, str] = Policy.MULTIPLE,
+        method: str = "mixed",
+        time_limit: Optional[float] = None,
+    ) -> BoundResult:
+        """LP lower bound of the current epoch (resident program, memoised).
+
+        The default Multiple relaxation is a valid lower bound for every
+        policy (the paper's choice).  ``method`` is ``"mixed"`` (integer
+        placement, rational assignment -- the refined bound), ``"rational"``
+        (full relaxation) or ``"trivial"`` (combinatorial, no LP solve).
+        """
+        if method not in BOUND_METHODS:
+            raise ValueError(f"unknown lower-bound method {method!r}")
+        policy = Policy.parse(policy)
+        key = (policy, method, time_limit)
+        cached = self._bound_cache.get(key)
+        if cached is not None:
+            self.stats.bound_cache_hits += 1
+            return cached
+
+        if method == "trivial":
+            result, stats = self._trivial_bound(policy)
+        else:
+            from repro.algorithms.incremental import IncrementalBounder
+
+            bounder = self._bounders.get(key)
+            if bounder is None:
+                bounder = self._bounders[key] = IncrementalBounder(
+                    policy=policy,
+                    method=method,
+                    mode="scratch" if self.mode == "scratch" else "incremental",
+                    time_limit=time_limit,
+                )
+            result, stats = bounder.bound(self.problem)
+
+        wrapped = BoundResult(
+            epoch=self.epoch, policy=policy, method=method, result=result, stats=stats
+        )
+        self._bound_cache[key] = wrapped
+        self.stats.bounds += 1
+        self.stats._tally(self.stats.bound_strategies, stats.strategy)
+        return wrapped
+
+    def _trivial_bound(self, policy: Policy):
+        """The combinatorial bound, wrapped in the LP result types."""
+        import math
+        import time
+
+        from repro.algorithms.incremental import BoundStats
+        from repro.core.costs import trivial_lower_bound
+        from repro.lp.bounds import LowerBoundResult
+
+        start = time.perf_counter()
+        value = trivial_lower_bound(self.problem)
+        result = LowerBoundResult(
+            value=value,
+            feasible=math.isfinite(value),
+            method="trivial",
+            policy=policy,
+        )
+        stats = BoundStats(
+            epoch=self.epoch,
+            strategy="built",
+            changed_clients=0,
+            value=value,
+            runtime=time.perf_counter() - start,
+        )
+        return result, stats
+
+    # ------------------------------------------------------------------ #
+    # comparing
+    # ------------------------------------------------------------------ #
+    def compare(
+        self,
+        *,
+        policies: Iterable[Union[Policy, str]] = Policy.ordered(),
+        bounds: bool = False,
+        bound_method: str = "mixed",
+    ) -> CompareResult:
+        """Solve the current epoch under several policies side by side.
+
+        With ``bounds=True`` the Multiple LP lower bound is computed once
+        (on the warm program cache) and per-policy cost-vs-bound gaps are
+        reported alongside the costs.
+        """
+        solutions: Dict[Policy, Optional[Solution]] = {}
+        costs: Dict[Policy, Optional[float]] = {}
+        for policy in policies:
+            policy = Policy.parse(policy)
+            result = self.solve(policy=policy, on_error="none")
+            solutions[policy] = result.solution
+            costs[policy] = result.cost
+        bound = self.bound(method=bound_method).result if bounds else None
+        return CompareResult(
+            epoch=self.epoch, solutions=solutions, costs=costs, bound=bound
+        )
+
+    # ------------------------------------------------------------------ #
+    # epoch stepping
+    # ------------------------------------------------------------------ #
+    def update(
+        self,
+        instance: Optional[Union[TreeNetwork, ReplicaPlacementProblem]] = None,
+        *,
+        requests: Optional[Mapping[NodeId, float]] = None,
+        resolve: bool = True,
+    ) -> Optional[SolveResult]:
+        """Advance the session one epoch and (by default) re-solve it.
+
+        Exactly one of ``instance`` (the next epoch's tree or problem, e.g.
+        from a :mod:`repro.workloads.dynamic` trajectory) or ``requests``
+        (a ``client id -> new rate`` mapping, applied as a structure-sharing
+        :meth:`~repro.core.tree.TreeNetwork.with_requests` fork of the
+        current tree) must be given.  The per-epoch result caches are
+        invalidated; the resolver and bounder caches survive and give the
+        new epoch its incremental treatment (rate-only steps patch the tree
+        index and the LP program instead of rebuilding them).
+
+        Returns the new epoch's :class:`SolveResult` under the session's
+        default policy (``solution=None`` when infeasible), or ``None`` with
+        ``resolve=False`` (bound-only workflows).
+        """
+        if (instance is None) == (requests is None):
+            raise ValueError(
+                "update() needs exactly one of an epoch instance or requests="
+            )
+        if requests is not None:
+            problem = ReplicaPlacementProblem(
+                tree=self.problem.tree.with_requests(requests),
+                constraints=self.problem.constraints,
+                kind=self.problem.kind,
+                name=self.problem.name,
+            )
+        else:
+            problem = as_problem(
+                instance, constraints=self._constraints, kind=self._kind
+            )
+        self.problem = problem
+        self.epoch += 1
+        self.stats.epochs += 1
+        self._solve_cache.clear()
+        self._bound_cache.clear()
+        if not resolve:
+            return None
+        return self.solve(on_error="none")
+
+    # ------------------------------------------------------------------ #
+    # simulating
+    # ------------------------------------------------------------------ #
+    def simulate(
+        self,
+        *,
+        policy: Optional[Union[Policy, str]] = None,
+        algorithm: Optional[str] = None,
+        saturation_threshold: float = 0.999,
+    ) -> "FlowSimulation":
+        """Steady-state replay of the current epoch's solution.
+
+        Solves first if needed (warm caches), then routes the request
+        streams through the tree via
+        :func:`repro.simulation.simulate_solution`.  Raises
+        :class:`~repro.core.exceptions.InfeasibleError` when the epoch has
+        no valid solution.
+        """
+        from repro.simulation.request_flow import simulate_solution
+
+        result = self.solve(policy=policy, algorithm=algorithm)
+        return simulate_solution(
+            self.problem,
+            result.solution,
+            saturation_threshold=saturation_threshold,
+        )
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """One-line session summary (problem + cache-reuse counters)."""
+        return (
+            f"epoch {self.epoch}, {self.problem.describe()} | {self.stats.describe()}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PlacementSession(epoch={self.epoch}, policy={self.policy.value}, "
+            f"mode={self.mode!r}, size={self.problem.size})"
+        )
