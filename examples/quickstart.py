@@ -12,8 +12,10 @@ tree index, the LP program and the incremental solver state across epochs),
 a "scaling up" section shows the batch API solving a whole sweep of random
 instances in one call, a "dynamic workloads" section revises a placement
 across a churning request-rate trajectory with the incremental re-solver,
-and an "LP bounds on sequences" section tracks the cost-vs-bound gap of
-that revision epoch by epoch.
+an "LP bounds on sequences" section tracks the cost-vs-bound gap of
+that revision epoch by epoch, and a "serving" section runs the multi-tenant
+serving endpoint in-process -- start a server, connect a client, step
+epochs with the SLA-aware re-solve, and read the pool statistics.
 """
 
 from __future__ import annotations
@@ -82,6 +84,8 @@ def main() -> None:
     dynamic_workloads()
     print()
     lp_bounds_on_sequences()
+    print()
+    serving()
 
 
 def session_api() -> None:
@@ -201,6 +205,53 @@ def lp_bounds_on_sequences() -> None:
         label = f"gap {gap:.3f}" if gap is not None else "no gap"
         print(f"    epoch {epoch}: cost {cost:g} vs bound {bound:g} ({label})")
     print("  (a gap of 1.000 means the heuristic provably matched the optimum)")
+
+
+def serving() -> None:
+    """Serving: resident sessions behind the JSON protocol.
+
+    ``repro serve`` runs this over stdio or HTTP for real deployments; the
+    walkthrough drives the identical protocol stack in-process.  Every
+    reply is a standard result payload, so ``connect()`` hands back the
+    same ``SolveResult``/``BoundResult`` objects a local session returns --
+    bit-identical, in fact, which is what the serving test suite pins.
+    """
+    import tempfile
+
+    from repro import connect
+    from repro.serving.server import ReproServer
+
+    print("Serving: a multi-tenant session pool behind the JSON protocol")
+    with tempfile.TemporaryDirectory() as snapshots:
+        # repro serve --stdio --pool-capacity 8 --snapshot-dir <dir>
+        server = ReproServer(capacity=8, snapshot_dir=snapshots)
+        client = connect(server)  # or connect("http://host:port")
+
+        session = client.open(replica_counting_problem(build_tree()))
+        placed = session.solve()
+        bound = session.bound()
+        print(f"  solve: {placed.describe()}")
+        print(f"  bound: {bound.describe()}")
+
+        # Epoch steps run server-side; "on_saturation" keeps the placement
+        # frozen while the replayed epoch stays clean (SLA-aware re-solve).
+        drifted = session.update(
+            requests={"c_east_1": 5.0}, resolve="on_saturation"
+        )
+        print(f"  drift epoch: {drifted.describe()}")
+
+        surged = session.update(
+            requests={"c_east_1": 8.0, "c_east_2": 8.0},
+            resolve="on_saturation",
+        )
+        print(f"  surge epoch: {surged.describe()}")
+
+        print(f"  pool: {client.stats().describe()}")
+        # With --snapshot-dir, sessions persist across restarts: a reborn
+        # server answers the same queries warm from the snapshot files.
+        server.snapshot_all()
+        reborn = ReproServer(capacity=8, snapshot_dir=snapshots)
+        print(f"  after restart: restored {reborn.restored} warm session(s)")
 
 
 if __name__ == "__main__":

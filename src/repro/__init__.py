@@ -25,6 +25,10 @@ It provides:
   (:class:`~repro.session.PlacementSession`) with a unified
   ``describe()``/``to_dict()``/``to_json()`` result protocol in
   :mod:`repro.session` and :mod:`repro.core.results`,
+* a multi-tenant serving subsystem (:mod:`repro.serving`): a
+  fingerprint-keyed LRU pool of resident sessions behind a JSON request
+  protocol over stdio and HTTP (``repro serve``), with snapshot
+  persistence across restarts and a ``connect()`` client proxy,
 * extensions of paper Section 8 (multiple objects, richer objective
   functions) in :mod:`repro.multiobject` and :mod:`repro.objectives`.
 
@@ -75,6 +79,12 @@ from repro.api import (
     compare_policies,
     lower_bound,
 )
+from repro.serving import (
+    PoolStats,
+    SessionPool,
+    connect,
+    problem_fingerprint,
+)
 
 __all__ = [
     "__version__",
@@ -110,4 +120,8 @@ __all__ = [
     "BoundSequenceResult",
     "compare_policies",
     "lower_bound",
+    "SessionPool",
+    "PoolStats",
+    "connect",
+    "problem_fingerprint",
 ]

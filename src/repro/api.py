@@ -58,6 +58,24 @@ long-lived serving, keep a :class:`~repro.session.PlacementSession` per
 tree: the caches that a one-shot call pays for on every invocation are paid
 once and then patched, which is what
 ``benchmarks/test_session_reuse.py`` measures.
+
+For *many* tenants behind one process, :mod:`repro.serving` turns the
+session model into a service: a :class:`~repro.serving.pool.SessionPool`
+keeps resident sessions keyed by content fingerprint
+(:func:`~repro.serving.fingerprint.problem_fingerprint` -- equivalent
+problems share a session, however they were built) under an LRU capacity
+and optional byte budget, and ``repro serve`` exposes the pool over
+newline-delimited JSON on stdio or HTTP, speaking request envelopes whose
+replies are exactly the ``to_dict()`` payloads of this module's result
+types (:func:`repro.serving.connect` hands back decoded result objects).
+``--snapshot-dir`` persists resident sessions across restarts and restores
+them warm: cached epochs answer bit-identically and the next rate-only
+bound *patches* the re-assembled program instead of rebuilding it.
+Epoch updates can be SLA-aware
+(``update(..., resolve="on_saturation")``): the frozen placement is kept
+while the replayed epoch stays free of violations and link-saturation
+events, so steady traffic drift costs no re-solves at all
+(``benchmarks/test_serving_pool.py`` pins the warm-pool win).
 """
 
 from __future__ import annotations
@@ -445,6 +463,7 @@ def solve_sequence(
     constraints: Optional[ConstraintSet] = None,
     kind: Optional[ProblemKind] = None,
     mode: str = "incremental",
+    resolve: Union[bool, str] = "always",
     on_error: str = "none",
     engine: Optional[str] = None,
 ) -> SequenceResult:
@@ -470,6 +489,14 @@ def solve_sequence(
         migrations, possibly higher cost, falls back to a full re-solve
         when the frozen placement cannot absorb the new rates).
         ``"scratch"`` -- plain per-epoch solving (the baseline).
+    resolve:
+        Epoch re-solve discipline forwarded to
+        :meth:`~repro.session.PlacementSession.update`: ``"always"`` (the
+        default) re-solves every epoch; ``"on_saturation"`` is SLA-aware --
+        the previous placement is kept frozen (routes re-scaled to the new
+        rates) unless the replayed epoch violates a constraint or
+        saturates a link, and only then re-solved.  Kept epochs report
+        strategy ``"kept"``.  Epoch 0 always solves.
     on_error:
         ``"none"`` records infeasible epochs as ``None``; ``"raise"``
         re-raises the first :class:`~repro.core.exceptions.InfeasibleError`
@@ -487,6 +514,10 @@ def solve_sequence(
     if mode not in SESSION_MODES:
         raise ValueError(
             f"unknown mode {mode!r}; expected one of {sorted(SESSION_MODES)}"
+        )
+    if resolve not in (True, "always", "on_saturation"):
+        raise ValueError(
+            f"resolve must be 'always' or 'on_saturation', got {resolve!r}"
         )
     if on_error not in ("none", "raise"):
         raise ValueError(f"on_error must be 'none' or 'raise', got {on_error!r}")
@@ -507,7 +538,7 @@ def solve_sequence(
             )
             result = session.solve(on_error="none")
         else:
-            result = session.update(epoch)
+            result = session.update(epoch, resolve=resolve)
         if result.solution is None and on_error == "raise":
             raise InfeasibleError(
                 f"epoch {result.stats.epoch} has no valid solution under the "

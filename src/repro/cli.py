@@ -21,8 +21,15 @@ Sub-commands
     cycles, steps, client join/leave) over a tree with the incremental
     re-solver, printing per-epoch costs, strategies and migration stats;
     ``--simulate`` replays the solution sequence and reports transient
-    saturation, ``--campaign`` sweeps churn intensity and prints the
-    cost-vs-stability tables instead.
+    saturation, ``--resolve on-saturation`` keeps placements frozen across
+    epochs whose replay stays clean (SLA-aware re-solve), ``--campaign``
+    sweeps churn intensity and prints the cost-vs-stability tables instead.
+``serve``
+    Run the multi-tenant serving endpoint (:mod:`repro.serving`): a
+    fingerprint-keyed LRU pool of resident sessions behind the JSON
+    request protocol, over stdio (newline-delimited JSON, the default) or
+    HTTP (``--http HOST:PORT``); ``--snapshot-dir`` persists sessions
+    across restarts and restores them warm on boot.
 ``table1``
     Print the computational evidence backing paper Table 1.
 
@@ -198,6 +205,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the solved sequence and report transient saturation",
     )
     dyn.add_argument(
+        "--resolve",
+        choices=("always", "on-saturation"),
+        default="always",
+        help="epoch re-solve discipline: 'always' (default) or the "
+        "SLA-aware 'on-saturation' (keep the placement frozen while the "
+        "replayed epoch stays violation- and saturation-free)",
+    )
+    dyn.add_argument(
         "--bounds",
         action="store_true",
         help="track the per-epoch LP lower bound (incremental program patching) "
@@ -230,6 +245,47 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fast", "dict"),
         default=None,
         help="request-state engine (default: process-wide engine / REPRO_ENGINE)",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve placement queries over resident sessions (stdio or HTTP)",
+    )
+    srv.add_argument(
+        "--stdio",
+        action="store_true",
+        help="speak newline-delimited JSON on stdin/stdout (the default "
+        "transport; replies are the only stdout output)",
+    )
+    srv.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve HTTP instead: POST request envelopes to /, GET /stats",
+    )
+    srv.add_argument(
+        "--pool-capacity",
+        type=int,
+        default=8,
+        help="maximum resident sessions before LRU eviction (default: 8)",
+    )
+    srv.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="optional byte budget over the resident sessions' estimated "
+        "memory (LRU eviction until it fits)",
+    )
+    srv.add_argument(
+        "--mode",
+        choices=("incremental", "patch", "scratch"),
+        default="incremental",
+        help="re-solve mode of the pooled sessions (default: incremental)",
+    )
+    srv.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="persist resident sessions here (and restore them warm on boot)",
     )
 
     bench = sub.add_parser(
@@ -401,6 +457,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "dynamic":
         return _dispatch_dynamic(args)
 
+    if args.command == "serve":
+        return _dispatch_serve(args)
+
     if args.command == "bench":
         return _dispatch_bench(args)
 
@@ -425,6 +484,7 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
             ("--simulate", not args.simulate),
             ("--trajectory", args.trajectory == "churn"),
             ("--mode", args.mode == "incremental"),
+            ("--resolve", args.resolve == "always"),
             ("--churn", args.churn == 0.1),
             ("--counting", not args.counting),
             ("--factor", args.factor == 1.5),
@@ -554,7 +614,11 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
         )
 
     result = solve_sequence(
-        epochs, policy=args.policy, mode=args.mode, engine=args.engine
+        epochs,
+        policy=args.policy,
+        mode=args.mode,
+        resolve=args.resolve.replace("-", "_"),
+        engine=args.engine,
     )
     bounds = None
     if args.bounds:
@@ -608,6 +672,42 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
         for epoch, link in replay.transient_saturations():
             print(f"  epoch {epoch}: link {link[0]!r}->{link[1]!r} saturates")
     return 0 if result.solved_epochs else 2
+
+
+def _dispatch_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` sub-command: stdio or HTTP serving over a session pool.
+
+    Stdio keeps stdout strictly machine-readable -- one JSON reply line
+    per request line, nothing else -- so supervisors can pipe it; all
+    diagnostics go to stderr.
+    """
+    from repro.serving.pool import SessionPool
+    from repro.serving.server import ReproServer, serve_http, serve_stdio
+
+    if args.http is not None and args.stdio:
+        print("error: --stdio and --http are mutually exclusive", file=sys.stderr)
+        return 1
+
+    pool = SessionPool(
+        args.pool_capacity, max_bytes=args.max_bytes, mode=args.mode
+    )
+    server = ReproServer(pool, snapshot_dir=args.snapshot_dir)
+    if server.restored:
+        print(
+            f"restored {server.restored} warm session(s) from {args.snapshot_dir}",
+            file=sys.stderr,
+        )
+
+    if args.http is not None:
+        host, _, port = args.http.rpartition(":")
+        if not host or not port.isdigit():
+            print(
+                f"error: --http expects HOST:PORT, got {args.http!r}",
+                file=sys.stderr,
+            )
+            return 1
+        return serve_http(server, host, int(port))
+    return serve_stdio(server)
 
 
 def _dispatch_bench(args: argparse.Namespace) -> int:

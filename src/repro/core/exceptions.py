@@ -16,7 +16,9 @@ callers can catch a single base class.  More specific subclasses communicate
   bound allows;
 * :class:`BandwidthExceededError` -- the flow routed through a link exceeds
   its bandwidth;
-* :class:`SolverError` -- the LP/ILP backend failed unexpectedly.
+* :class:`SolverError` -- the LP/ILP backend failed unexpectedly;
+* :class:`SerializationError` -- a persisted payload cannot be decoded
+  (unknown result tag, malformed file, unserialisable constraint subclass).
 """
 
 from __future__ import annotations
@@ -83,3 +85,11 @@ class BandwidthExceededError(ReproError):
 
 class SolverError(ReproError):
     """The linear-programming backend reported an unexpected failure."""
+
+
+class SerializationError(ReproError, ValueError):
+    """A serialised payload cannot be encoded or decoded.
+
+    Also a :class:`ValueError` so callers that predate the dedicated class
+    (and the CLI's blanket error handling) keep working.
+    """

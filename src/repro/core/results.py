@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Callable, Dict, Optional, Type
+from typing import Any, Callable, Dict, Mapping, Optional, Type
 
 __all__ = [
     "ResultBase",
@@ -51,7 +51,12 @@ _RESULT_REGISTRY: Dict[str, Type["ResultBase"]] = {}
 #: Modules defining registered result classes; imported lazily by
 #: :func:`result_from_dict` so payloads written by one entry point can be
 #: decoded by another without import-order luck.
-_RESULT_MODULES = ("repro.session", "repro.api", "repro.experiments.harness")
+_RESULT_MODULES = (
+    "repro.session",
+    "repro.api",
+    "repro.experiments.harness",
+    "repro.serving.pool",
+)
 
 
 def encode_float(value: Optional[float]) -> Any:
@@ -118,8 +123,36 @@ def register_result(cls: Type[ResultBase]) -> Type[ResultBase]:
 
 
 def result_from_dict(payload: Dict[str, Any]) -> ResultBase:
-    """Rebuild a registered result object from a :meth:`to_dict` payload."""
+    """Rebuild a registered result object from a :meth:`to_dict` payload.
+
+    Raises
+    ------
+    SerializationError
+        When ``payload`` is not a mapping, carries no ``"type"`` tag, or
+        carries a tag no registered result class claims.  The message names
+        the offending tag and the known registry keys, so a consumer looking
+        at a foreign payload knows what this build can decode.
+    """
+    from repro.core.exceptions import SerializationError
+
+    if not isinstance(payload, Mapping):
+        raise SerializationError(
+            f"result payloads are JSON objects, got {type(payload).__name__}"
+        )
     tag = payload.get("type")
+    if tag is None:
+        raise SerializationError(
+            'result payload carries no "type" tag; '
+            f"known tags: {sorted(_RESULT_REGISTRY)}"
+        )
+    if not isinstance(tag, str):
+        # Guard before the registry lookup: an unhashable tag (a list, a
+        # dict) would otherwise raise a bare TypeError past the
+        # SerializationError contract.
+        raise SerializationError(
+            f'result payload "type" tag must be a string, '
+            f"got {type(tag).__name__}"
+        )
     if tag not in _RESULT_REGISTRY:
         import importlib
 
@@ -127,9 +160,9 @@ def result_from_dict(payload: Dict[str, Any]) -> ResultBase:
             importlib.import_module(module)
     cls = _RESULT_REGISTRY.get(tag)
     if cls is None:
-        raise ValueError(
+        raise SerializationError(
             f"unknown result payload type {tag!r}; "
-            f"known: {sorted(_RESULT_REGISTRY)}"
+            f"known tags: {sorted(_RESULT_REGISTRY)}"
         )
     factory: Callable[[Dict[str, Any]], ResultBase] = cls.from_dict  # type: ignore[attr-defined]
     return factory(payload)

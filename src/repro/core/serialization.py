@@ -23,7 +23,10 @@ import math
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.core.constraints import ConstraintSet, QoSMode
+from repro.core.exceptions import SerializationError
 from repro.core.policies import Policy
+from repro.core.problem import ProblemKind, ReplicaPlacementProblem
 from repro.core.solution import Assignment, Placement, Solution
 from repro.core.tree import Client, InternalNode, Link, TreeNetwork
 
@@ -32,6 +35,10 @@ __all__ = [
     "tree_from_dict",
     "save_tree",
     "load_tree",
+    "constraints_to_dict",
+    "constraints_from_dict",
+    "problem_to_dict",
+    "problem_from_dict",
     "solution_to_dict",
     "solution_from_dict",
     "save_result",
@@ -123,6 +130,73 @@ def load_tree(path: Union[str, Path]) -> TreeNetwork:
     return tree_from_dict(payload)
 
 
+def constraints_to_dict(constraints: ConstraintSet) -> Dict[str, Any]:
+    """Serialise a constraint set to a JSON-compatible dictionary.
+
+    Only plain :class:`ConstraintSet` instances round-trip; a subclass
+    carries behaviour (custom metrics, non-monotone filters) that no JSON
+    payload can reproduce, so serialising one raises
+    :class:`~repro.core.exceptions.SerializationError` instead of silently
+    downgrading it to the base semantics.
+    """
+    if type(constraints) is not ConstraintSet:
+        raise SerializationError(
+            f"cannot serialise constraint set of type "
+            f"{type(constraints).__qualname__}; only plain ConstraintSet "
+            "instances round-trip through JSON"
+        )
+    return {
+        "qos_mode": constraints.qos_mode.value,
+        "enforce_bandwidth": constraints.enforce_bandwidth,
+    }
+
+
+def constraints_from_dict(payload: Dict[str, Any]) -> ConstraintSet:
+    """Rebuild a constraint set from :func:`constraints_to_dict` output."""
+    return ConstraintSet(
+        qos_mode=QoSMode.parse(payload.get("qos_mode", "none")),
+        enforce_bandwidth=bool(payload.get("enforce_bandwidth", False)),
+    )
+
+
+def problem_to_dict(problem: ReplicaPlacementProblem) -> Dict[str, Any]:
+    """Serialise a fully-specified problem (tree + constraints + cost mode).
+
+    This is the on-the-wire instance format of the serving protocol
+    (:mod:`repro.serving`) and of session snapshots: everything a server
+    needs to rebuild an equivalent
+    :class:`~repro.core.problem.ReplicaPlacementProblem` in another process.
+    """
+    return {
+        "tree": tree_to_dict(problem.tree),
+        "constraints": constraints_to_dict(problem.constraints),
+        "kind": problem.kind.value,
+        "name": problem.name,
+    }
+
+
+def problem_from_dict(payload: Dict[str, Any]) -> ReplicaPlacementProblem:
+    """Rebuild a problem from :func:`problem_to_dict` output."""
+    try:
+        tree = tree_from_dict(payload["tree"])
+    except KeyError:
+        raise SerializationError(
+            'problem payloads need a "tree" entry (see problem_to_dict)'
+        ) from None
+    constraints = payload.get("constraints")
+    name = payload.get("name")
+    return ReplicaPlacementProblem(
+        tree=tree,
+        constraints=(
+            constraints_from_dict(constraints)
+            if constraints is not None
+            else ConstraintSet.none()
+        ),
+        kind=ProblemKind(payload.get("kind", ProblemKind.REPLICA_COST.value)),
+        name=None if name is None else str(name),
+    )
+
+
 def solution_to_dict(solution: Solution) -> Dict[str, Any]:
     """Serialise a solution (placement + assignment) to a dictionary."""
     return {
@@ -153,10 +227,26 @@ def save_result(result, path: Union[str, Path]) -> Path:
 
 
 def load_result(path: Union[str, Path]):
-    """Rebuild a result previously written by :func:`save_result`."""
+    """Rebuild a result previously written by :func:`save_result`.
+
+    Raises
+    ------
+    SerializationError
+        When the file is not valid JSON or its payload cannot be decoded;
+        the message names the offending file, so a failure inside a batch
+        of result files points at the culprit.
+    """
     from repro.core.results import result_from_dict
 
-    return result_from_dict(json.loads(Path(path).read_text()))
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as error:
+        raise SerializationError(f"{path}: not a JSON result file ({error})") from None
+    try:
+        return result_from_dict(payload)
+    except SerializationError as error:
+        raise SerializationError(f"{path}: {error}") from None
 
 
 def solution_from_dict(payload: Dict[str, Any]) -> Solution:

@@ -1,0 +1,54 @@
+"""Multi-tenant serving layer over resident placement sessions.
+
+The ROADMAP's serving milestone: turn the session API into a long-running
+service.  Four layers, each usable on its own:
+
+* :mod:`repro.serving.fingerprint` -- stable content hashes of problems,
+  so equivalent requests share one resident session;
+* :mod:`repro.serving.pool` -- :class:`SessionPool`, a thread-safe,
+  fingerprint-keyed LRU of :class:`~repro.session.PlacementSession`\\ s
+  with byte budgets, eviction hooks and :class:`PoolStats` aggregation;
+* :mod:`repro.serving.protocol` / :mod:`repro.serving.server` -- the JSON
+  request envelopes and the dependency-free stdio / HTTP transports behind
+  ``repro serve``;
+* :mod:`repro.serving.snapshot` -- cross-restart persistence of resident
+  sessions (warm boots via ``repro serve --snapshot-dir``);
+* :mod:`repro.serving.client` -- :func:`connect`, returning a session-like
+  proxy that decodes replies back into the standard result objects.
+"""
+
+from repro.serving.client import RemoteSession, ServingClient, ServingError, connect
+from repro.serving.fingerprint import problem_fingerprint, tree_fingerprint
+from repro.serving.pool import (
+    PooledSession,
+    PoolStats,
+    SessionPool,
+    UnknownSessionError,
+)
+from repro.serving.protocol import OPS, ProtocolError, error_envelope, handle_envelope
+from repro.serving.server import ReproServer, make_http_server, serve_http, serve_stdio
+from repro.serving.snapshot import restore_pool, save_pool, save_session
+
+__all__ = [
+    "problem_fingerprint",
+    "tree_fingerprint",
+    "SessionPool",
+    "PooledSession",
+    "PoolStats",
+    "UnknownSessionError",
+    "OPS",
+    "ProtocolError",
+    "error_envelope",
+    "handle_envelope",
+    "ReproServer",
+    "serve_stdio",
+    "serve_http",
+    "make_http_server",
+    "save_session",
+    "save_pool",
+    "restore_pool",
+    "connect",
+    "ServingClient",
+    "RemoteSession",
+    "ServingError",
+]

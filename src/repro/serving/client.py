@@ -1,0 +1,358 @@
+"""Client-side proxy for the serving protocol: ``connect()`` and friends.
+
+The serving replies are the standard result-protocol payloads, so the
+client can hand back *real* result objects --
+:class:`~repro.session.SolveResult`, :class:`~repro.session.BoundResult`,
+:class:`~repro.session.CompareResult`,
+:class:`~repro.serving.pool.PoolStats` -- decoded through
+:func:`repro.core.results.result_from_dict`.  A remote session therefore
+reads exactly like a local :class:`~repro.session.PlacementSession`::
+
+    client = connect("http://127.0.0.1:8485")       # or a Popen / server
+    session = client.open(problem)                  # session-like proxy
+    placed = session.solve()                        # -> SolveResult
+    bound = session.bound()                         # -> BoundResult
+    session.update(requests={"c1": 9.0})            # epoch step server-side
+    print(client.stats().describe())                # -> PoolStats
+
+Transports
+----------
+
+:func:`connect` accepts, and dispatches on, any of:
+
+* an ``http(s)://`` URL -- requests go out as HTTP POST bodies
+  (:class:`HttpTransport`, stdlib ``urllib`` only);
+* a :class:`subprocess.Popen` of ``repro serve --stdio`` (or any
+  ``(reader, writer)`` text-stream pair) -- newline-delimited JSON
+  (:class:`StdioTransport`);
+* an in-process :class:`~repro.serving.server.ReproServer` -- direct
+  dispatch with JSON round-trip fidelity (:class:`LocalTransport`), the
+  cheapest way to drive the full protocol in tests and notebooks.
+
+After the first call the proxy addresses its resident session by
+fingerprint only (no tree re-upload per request); if the server evicted
+the session meanwhile, the proxy transparently re-sends the full problem
+once and retries.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.core.exceptions import ReproError
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.results import result_from_dict
+from repro.core.serialization import problem_to_dict
+
+__all__ = [
+    "ServingError",
+    "HttpTransport",
+    "StdioTransport",
+    "LocalTransport",
+    "ServingClient",
+    "RemoteSession",
+    "connect",
+]
+
+
+class ServingError(ReproError):
+    """An error envelope received from a serving endpoint."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+# --------------------------------------------------------------------------- #
+# transports
+# --------------------------------------------------------------------------- #
+class HttpTransport:
+    """POST request envelopes to a ``repro serve --http`` endpoint."""
+
+    def __init__(self, url: str, *, timeout: float = 60.0) -> None:
+        self.url = url.rstrip("/") + "/"
+        self.timeout = timeout
+
+    def send(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            self.url,
+            data=json.dumps(envelope).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+
+class StdioTransport:
+    """Newline-delimited JSON over a reader/writer text-stream pair.
+
+    Pass a :class:`subprocess.Popen` handle (``stdin``/``stdout`` in text
+    mode) or explicit streams.  One reply line is read per request sent, so
+    the streams must not be shared with other writers.
+    """
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    def for_process(cls, process) -> "StdioTransport":
+        if process.stdin is None or process.stdout is None:
+            raise ValueError(
+                "serve process must be spawned with stdin=PIPE, stdout=PIPE"
+            )
+        return cls(process.stdout, process.stdin)
+
+    def send(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        self._writer.write(json.dumps(envelope))
+        self._writer.write("\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ServingError("closed", "serving endpoint closed the stream")
+        return json.loads(line)
+
+
+class LocalTransport:
+    """Drive an in-process :class:`~repro.serving.server.ReproServer`.
+
+    Envelopes and replies pass through ``json.dumps``/``loads``, so the
+    bytes on this transport are exactly the stdio transport's bytes --
+    which is what lets tests assert protocol fidelity without pipes.
+    """
+
+    def __init__(self, server) -> None:
+        self._server = server
+
+    def send(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        return json.loads(self._server.handle_line(json.dumps(envelope)))
+
+
+# --------------------------------------------------------------------------- #
+# the client
+# --------------------------------------------------------------------------- #
+def _decode(reply: Mapping[str, Any]):
+    """Turn a reply payload into a result object (or raise ServingError)."""
+    if not isinstance(reply, Mapping):
+        raise ServingError("protocol", f"reply is not an object: {reply!r}")
+    tag = reply.get("type")
+    if tag == "error":
+        error = reply.get("error") or {}
+        raise ServingError(
+            str(error.get("code", "unknown")), str(error.get("message", ""))
+        )
+    if tag in ("update_ack", "flow_simulation"):
+        return dict(reply)  # protocol-only payloads, no registered class
+    return result_from_dict(dict(reply))
+
+
+class ServingClient:
+    """A connection to one serving endpoint (see :func:`connect`)."""
+
+    def __init__(self, transport) -> None:
+        self.transport = transport
+
+    def request(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        """Send a raw envelope; returns the raw reply dictionary."""
+        return self.transport.send(envelope)
+
+    def open(
+        self,
+        problem: Union[ReplicaPlacementProblem, Any],
+        *,
+        constraints=None,
+        kind=None,
+    ) -> "RemoteSession":
+        """A session-like proxy for ``problem`` (coerced like the free API)."""
+        from repro.session import as_problem
+
+        return RemoteSession(
+            self,
+            as_problem(problem, constraints=constraints, kind=kind),
+            constraints=constraints,
+            kind=kind,
+        )
+
+    def stats(self):
+        """The pool-wide :class:`~repro.serving.pool.PoolStats`."""
+        return _decode(self.request({"op": "stats"}))
+
+
+class RemoteSession:
+    """Session-like proxy over one resident server-side session.
+
+    Mirrors the query surface of :class:`~repro.session.PlacementSession`
+    (``solve`` / ``bound`` / ``compare`` / ``update`` / ``simulate``) and
+    returns the same result types, decoded from the wire.  The first
+    request ships the full problem; subsequent requests address the
+    resident session by fingerprint, falling back to a one-shot re-send
+    when the server evicted it.
+    """
+
+    def __init__(
+        self,
+        client: ServingClient,
+        problem: ReplicaPlacementProblem,
+        *,
+        constraints=None,
+        kind=None,
+    ) -> None:
+        self._client = client
+        self._problem = problem
+        #: coercion overrides from open(), re-applied to every epoch
+        #: instance exactly like PlacementSession.update does locally.
+        self._constraints = constraints
+        self._kind = kind
+        self._fingerprint: Optional[str] = None
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """The resident session's key (``None`` before the first request)."""
+        return self._fingerprint
+
+    # ------------------------------------------------------------------ #
+    def _call(self, op: str, params: Dict[str, Any]):
+        envelope: Dict[str, Any] = {"op": op, "params": params}
+        if self._fingerprint is not None:
+            envelope["fingerprint"] = self._fingerprint
+        else:
+            envelope["problem"] = problem_to_dict(self._problem)
+        try:
+            reply = self._client.request(envelope)
+            result = _decode(reply)
+        except ServingError as error:
+            if error.code != "unknown_fingerprint":
+                raise
+            # The server evicted our session: re-send the full problem.
+            envelope.pop("fingerprint", None)
+            envelope["problem"] = problem_to_dict(self._problem)
+            reply = self._client.request(envelope)
+            result = _decode(reply)
+        fingerprint = reply.get("fingerprint")
+        if isinstance(fingerprint, str):
+            self._fingerprint = fingerprint
+        return result
+
+    # ------------------------------------------------------------------ #
+    def solve(self, *, policy=None, algorithm: Optional[str] = None):
+        """Remote :meth:`~repro.session.PlacementSession.solve`."""
+        params: Dict[str, Any] = {}
+        if policy is not None:
+            params["policy"] = getattr(policy, "value", policy)
+        if algorithm is not None:
+            params["algorithm"] = algorithm
+        return self._call("solve", params)
+
+    def bound(
+        self,
+        *,
+        policy=None,
+        method: str = "mixed",
+        time_limit: Optional[float] = None,
+    ):
+        """Remote :meth:`~repro.session.PlacementSession.bound`."""
+        params: Dict[str, Any] = {"method": method}
+        if policy is not None:
+            params["policy"] = getattr(policy, "value", policy)
+        if time_limit is not None:
+            params["time_limit"] = time_limit
+        return self._call("bound", params)
+
+    def compare(
+        self, *, policies=None, bounds: bool = False, bound_method: str = "mixed"
+    ):
+        """Remote :meth:`~repro.session.PlacementSession.compare`."""
+        params: Dict[str, Any] = {"bounds": bounds, "bound_method": bound_method}
+        if policies is not None:
+            params["policies"] = [getattr(p, "value", p) for p in policies]
+        return self._call("compare", params)
+
+    def update(
+        self,
+        instance: Optional[ReplicaPlacementProblem] = None,
+        *,
+        requests: Optional[Mapping[Any, float]] = None,
+        resolve: Union[bool, str] = "always",
+        saturation_threshold: Optional[float] = None,
+    ):
+        """Remote :meth:`~repro.session.PlacementSession.update`.
+
+        Keeps the local problem mirror in step (for eviction re-sends) and
+        adopts the new fingerprint from the reply.
+        """
+        if (instance is None) == (requests is None):
+            raise ValueError(
+                "update() needs exactly one of an epoch instance or requests="
+            )
+        params: Dict[str, Any] = {"resolve": resolve}
+        if saturation_threshold is not None:
+            params["saturation_threshold"] = saturation_threshold
+        if requests is not None:
+            # Value-position encoding: JSON object keys would stringify
+            # non-string client ids, and the server could no longer match
+            # them against the tree.
+            params["requests"] = [
+                {"client": cid, "rate": float(rate)}
+                for cid, rate in requests.items()
+            ]
+            mirrored = ReplicaPlacementProblem(
+                tree=self._problem.tree.with_requests(requests),
+                constraints=self._problem.constraints,
+                kind=self._problem.kind,
+                name=self._problem.name,
+            )
+        else:
+            from repro.session import as_problem
+
+            mirrored = as_problem(
+                instance, constraints=self._constraints, kind=self._kind
+            )
+            params["problem"] = problem_to_dict(mirrored)
+        result = self._call("update", params)
+        self._problem = mirrored
+        return result
+
+    def simulate(
+        self,
+        *,
+        policy=None,
+        algorithm: Optional[str] = None,
+        saturation_threshold: float = 0.999,
+    ) -> Dict[str, Any]:
+        """Remote steady-state replay; returns the flow payload dictionary."""
+        params: Dict[str, Any] = {"saturation_threshold": saturation_threshold}
+        if policy is not None:
+            params["policy"] = getattr(policy, "value", policy)
+        if algorithm is not None:
+            params["algorithm"] = algorithm
+        return self._call("simulate", params)
+
+
+def connect(target: Any) -> ServingClient:
+    """Open a :class:`ServingClient` for ``target`` (see module docstring).
+
+    ``target`` may be an ``http(s)://`` URL, a :class:`subprocess.Popen`
+    running ``repro serve --stdio``, a ``(reader, writer)`` stream pair, an
+    in-process :class:`~repro.serving.server.ReproServer`, or an existing
+    transport object (anything with a ``send(envelope)`` method).
+    """
+    from repro.serving.server import ReproServer
+
+    if isinstance(target, str):
+        if not target.startswith(("http://", "https://")):
+            raise ValueError(
+                f"string targets must be http(s) URLs, got {target!r}"
+            )
+        return ServingClient(HttpTransport(target))
+    if isinstance(target, ReproServer):
+        return ServingClient(LocalTransport(target))
+    if isinstance(target, tuple) and len(target) == 2:
+        return ServingClient(StdioTransport(*target))
+    if hasattr(target, "stdin") and hasattr(target, "stdout"):
+        return ServingClient(StdioTransport.for_process(target))
+    if hasattr(target, "send"):
+        return ServingClient(target)
+    raise TypeError(f"cannot connect to {target!r}")

@@ -1,0 +1,173 @@
+"""Stable content fingerprints of placement problems.
+
+A serving pool (:mod:`repro.serving.pool`) keys resident
+:class:`~repro.session.PlacementSession`\\ s by *what problem they answer*:
+two requests carrying equivalent problems -- same topology, request rates,
+capacities, storage costs, QoS bounds, link attributes, constraint set and
+cost mode -- must land on the same warm session, however the problem object
+was built.  :func:`problem_fingerprint` provides that key: a SHA-256 hex
+digest of a canonical byte encoding of the problem content.
+
+Canonical form
+--------------
+
+Identifiers are encoded through ``repr`` and every element population
+(nodes, clients, links) is hashed in sorted-``repr`` order, so the digest
+does not depend on construction order: a tree rebuilt from
+:func:`~repro.core.serialization.tree_to_dict` output, an epoch fork made
+with :meth:`~repro.core.tree.TreeNetwork.with_requests`, and the original
+tree all hash identically when their content matches (pinned by the serving
+test suite).  Floats are hashed through their IEEE-754 bytes with ``-0.0``
+normalised to ``+0.0``, matching the ``==`` semantics the epoch differ
+uses.
+
+Fast path
+---------
+
+The digest splits into a *structural* part (everything except request
+rates) and the per-epoch rate vector.  When the tree already carries a
+:class:`~repro.core.index.TreeIndex`, the structural part is hashed once
+and memoised in the index's structural cache -- which epoch forks made with
+``with_requests`` share -- so fingerprinting epoch ``t+1`` of a resident
+tenant costs one pass over the client rates instead of a full re-hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List, Optional, Tuple, Union
+
+from repro.core.constraints import ConstraintSet
+from repro.core.problem import ProblemKind, ReplicaPlacementProblem
+from repro.core.tree import NodeId, TreeNetwork
+
+__all__ = ["problem_fingerprint", "tree_fingerprint"]
+
+#: Bump when the canonical encoding changes: digests are persisted in
+#: snapshot files and must never silently collide across encodings.
+_VERSION = b"repro-fingerprint-1\x00"
+
+_PACK_DOUBLE = struct.Struct("<d").pack
+
+
+def _float_bytes(value: float) -> bytes:
+    """IEEE-754 bytes of ``value`` with ``-0.0`` folded onto ``+0.0``.
+
+    The fold keeps the fingerprint aligned with ``==`` comparisons (the
+    epoch differ treats ``-0.0`` and ``0.0`` as the same rate).
+    """
+    return _PACK_DOUBLE(float(value) + 0.0)
+
+
+def _constraints_token(constraints: ConstraintSet) -> bytes:
+    """Canonical byte token of a constraint set.
+
+    Plain :class:`ConstraintSet` instances reduce to their two fields; a
+    subclass carries code, so its fully-qualified type name joins the token
+    -- equivalent-looking custom constraints from different classes must
+    not collide onto one resident session.
+    """
+    if type(constraints) is ConstraintSet:
+        return (
+            f"cs:{constraints.qos_mode.value}:"
+            f"{int(constraints.enforce_bandwidth)}"
+        ).encode()
+    return (
+        f"custom:{type(constraints).__module__}."
+        f"{type(constraints).__qualname__}:{constraints!r}"
+    ).encode()
+
+
+def _sorted_clients(tree: TreeNetwork) -> Tuple[NodeId, ...]:
+    return tuple(sorted(tree.client_ids, key=repr))
+
+
+def _structural_hasher(
+    tree: TreeNetwork, constraints: ConstraintSet, kind: ProblemKind
+) -> "hashlib._Hash":
+    """Hash everything except the per-epoch request rates."""
+    digest = hashlib.sha256(_VERSION)
+    update = digest.update
+    update(_constraints_token(constraints))
+    update(b"\x00")
+    update(kind.value.encode())
+    update(b"\x00")
+    for node_id in sorted(tree.node_ids, key=repr):
+        node = tree.node(node_id)
+        update(f"n:{node_id!r}".encode())
+        update(_float_bytes(node.capacity))
+        update(_float_bytes(node.storage_cost))
+    for client_id in _sorted_clients(tree):
+        client = tree.client(client_id)
+        update(f"c:{client_id!r}".encode())
+        update(_float_bytes(client.qos))
+    links: List[Tuple[str, str, float, float]] = [
+        (repr(link.child), repr(link.parent), link.comm_time, link.bandwidth)
+        for link in tree.links()
+    ]
+    for child_repr, parent_repr, comm_time, bandwidth in sorted(links):
+        update(f"l:{child_repr}>{parent_repr}".encode())
+        update(_float_bytes(comm_time))
+        update(_float_bytes(bandwidth))
+    return digest
+
+
+def problem_fingerprint(problem: ReplicaPlacementProblem) -> str:
+    """SHA-256 content fingerprint of a fully-specified problem.
+
+    Equivalent problems -- equal trees (whatever their construction
+    history), equal constraint sets and equal cost modes -- map to the same
+    digest; any content difference (a single request rate, a QoS bound, a
+    link bandwidth, the cost mode) changes it.
+    """
+    tree = problem.tree
+    index = tree._index_cache
+    if index is not None:
+        # The structural cache is shared by every rate-only epoch fork of
+        # this tree (TreeIndex.patched), so across a tenant's epochs the
+        # structural part is hashed exactly once.
+        cache = index._np_cache
+        try:
+            key = ("fingerprint_struct", problem.constraints, problem.kind)
+            cached = cache.get(key)
+        except TypeError:  # unhashable custom constraint subclass
+            key = None
+            cached = None
+        if cached is None:
+            cached = (
+                _structural_hasher(tree, problem.constraints, problem.kind),
+                _sorted_clients(tree),
+            )
+            if key is not None:
+                cache[key] = cached
+        base, client_order = cached
+        digest = base.copy()
+    else:
+        digest = _structural_hasher(tree, problem.constraints, problem.kind)
+        client_order = _sorted_clients(tree)
+
+    clients = tree._clients
+    digest.update(
+        b"".join(_float_bytes(clients[cid].requests) for cid in client_order)
+    )
+    return digest.hexdigest()
+
+
+def tree_fingerprint(
+    instance: Union[TreeNetwork, ReplicaPlacementProblem],
+    *,
+    constraints: Optional[ConstraintSet] = None,
+    kind: Optional[ProblemKind] = None,
+) -> str:
+    """Fingerprint a bare tree (or problem) with optional coercions.
+
+    Convenience wrapper matching the coercion convention of the public API:
+    a tree is wrapped into a Replica Cost problem with no optional
+    constraints unless overridden, then fingerprinted.
+    """
+    from repro.session import as_problem
+
+    return problem_fingerprint(
+        as_problem(instance, constraints=constraints, kind=kind)
+    )

@@ -1,0 +1,298 @@
+"""The serving request protocol: JSON envelopes in, result payloads out.
+
+Every transport (newline-delimited JSON over stdio, HTTP POST bodies --
+see :mod:`repro.serving.server`) speaks the same envelope format::
+
+    {"op":          "solve" | "bound" | "compare" | "update" |
+                    "simulate" | "stats",
+     "problem":     {...},          # problem_to_dict payload, optional
+     "fingerprint": "....",         # resident-session key, optional
+     "params":      {...}}          # op-specific keyword arguments
+
+``problem`` creates (or finds) the resident session for that content;
+``fingerprint`` addresses an already-resident session without re-shipping
+the tree (an :class:`~repro.serving.pool.UnknownSessionError` miss produces
+an ``unknown_fingerprint`` error envelope, and the client re-sends the full
+problem).  ``stats`` needs neither.
+
+Replies are the **existing result-protocol payloads** -- the ``to_dict()``
+output of :class:`~repro.session.SolveResult`,
+:class:`~repro.session.BoundResult`, :class:`~repro.session.CompareResult`
+and :class:`~repro.serving.pool.PoolStats`, round-trippable through
+:func:`repro.core.results.result_from_dict` -- plus a ``"fingerprint"``
+key identifying the session that answered (``from_dict`` constructors read
+their fields by name, so the extra key never disturbs decoding).  Failures
+of any kind map to a tagged error envelope::
+
+    {"type": "error", "error": {"code": "...", "message": "..."}}
+
+never to a traceback on the wire.  Codes: ``bad_request`` (malformed
+envelope / unknown op / bad params), ``unknown_fingerprint`` (session not
+resident), ``invalid`` (the problem or parameters fail domain validation),
+``infeasible`` (a simulate on an unsolvable epoch) and ``internal``
+(anything unexpected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.exceptions import InfeasibleError, ReproError
+from repro.core.problem import ReplicaPlacementProblem
+from repro.serving.pool import PooledSession, SessionPool, UnknownSessionError
+
+__all__ = [
+    "OPS",
+    "ProtocolError",
+    "HandledRequest",
+    "error_envelope",
+    "is_error",
+    "handle_envelope",
+]
+
+#: The operations a serving endpoint accepts.
+OPS = ("solve", "bound", "compare", "update", "simulate", "stats")
+
+#: ``update`` ops change session content (the server snapshots after them);
+#: the rest only warm caches.
+_MUTATING_OPS = frozenset({"update"})
+
+
+class ProtocolError(ReproError):
+    """A request envelope that cannot be served as asked."""
+
+    def __init__(self, message: str, *, code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def error_envelope(code: str, message: str) -> Dict[str, Any]:
+    """The tagged error reply every transport ships on failure."""
+    return {"type": "error", "error": {"code": code, "message": message}}
+
+
+def is_error(reply: Mapping[str, Any]) -> bool:
+    """``True`` when ``reply`` is an error envelope."""
+    return isinstance(reply, Mapping) and reply.get("type") == "error"
+
+
+@dataclass
+class HandledRequest:
+    """Outcome of one envelope: the reply plus server-side bookkeeping."""
+
+    reply: Dict[str, Any]
+    #: the session that answered (``None`` for ``stats`` and errors)
+    entry: Optional[PooledSession] = None
+    #: whether the session's *content* changed (snapshot trigger)
+    mutated: bool = False
+    #: the session's key before a mutating op re-keyed it (the server
+    #: retires the superseded snapshot file when it differs)
+    previous_fingerprint: Optional[str] = None
+
+
+# --------------------------------------------------------------------------- #
+# envelope plumbing
+# --------------------------------------------------------------------------- #
+def _require_mapping(value: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise ProtocolError(
+            f"{what} must be a JSON object, got {type(value).__name__}"
+        )
+    return value
+
+
+def _decode_problem(payload: Any) -> ReplicaPlacementProblem:
+    from repro.core.serialization import problem_from_dict
+
+    _require_mapping(payload, '"problem"')
+    try:
+        return problem_from_dict(payload)
+    except ReproError as error:
+        raise ProtocolError(f"invalid problem payload: {error}", code="invalid") from None
+    except (AttributeError, KeyError, TypeError, ValueError) as error:
+        # AttributeError covers mis-typed nested sections (e.g. a string
+        # where the constraints object belongs).
+        raise ProtocolError(
+            f"malformed problem payload: {error}", code="bad_request"
+        ) from None
+
+
+def _with_fingerprint(payload: Dict[str, Any], fingerprint: str) -> Dict[str, Any]:
+    payload["fingerprint"] = fingerprint
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# op implementations (run while holding the entry's lock)
+# --------------------------------------------------------------------------- #
+def _op_solve(entry: PooledSession, params: Mapping[str, Any]) -> Dict[str, Any]:
+    result = entry.session.solve(
+        policy=params.get("policy"),
+        algorithm=params.get("algorithm"),
+        on_error="none",  # infeasibility is a result payload, not an error
+    )
+    return result.to_dict()
+
+
+def _op_bound(entry: PooledSession, params: Mapping[str, Any]) -> Dict[str, Any]:
+    time_limit = params.get("time_limit")
+    result = entry.session.bound(
+        policy=params.get("policy", "multiple"),
+        method=params.get("method", "mixed"),
+        time_limit=None if time_limit is None else float(time_limit),
+    )
+    return result.to_dict()
+
+
+def _op_compare(entry: PooledSession, params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.core.policies import Policy
+
+    policies = params.get("policies")
+    result = entry.session.compare(
+        policies=Policy.ordered() if policies is None else list(policies),
+        bounds=bool(params.get("bounds", False)),
+        bound_method=params.get("bound_method", "mixed"),
+    )
+    return result.to_dict()
+
+
+def _decode_requests(payload: Any) -> Dict[Any, float]:
+    """Decode an update's rate map from either wire spelling.
+
+    The canonical encoding is a list of ``{"client": id, "rate": r}``
+    objects -- ids stay in value position, so non-string identifiers
+    survive JSON (object keys would stringify them).  A plain
+    ``{client: rate}`` object is also accepted for hand-written envelopes
+    whose ids are strings anyway.
+    """
+    if isinstance(payload, Mapping):
+        return {cid: float(rate) for cid, rate in payload.items()}
+    if isinstance(payload, list):
+        try:
+            return {entry["client"]: float(entry["rate"]) for entry in payload}
+        except (KeyError, TypeError) as error:
+            raise ProtocolError(
+                f"malformed requests list (need client/rate objects): {error}"
+            ) from None
+    raise ProtocolError(
+        "params.requests must be a {client: rate} object or a list of "
+        '{"client": ..., "rate": ...} objects'
+    )
+
+
+def _op_update(entry: PooledSession, params: Mapping[str, Any]) -> Dict[str, Any]:
+    requests = params.get("requests")
+    instance = params.get("problem")
+    if (requests is None) == (instance is None):
+        raise ProtocolError(
+            "update needs exactly one of params.requests (a rate map) "
+            "or params.problem (the next epoch instance)"
+        )
+    resolve = params.get("resolve", "always")
+    if resolve is True:
+        resolve = "always"
+    if resolve not in (False, "always", "on_saturation"):
+        raise ProtocolError(
+            f"unknown resolve mode {resolve!r}; expected "
+            "'always', 'on_saturation' or false"
+        )
+    kwargs: Dict[str, Any] = {"resolve": resolve}
+    threshold = params.get("saturation_threshold")
+    if threshold is not None:
+        kwargs["saturation_threshold"] = float(threshold)
+    if requests is not None:
+        result = entry.session.update(requests=_decode_requests(requests), **kwargs)
+    else:
+        result = entry.session.update(_decode_problem(instance), **kwargs)
+    if result is None:  # resolve=False: acknowledge the epoch step
+        return {"type": "update_ack", "epoch": entry.session.epoch}
+    return result.to_dict()
+
+
+def _op_simulate(entry: PooledSession, params: Mapping[str, Any]) -> Dict[str, Any]:
+    threshold = params.get("saturation_threshold", 0.999)
+    replay = entry.session.simulate(
+        policy=params.get("policy"),
+        algorithm=params.get("algorithm"),
+        saturation_threshold=float(threshold),
+    )
+    return replay.to_dict()
+
+
+_OP_HANDLERS = {
+    "solve": _op_solve,
+    "bound": _op_bound,
+    "compare": _op_compare,
+    "update": _op_update,
+    "simulate": _op_simulate,
+}
+
+
+# --------------------------------------------------------------------------- #
+# the dispatcher
+# --------------------------------------------------------------------------- #
+def handle_envelope(pool: SessionPool, envelope: Any) -> HandledRequest:
+    """Serve one request envelope against a session pool.
+
+    Never raises: every failure becomes an error envelope in the returned
+    :class:`HandledRequest` (transports ship replies verbatim).  Session
+    ops run while holding the session's checkout lock, so concurrent
+    envelopes for different tenants run in parallel.
+    """
+    try:
+        return _handle(pool, envelope)
+    except ProtocolError as error:
+        return HandledRequest(error_envelope(error.code, str(error)))
+    except UnknownSessionError as error:
+        return HandledRequest(error_envelope("unknown_fingerprint", str(error)))
+    except InfeasibleError as error:
+        return HandledRequest(error_envelope("infeasible", str(error)))
+    except ReproError as error:
+        return HandledRequest(error_envelope("invalid", str(error)))
+    except (TypeError, ValueError) as error:
+        # Domain validation across the package raises ValueError (unknown
+        # policies, methods, modes); TypeError covers mis-typed params.
+        return HandledRequest(error_envelope("invalid", str(error)))
+    except Exception as error:  # noqa: BLE001 - never a traceback on the wire
+        return HandledRequest(
+            error_envelope("internal", f"{type(error).__name__}: {error}")
+        )
+
+
+def _handle(pool: SessionPool, envelope: Any) -> HandledRequest:
+    envelope = _require_mapping(envelope, "request envelope")
+    op = envelope.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {list(OPS)}"
+        )
+    params = envelope.get("params") or {}
+    _require_mapping(params, '"params"')
+
+    if op == "stats":
+        return HandledRequest(pool.stats().to_dict())
+
+    problem_payload = envelope.get("problem")
+    fingerprint = envelope.get("fingerprint")
+    if problem_payload is None and fingerprint is None:
+        raise ProtocolError(f'op "{op}" needs a "problem" or a "fingerprint"')
+    if problem_payload is not None:
+        checkout = pool.checkout(_decode_problem(problem_payload))
+    else:
+        if not isinstance(fingerprint, str):
+            raise ProtocolError('"fingerprint" must be a string')
+        checkout = pool.checkout(fingerprint=fingerprint)
+
+    handler = _OP_HANDLERS[op]
+    with checkout as entry:
+        previous_fingerprint = entry.fingerprint
+        payload = handler(entry, params)
+        if op in _MUTATING_OPS:
+            pool.rekey(entry)
+        return HandledRequest(
+            _with_fingerprint(payload, entry.fingerprint),
+            entry=entry,
+            mutated=op in _MUTATING_OPS,
+            previous_fingerprint=previous_fingerprint,
+        )

@@ -1,0 +1,235 @@
+"""Dependency-free serving transports: stdio lines and stdlib HTTP.
+
+:class:`ReproServer` binds a :class:`~repro.serving.pool.SessionPool` to a
+snapshot directory and serves :mod:`repro.serving.protocol` envelopes over
+two transports, both standard-library only:
+
+**stdio** (:func:`serve_stdio`)
+    Newline-delimited JSON: one request envelope per input line, one reply
+    per output line, flushed after every reply.  The transport a supervisor
+    or test harness drives through a pipe (``repro serve --stdio``); EOF
+    shuts the server down cleanly (final snapshot included).
+
+**HTTP** (:func:`make_http_server` / :func:`serve_http`)
+    ``POST /`` with an envelope body returns the reply as
+    ``application/json`` (status 200 even for error envelopes -- transport
+    success, application-level error; only an unreadable body is a 400).
+    ``GET /stats`` answers the ``stats`` op for dashboards.  Built on
+    :class:`http.server.ThreadingHTTPServer`, so concurrent tenants are
+    served in parallel (the pool's per-session locks serialise only
+    same-tenant requests).
+
+With a snapshot directory configured, the server restores warm sessions on
+construction and re-persists a session after every mutating op (epoch
+updates) and on eviction and shutdown -- see :mod:`repro.serving.snapshot`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO, Union
+
+from repro.serving.pool import PooledSession, SessionPool
+from repro.serving.protocol import error_envelope, handle_envelope
+from repro.serving.snapshot import restore_pool, save_pool, save_session
+
+__all__ = ["ReproServer", "serve_stdio", "make_http_server", "serve_http"]
+
+
+class ReproServer:
+    """A session pool plus snapshot policy behind one ``handle()`` call.
+
+    Parameters
+    ----------
+    pool:
+        The session pool to serve from; built from ``capacity`` /
+        ``max_bytes`` / ``mode`` when omitted.
+    snapshot_dir:
+        Optional persistence directory.  When given, decodable snapshots
+        restore into the pool immediately (warm boot), every mutating op
+        re-persists its session, and evicted sessions flush a final
+        snapshot before leaving memory.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[SessionPool] = None,
+        *,
+        capacity: int = 8,
+        max_bytes: Optional[int] = None,
+        mode: str = "incremental",
+        snapshot_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.pool = pool if pool is not None else SessionPool(
+            capacity, max_bytes=max_bytes, mode=mode
+        )
+        self.snapshot_dir = None if snapshot_dir is None else Path(snapshot_dir)
+        self.restored = 0
+        if self.snapshot_dir is not None:
+            self.restored = restore_pool(self.pool, self.snapshot_dir)
+            self.pool.add_evict_hook(self._snapshot_evicted)
+
+    # ------------------------------------------------------------------ #
+    # snapshot plumbing
+    # ------------------------------------------------------------------ #
+    def _snapshot_evicted(self, entry: PooledSession) -> None:
+        """Eviction hook: flush a leaving session's final snapshot."""
+        with entry.lock:
+            self._snapshot_entry(entry)
+
+    def _snapshot_entry(self, entry: PooledSession) -> None:
+        if self.snapshot_dir is None:
+            return
+        try:
+            save_session(entry.session, self.snapshot_dir, fingerprint=entry.fingerprint)
+        except Exception as error:  # noqa: BLE001 - persistence is best-effort
+            print(
+                f"warning: snapshot of session {entry.fingerprint[:12]}… "
+                f"failed: {error}",
+                file=sys.stderr,
+            )
+
+    def snapshot_all(self) -> None:
+        """Persist every resident session (shutdown path)."""
+        if self.snapshot_dir is not None:
+            save_pool(self.pool, self.snapshot_dir)
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    def handle(self, envelope: Any) -> Dict[str, Any]:
+        """Serve one envelope; always returns a reply dictionary."""
+        handled = handle_envelope(self.pool, envelope)
+        if handled.mutated and handled.entry is not None:
+            with handled.entry.lock:
+                self._snapshot_entry(handled.entry)
+                # An epoch update re-keys the session; the snapshot under
+                # the old fingerprint is superseded, and leaving it behind
+                # would restore a stale duplicate of this tenant on boot.
+                old = handled.previous_fingerprint
+                if (
+                    self.snapshot_dir is not None
+                    and old is not None
+                    and old != handled.entry.fingerprint
+                ):
+                    from repro.serving.snapshot import snapshot_path
+
+                    snapshot_path(self.snapshot_dir, old).unlink(missing_ok=True)
+        return handled.reply
+
+    def handle_line(self, line: str) -> str:
+        """Serve one newline-delimited JSON request line."""
+        try:
+            envelope = json.loads(line)
+        except ValueError as error:
+            reply = error_envelope("bad_request", f"request is not JSON: {error}")
+        else:
+            reply = self.handle(envelope)
+        return json.dumps(reply, sort_keys=True)
+
+
+# --------------------------------------------------------------------------- #
+# stdio transport
+# --------------------------------------------------------------------------- #
+def serve_stdio(
+    server: ReproServer,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+) -> int:
+    """Serve newline-delimited JSON envelopes until EOF; returns 0.
+
+    Blank lines are ignored; every other line -- malformed or not --
+    produces exactly one reply line, so a pipelined client can match
+    replies to requests by order alone.
+    """
+    stdin = sys.stdin if stdin is None else stdin
+    stdout = sys.stdout if stdout is None else stdout
+    try:
+        for line in stdin:
+            if not line.strip():
+                continue
+            stdout.write(server.handle_line(line))
+            stdout.write("\n")
+            stdout.flush()
+    finally:
+        server.snapshot_all()
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# HTTP transport
+# --------------------------------------------------------------------------- #
+class _Handler(BaseHTTPRequestHandler):
+    """POST / -> serve an envelope; GET /stats -> the stats op."""
+
+    server_version = "repro-serve/1"
+    #: set by make_http_server
+    repro_server: ReproServer = None  # type: ignore[assignment]
+
+    def _reply(self, payload: Dict[str, Any], status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length).decode("utf-8")
+            envelope = json.loads(body)
+        except (ValueError, UnicodeDecodeError) as error:
+            self._reply(
+                error_envelope("bad_request", f"request body is not JSON: {error}"),
+                status=400,
+            )
+            return
+        self._reply(self.repro_server.handle(envelope))
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path.rstrip("/") in ("", "/stats"):
+            self._reply(self.repro_server.handle({"op": "stats"}))
+            return
+        self._reply(
+            error_envelope("bad_request", f"unknown path {self.path!r}"),
+            status=404,
+        )
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Access logs go to stderr (stdout stays machine-readable)."""
+        print(
+            f"{self.address_string()} - {format % args}", file=sys.stderr
+        )
+
+
+def make_http_server(
+    server: ReproServer, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind (but do not run) the HTTP transport; ``port=0`` picks a free one.
+
+    The caller runs ``serve_forever()`` (or drives ``handle_request()``)
+    and is responsible for ``server.snapshot_all()`` at shutdown --
+    :func:`serve_http` does both.
+    """
+    handler = type("_BoundHandler", (_Handler,), {"repro_server": server})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve_http(server: ReproServer, host: str = "127.0.0.1", port: int = 8485) -> int:
+    """Serve HTTP until interrupted; snapshots on the way out; returns 0."""
+    httpd = make_http_server(server, host, port)
+    bound_host, bound_port = httpd.server_address[:2]
+    print(f"serving on http://{bound_host}:{bound_port}/ (POST envelopes; "
+          f"GET /stats)", file=sys.stderr)
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+        server.snapshot_all()
+    return 0

@@ -1,0 +1,174 @@
+"""Cross-restart persistence of a serving pool's resident sessions.
+
+A restarted server should not greet its tenants with cold caches.  Each
+resident session persists to one JSON file named after its content
+fingerprint::
+
+    <snapshot-dir>/<fingerprint>.session.json
+
+holding a tagged envelope around
+:meth:`~repro.session.PlacementSession.export_state` -- the problem, the
+session configuration and every cached per-epoch result, encoded through
+the same tagged result payloads :func:`~repro.core.serialization.save_result`
+uses.  On boot, ``repro serve --snapshot-dir`` feeds every file through
+:meth:`~repro.session.PlacementSession.restore_state` and adopts the warm
+sessions into the pool: repeated current-epoch queries answer from cache,
+and the next rate-only epoch *patches* the re-assembled LP program instead
+of rebuilding it (the serving test suite pins both).
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-snapshot
+leaves the previous snapshot intact.  Corrupt or undecodable files are
+skipped with a warning on ``stderr`` -- a damaged snapshot directory must
+never stop a server from booting cold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.core.exceptions import ReproError, SerializationError
+from repro.serving.fingerprint import problem_fingerprint
+from repro.serving.pool import PooledSession, SessionPool
+from repro.session import PlacementSession
+
+__all__ = [
+    "SNAPSHOT_SUFFIX",
+    "snapshot_path",
+    "save_session",
+    "load_session",
+    "save_pool",
+    "restore_pool",
+]
+
+SNAPSHOT_SUFFIX = ".session.json"
+
+#: payload tag of a snapshot file (bump with the envelope layout).
+_SNAPSHOT_TYPE = "session_snapshot"
+
+
+def snapshot_path(directory: Union[str, Path], fingerprint: str) -> Path:
+    """The snapshot file a session with ``fingerprint`` persists to."""
+    return Path(directory) / f"{fingerprint}{SNAPSHOT_SUFFIX}"
+
+
+def save_session(
+    session: PlacementSession,
+    directory: Union[str, Path],
+    *,
+    fingerprint: Optional[str] = None,
+) -> Path:
+    """Persist one session; returns the written path.
+
+    ``fingerprint`` defaults to the session problem's content fingerprint
+    (the pool key).  The write is atomic.
+    """
+    if fingerprint is None:
+        fingerprint = problem_fingerprint(session.problem)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "type": _SNAPSHOT_TYPE,
+        "fingerprint": fingerprint,
+        "state": session.export_state(),
+    }
+    path = snapshot_path(directory, fingerprint)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+    return path
+
+
+def load_session(
+    path: Union[str, Path], *, warm_programs: bool = True
+) -> Tuple[str, PlacementSession]:
+    """Rebuild ``(fingerprint, session)`` from one snapshot file.
+
+    Raises
+    ------
+    SerializationError
+        When the file is not a decodable snapshot; the message names the
+        file.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise SerializationError(f"{path}: unreadable snapshot ({error})") from None
+    if not isinstance(payload, dict) or payload.get("type") != _SNAPSHOT_TYPE:
+        raise SerializationError(
+            f"{path}: not a session snapshot (missing "
+            f'"type": "{_SNAPSHOT_TYPE}" tag)'
+        )
+    try:
+        session = PlacementSession.restore_state(
+            payload["state"], warm_programs=warm_programs
+        )
+    except (ReproError, KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"{path}: corrupt snapshot state ({error})") from None
+    fingerprint = payload.get("fingerprint")
+    if not isinstance(fingerprint, str) or not fingerprint:
+        fingerprint = problem_fingerprint(session.problem)
+    return fingerprint, session
+
+
+def save_pool(pool: SessionPool, directory: Union[str, Path]) -> List[Path]:
+    """Persist every resident session of ``pool``; returns the paths.
+
+    Sessions whose state cannot be serialised (custom constraint
+    subclasses) are skipped with a warning -- a single exotic tenant must
+    not veto persistence for the rest.
+    """
+    paths: List[Path] = []
+    for entry in pool.entries():
+        with entry.lock:
+            try:
+                paths.append(
+                    save_session(
+                        entry.session, directory, fingerprint=entry.fingerprint
+                    )
+                )
+            except SerializationError as error:
+                print(
+                    f"warning: skipping snapshot of session "
+                    f"{entry.fingerprint[:12]}…: {error}",
+                    file=sys.stderr,
+                )
+    return paths
+
+
+def restore_pool(
+    pool: SessionPool,
+    directory: Union[str, Path],
+    *,
+    warm_programs: bool = True,
+) -> int:
+    """Adopt every decodable snapshot under ``directory`` into ``pool``.
+
+    Only the ``pool.capacity`` most recently written files are decoded --
+    older tenants would be LRU-evicted the moment they were adopted, so
+    paying their JSON decode and eager program re-assembly at boot would be
+    pure startup cost.  The survivors restore in modification-time order
+    (oldest first), so the pool's LRU order mirrors the snapshot ages.
+    Returns the number of sessions restored.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    restored = 0
+    paths = sorted(
+        directory.glob(f"*{SNAPSHOT_SUFFIX}"),
+        key=lambda path: path.stat().st_mtime,
+    )[-pool.capacity :]
+    for path in paths:
+        try:
+            fingerprint, session = load_session(path, warm_programs=warm_programs)
+        except SerializationError as error:
+            print(f"warning: skipping {error}", file=sys.stderr)
+            continue
+        pool.adopt(PooledSession(fingerprint, session), restored=True)
+        restored += 1
+    return restored

@@ -86,6 +86,10 @@ __all__ = [
 #: session mode -> IncrementalResolver mode.
 SESSION_MODES = {"incremental": "exact", "patch": "patch", "scratch": "scratch"}
 
+#: accepted ``resolve=`` values of :meth:`PlacementSession.update`
+#: (booleans keep the historical always/never semantics).
+RESOLVE_MODES = (True, False, "always", "on_saturation")
+
 #: lower-bound methods the session accepts (``"trivial"`` needs no LP).
 BOUND_METHODS = ("mixed", "rational", "trivial")
 
@@ -403,6 +407,37 @@ class SessionStats:
     def _tally(self, counters: Dict[str, int], strategy: str) -> None:
         counters[strategy] = counters.get(strategy, 0) + 1
 
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-compatible payload (session snapshots persist these)."""
+        return {
+            "epochs": self.epochs,
+            "solves": self.solves,
+            "solve_cache_hits": self.solve_cache_hits,
+            "solve_strategies": dict(self.solve_strategies),
+            "bounds": self.bounds,
+            "bound_cache_hits": self.bound_cache_hits,
+            "bound_strategies": dict(self.bound_strategies),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SessionStats":
+        """Rebuild counters from a :meth:`to_dict` payload."""
+        return cls(
+            epochs=int(payload.get("epochs", 0)),
+            solves=int(payload.get("solves", 0)),
+            solve_cache_hits=int(payload.get("solve_cache_hits", 0)),
+            solve_strategies={
+                str(k): int(v)
+                for k, v in payload.get("solve_strategies", {}).items()
+            },
+            bounds=int(payload.get("bounds", 0)),
+            bound_cache_hits=int(payload.get("bound_cache_hits", 0)),
+            bound_strategies={
+                str(k): int(v)
+                for k, v in payload.get("bound_strategies", {}).items()
+            },
+        )
+
     def describe(self) -> str:
         """One-line cache-reuse summary."""
         solve = ", ".join(
@@ -690,7 +725,8 @@ class PlacementSession:
         instance: Optional[Union[TreeNetwork, ReplicaPlacementProblem]] = None,
         *,
         requests: Optional[Mapping[NodeId, float]] = None,
-        resolve: bool = True,
+        resolve: Union[bool, str] = True,
+        saturation_threshold: float = 0.999,
     ) -> Optional[SolveResult]:
         """Advance the session one epoch and (by default) re-solve it.
 
@@ -703,10 +739,37 @@ class PlacementSession:
         new epoch its incremental treatment (rate-only steps patch the tree
         index and the LP program instead of rebuilding them).
 
+        ``resolve`` selects the epoch's re-solve discipline:
+
+        ``True`` / ``"always"``
+            Re-solve through the incremental resolver (the default).
+        ``False``
+            Step the epoch without solving (bound-only workflows);
+            returns ``None``.
+        ``"on_saturation"``
+            SLA-aware: replay the previous epoch's placement against the
+            new rates (each changed client's routes re-scaled in
+            proportion) and **keep the placement frozen** unless the
+            replay shows trouble -- a capacity / QoS / bandwidth violation
+            or a link at or above ``saturation_threshold`` utilisation (a
+            saturation event, via
+            :func:`~repro.simulation.request_flow.simulate_solution`).
+            Only then is the epoch re-solved.  Kept epochs report resolve
+            strategy ``"kept"`` with zero replica churn.
+
         Returns the new epoch's :class:`SolveResult` under the session's
         default policy (``solution=None`` when infeasible), or ``None`` with
-        ``resolve=False`` (bound-only workflows).
+        ``resolve=False``.
         """
+        if not isinstance(resolve, str):
+            # Normalise bool-likes (0/1, numpy bools) onto real booleans so
+            # the identity checks below keep the documented semantics.
+            resolve = bool(resolve)
+        if resolve not in RESOLVE_MODES:
+            raise ValueError(
+                f"unknown resolve mode {resolve!r}; expected one of "
+                f"{RESOLVE_MODES}"
+            )
         if (instance is None) == (requests is None):
             raise ValueError(
                 "update() needs exactly one of an epoch instance or requests="
@@ -722,14 +785,130 @@ class PlacementSession:
             problem = as_problem(
                 instance, constraints=self._constraints, kind=self._kind
             )
+        previous_problem = self.problem
+        previous_result = self._solve_cache.get((self.policy, self.algorithm))
         self.problem = problem
         self.epoch += 1
         self.stats.epochs += 1
         self._solve_cache.clear()
         self._bound_cache.clear()
-        if not resolve:
+        if resolve is False:
             return None
+        if resolve == "on_saturation":
+            kept = self._keep_frozen_placement(
+                previous_problem, previous_result, saturation_threshold
+            )
+            if kept is not None:
+                return kept
         return self.solve(on_error="none")
+
+    def _keep_frozen_placement(
+        self,
+        previous_problem: ReplicaPlacementProblem,
+        previous_result: Optional[SolveResult],
+        saturation_threshold: float,
+    ) -> Optional[SolveResult]:
+        """The SLA-aware keep path of :meth:`update` (``on_saturation``).
+
+        Scales the previous epoch's assignment onto the new rates, replays
+        it, and installs it as this epoch's result when the replay is
+        clean.  Returns ``None`` whenever a full re-solve is needed: no
+        previous solution, a structural (non-rate) change, a client rising
+        from zero requests (nothing to scale), a constraint violation, or a
+        saturation event in the replay.
+        """
+        import time
+
+        from repro.algorithms.incremental import (
+            IncrementalResolver,
+            ResolveStats,
+            diff_problems,
+            migration_stats,
+        )
+        from repro.core.solution import Assignment
+        from repro.core.validation import validate_solution
+        from repro.simulation.request_flow import simulate_solution
+
+        if previous_result is None or previous_result.solution is None:
+            return None
+        start = time.perf_counter()
+        delta = diff_problems(previous_problem, self.problem)
+        if not (delta.unchanged or delta.rates_only):
+            return None
+
+        old_solution = previous_result.solution
+        if delta.unchanged:
+            scaled = old_solution
+        else:
+            factors: Dict[NodeId, float] = {}
+            old_tree, new_tree = previous_problem.tree, self.problem.tree
+            for client_id in delta.changed_clients:
+                old_rate = old_tree.client(client_id).requests
+                new_rate = new_tree.client(client_id).requests
+                if old_rate <= 0 and new_rate > 0:
+                    return None  # no existing routes to scale
+                factors[client_id] = new_rate / old_rate if old_rate > 0 else 0.0
+            amounts: Dict[Tuple[NodeId, NodeId], float] = {}
+            for (client_id, server_id), amount in old_solution.assignment.items():
+                factor = factors.get(client_id)
+                if factor is None:
+                    amounts[(client_id, server_id)] = amount
+                elif factor > 0:
+                    amounts[(client_id, server_id)] = amount * factor
+                # factor == 0: the client went silent; drop its routes.
+            scaled = Solution(
+                placement=old_solution.placement,
+                assignment=Assignment(amounts),
+                policy=old_solution.policy,
+                algorithm=old_solution.algorithm,
+                metadata=dict(old_solution.metadata),
+            )
+
+        if not validate_solution(self.problem, scaled, policy=self.policy).valid:
+            return None
+        replay = simulate_solution(
+            self.problem, scaled, saturation_threshold=saturation_threshold
+        )
+        if replay.saturated_links:
+            return None
+
+        added, dropped, reassigned = migration_stats(old_solution, scaled)
+        stats = ResolveStats(
+            epoch=self.epoch,
+            strategy="kept",
+            changed_clients=len(delta.changed_clients),
+            cost=scaled.cost(self.problem),
+            replicas_added=added,
+            replicas_dropped=dropped,
+            requests_reassigned=reassigned,
+            runtime=time.perf_counter() - start,
+            notes="replay clean; frozen placement kept (resolve='on_saturation')",
+        )
+        result = SolveResult(
+            epoch=self.epoch,
+            policy=self.policy,
+            solution=scaled,
+            cost=stats.cost,
+            stats=stats,
+            problem=self.problem,
+        )
+        key = (self.policy, self.algorithm)
+        self._solve_cache[key] = result
+        self.stats.solves += 1
+        self.stats._tally(self.stats.solve_strategies, "kept")
+        # Keep the resolver's warm state in step: the next epoch must diff
+        # against the kept solution, not against the pre-freeze one.
+        resolver = self._resolvers.get(key)
+        if resolver is None:
+            resolver = self._resolvers[key] = IncrementalResolver(
+                policy=self.policy,
+                algorithm=self.algorithm,
+                mode=SESSION_MODES[self.mode],
+            )
+        resolver.epoch += 1
+        resolver.previous_problem = self.problem
+        resolver.previous_solution = scaled
+        return result
 
     # ------------------------------------------------------------------ #
     # simulating
@@ -757,6 +936,162 @@ class PlacementSession:
             result.solution,
             saturation_threshold=saturation_threshold,
         )
+
+    # ------------------------------------------------------------------ #
+    # serving hooks: memory accounting and snapshot state
+    # ------------------------------------------------------------------ #
+    def memory_estimate(self) -> int:
+        """Rough resident size of this session in bytes.
+
+        A deliberate heuristic, not a measurement (Python has no cheap
+        deep-sizeof): the tree and its index are costed per element, each
+        resident LP program by its sparsity, each cached solve by its
+        assignment size.  The serving pool uses it for byte budgets, where
+        relative ordering between sessions matters more than absolute
+        accuracy.
+        """
+        size = self.problem.size
+        estimate = 4096 + 400 * size
+        if self.problem.tree._index_cache is not None:
+            estimate += 250 * size
+        for bounder in self._bounders.values():
+            program = getattr(bounder, "_program", None)
+            if program is not None:
+                try:
+                    estimate += 24 * int(program.constraint_matrix.nnz)
+                    estimate += 48 * len(program.objective)
+                except (AttributeError, TypeError):  # pragma: no cover
+                    estimate += 64 * size
+        for result in self._solve_cache.values():
+            if result.solution is not None:
+                estimate += 512 + 120 * len(result.solution.assignment)
+        estimate += 2048 * len(self._resolvers)
+        return estimate
+
+    def export_state(self) -> Dict[str, Any]:
+        """Serialise this session for cross-restart persistence.
+
+        The payload carries the current problem
+        (:func:`~repro.core.serialization.problem_to_dict`), the session
+        configuration, the cache-reuse counters and every cached per-epoch
+        result -- everything :meth:`restore_state` needs to rebuild a
+        session whose *next* query gets the same incremental treatment this
+        one would give it.  Resident LP programs and tree indexes are not
+        persisted (they are derived state); the restore rebuilds them.
+
+        Raises
+        ------
+        SerializationError
+            When the problem uses a custom :class:`ConstraintSet` subclass
+            (behaviour cannot round-trip through JSON).
+        """
+        from repro.core.serialization import problem_to_dict
+
+        return {
+            "type": "session_state",
+            "version": 1,
+            "problem": problem_to_dict(self.problem),
+            "policy": self.policy.value,
+            "algorithm": self.algorithm,
+            "mode": self.mode,
+            "engine": self.engine,
+            "epoch": self.epoch,
+            "stats": self.stats.to_dict(),
+            "solves": [
+                {
+                    "policy": policy.value,
+                    "algorithm": algorithm,
+                    "result": result.to_dict(),
+                }
+                for (policy, algorithm), result in self._solve_cache.items()
+            ],
+            "bounds": [
+                {
+                    "policy": policy.value,
+                    "method": method,
+                    "time_limit": time_limit,
+                    "result": result.to_dict(),
+                }
+                for (policy, method, time_limit), result in self._bound_cache.items()
+            ],
+        }
+
+    @classmethod
+    def restore_state(
+        cls, payload: Mapping[str, Any], *, warm_programs: bool = True
+    ) -> "PlacementSession":
+        """Rebuild a session from :meth:`export_state` output.
+
+        The restored session answers repeated current-epoch queries from
+        its caches (bit-identical to the exported results) and gives the
+        next epoch the warm incremental treatment: resolvers are re-seeded
+        with the persisted solutions, and -- with ``warm_programs`` (the
+        default) -- each persisted bound's LP program is re-assembled
+        eagerly so a rate-only epoch step *patches* it
+        (:meth:`~repro.lp.formulation.LinearProgramData.with_requests`)
+        instead of rebuilding from scratch.
+        """
+        from repro.algorithms.incremental import (
+            IncrementalBounder,
+            IncrementalResolver,
+        )
+        from repro.core.serialization import problem_from_dict
+
+        problem = problem_from_dict(payload["problem"])
+        algorithm = payload.get("algorithm")
+        session = cls(
+            problem,
+            policy=Policy.parse(payload.get("policy", Policy.MULTIPLE)),
+            algorithm=None if algorithm is None else str(algorithm),
+            mode=str(payload.get("mode", "incremental")),
+            engine=payload.get("engine"),
+        )
+        session.epoch = int(payload.get("epoch", 0))
+        session.stats = SessionStats.from_dict(payload.get("stats", {}))
+
+        for entry in payload.get("solves", []):
+            result = SolveResult.from_dict(entry["result"])
+            result.problem = problem
+            entry_algorithm = entry.get("algorithm")
+            key = (
+                Policy.parse(entry["policy"]),
+                None if entry_algorithm is None else str(entry_algorithm),
+            )
+            session._solve_cache[key] = result
+            resolver = IncrementalResolver(
+                policy=key[0], algorithm=key[1], mode=SESSION_MODES[session.mode]
+            )
+            resolver.epoch = session.epoch
+            resolver.previous_problem = problem
+            resolver.previous_solution = result.solution
+            session._resolvers[key] = resolver
+
+        for entry in payload.get("bounds", []):
+            result = BoundResult.from_dict(entry["result"])
+            time_limit = entry.get("time_limit")
+            time_limit = None if time_limit is None else float(time_limit)
+            method = str(entry["method"])
+            key = (Policy.parse(entry["policy"]), method, time_limit)
+            session._bound_cache[key] = result
+            if method == "trivial":
+                continue  # no resident program to keep warm
+            bounder = IncrementalBounder(
+                policy=key[0],
+                method=method,
+                mode="scratch" if session.mode == "scratch" else "incremental",
+                time_limit=time_limit,
+            )
+            bounder.epoch = session.epoch
+            bounder.previous_problem = problem
+            bounder._previous = result.result
+            if warm_programs and session.mode != "scratch":
+                from repro.lp.bounds import bound_program
+
+                bounder._program = bound_program(
+                    problem, policy=key[0], method=method
+                )
+            session._bounders[key] = bounder
+        return session
 
     # ------------------------------------------------------------------ #
     def describe(self) -> str:

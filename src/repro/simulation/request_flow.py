@@ -80,6 +80,57 @@ class FlowSimulation:
             f"hottest server {node!r} at {utilisation:.0%}"
         )
 
+    def describe(self) -> str:
+        """One-line summary (result-protocol spelling of :meth:`summary`)."""
+        return self.summary()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible payload (the serving ``simulate`` op's reply).
+
+        Per-element entries are lists of objects rather than JSON maps:
+        node identifiers are arbitrary hashables, so they travel in value
+        position (encoded like :mod:`repro.core.serialization` does for
+        assignments), keeping the payload faithful for non-string ids.
+        """
+        from repro.core.results import encode_float
+
+        saturated = set(self.saturated_links)
+        return {
+            "type": "flow_simulation",
+            "summary": self.summary(),
+            "total_traffic": encode_float(self.total_traffic),
+            "mean_latency": encode_float(self.mean_latency),
+            "max_latency": encode_float(self.max_latency),
+            "servers": [
+                {
+                    "server": server,
+                    "load": encode_float(load),
+                    "utilisation": encode_float(self.server_utilisation[server]),
+                }
+                for server, load in sorted(
+                    self.server_load.items(), key=lambda kv: repr(kv[0])
+                )
+            ],
+            "links": [
+                {
+                    "child": child,
+                    "parent": parent,
+                    "flow": encode_float(self.link_flow.get((child, parent), 0.0)),
+                    "utilisation": encode_float(utilisation),
+                    "saturated": (child, parent) in saturated,
+                }
+                for (child, parent), utilisation in sorted(
+                    self.link_utilisation.items(), key=lambda kv: repr(kv[0])
+                )
+            ],
+            "clients": [
+                {"client": client, "latency": encode_float(latency)}
+                for client, latency in sorted(
+                    self.client_latency.items(), key=lambda kv: repr(kv[0])
+                )
+            ],
+        }
+
 
 def simulate_solution(
     problem: ReplicaPlacementProblem,

@@ -1,0 +1,199 @@
+"""CLI machine-readability regressions, exercised through real subprocesses.
+
+Piped consumers do ``repro ... --json | jq`` (or ``json.loads`` the whole
+stream): the payload must be the **only** thing on stdout, with every
+warning and progress line on stderr -- even when the invocation trips
+flag-mismatch warnings.  The in-process CLI tests cannot catch an
+accidental ``print()`` in a library module redirecting through the same
+interpreter-level ``sys.stdout`` the test harness captures, so these tests
+spawn real interpreters.
+
+The ``repro serve --stdio`` smoke here mirrors the CI workflow step: boot
+the server as a subprocess, pipe solve + bound + stats envelopes through
+it, and decode every reply with :func:`repro.core.results.result_from_json`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def run_cli(*args, input_text=None):
+    """Run ``python -m repro`` with the checkout on PYTHONPATH."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{SRC}{os.pathsep}{env.get('PYTHONPATH', '')}".rstrip(
+        os.pathsep
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        input=input_text,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def tree_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "tree.json"
+    result = run_cli(
+        "generate", str(path), "--size", "30", "--load", "0.4", "--seed", "17"
+    )
+    assert result.returncode == 0, result.stderr
+    return path
+
+
+def assert_pure_json(stdout: str):
+    """The whole stdout stream must parse as one JSON document."""
+    assert stdout.strip(), "expected a JSON payload on stdout"
+    return json.loads(stdout)
+
+
+def test_solve_json_stdout_is_pure(tree_file):
+    result = run_cli("solve", str(tree_file), "--json")
+    assert result.returncode == 0, result.stderr
+    payload = assert_pure_json(result.stdout)
+    assert payload["type"] == "solve_result"
+
+
+def test_compare_json_stdout_is_pure(tree_file):
+    result = run_cli("compare", str(tree_file), "--bounds", "--json")
+    assert result.returncode == 0, result.stderr
+    payload = assert_pure_json(result.stdout)
+    assert payload["type"] == "compare_result"
+
+
+def test_batch_json_stdout_is_pure(tree_file):
+    result = run_cli("batch", str(tree_file), str(tree_file), "--json")
+    assert result.returncode == 0, result.stderr
+    payload = assert_pure_json(result.stdout)
+    assert payload["type"] == "batch" and payload["total"] == 2
+
+
+def test_dynamic_json_with_warnings_keeps_stdout_pure(tree_file):
+    """Flag-mismatch warnings must land on stderr, not inside the payload."""
+    result = run_cli(
+        "dynamic",
+        str(tree_file),
+        "--json",
+        "--trajectory",
+        "ramp",
+        "--epochs",
+        "4",
+        # --churn is ignored by the ramp trajectory: triggers the warning
+        "--churn",
+        "0.4",
+        "--workers",
+        "2",
+    )
+    assert result.returncode == 0, result.stderr
+    payload = assert_pure_json(result.stdout)
+    assert payload["type"] == "sequence_result"
+    assert "warning" in result.stderr
+
+
+def test_dynamic_resolve_on_saturation_flag(tree_file):
+    result = run_cli(
+        "dynamic",
+        str(tree_file),
+        "--json",
+        "--resolve",
+        "on-saturation",
+        "--epochs",
+        "5",
+        "--seed",
+        "3",
+    )
+    assert result.returncode == 0, result.stderr
+    payload = assert_pure_json(result.stdout)
+    strategies = payload["strategies"]
+    assert sum(strategies.values()) == 5
+
+
+def test_serve_stdio_round_trip(tree_file):
+    """The CI smoke: solve + bound + stats envelopes through a subprocess."""
+    from repro.core.problem import ReplicaPlacementProblem
+    from repro.core.results import result_from_json
+    from repro.core.serialization import load_tree, problem_to_dict
+
+    problem_payload = problem_to_dict(
+        ReplicaPlacementProblem(tree=load_tree(tree_file))
+    )
+    envelopes = [
+        {"op": "solve", "problem": problem_payload},
+        {"op": "bound", "problem": problem_payload},
+        {"op": "stats"},
+        {"op": "nonsense"},
+    ]
+    result = run_cli(
+        "serve",
+        "--stdio",
+        input_text="".join(json.dumps(env) + "\n" for env in envelopes),
+    )
+    assert result.returncode == 0, result.stderr
+    lines = result.stdout.strip().splitlines()
+    assert len(lines) == len(envelopes)
+    solve = result_from_json(lines[0])
+    bound = result_from_json(lines[1])
+    stats = result_from_json(lines[2])
+    assert solve.feasible and solve.cost is not None
+    assert bound.feasible and bound.value <= solve.cost
+    assert stats.solves == 1 and stats.bounds == 1
+    error = json.loads(lines[3])
+    assert error["type"] == "error" and error["error"]["code"] == "bad_request"
+
+
+def test_serve_snapshot_dir_restores_across_processes(tree_file, tmp_path):
+    """Warm restart: a second server process answers from restored caches."""
+    from repro.core.problem import ReplicaPlacementProblem
+    from repro.core.results import result_from_json
+    from repro.core.serialization import load_tree, problem_to_dict
+
+    problem_payload = problem_to_dict(
+        ReplicaPlacementProblem(tree=load_tree(tree_file))
+    )
+    snapshot_dir = tmp_path / "snapshots"
+    first = run_cli(
+        "serve",
+        "--stdio",
+        "--snapshot-dir",
+        str(snapshot_dir),
+        input_text=json.dumps({"op": "solve", "problem": problem_payload}) + "\n",
+    )
+    assert first.returncode == 0, first.stderr
+    first_solve = result_from_json(first.stdout.strip().splitlines()[0])
+
+    second = run_cli(
+        "serve",
+        "--stdio",
+        "--snapshot-dir",
+        str(snapshot_dir),
+        input_text="".join(
+            json.dumps(env) + "\n"
+            for env in (
+                {"op": "solve", "problem": problem_payload},
+                {"op": "stats"},
+            )
+        ),
+    )
+    assert second.returncode == 0, second.stderr
+    lines = second.stdout.strip().splitlines()
+    warm_solve = result_from_json(lines[0])
+    stats = result_from_json(lines[1])
+    assert "restored 1 warm session" in second.stderr
+    assert stats.restored == 1
+    # answered from the restored cache: the solver-run counter still shows
+    # only the *persisted* first-process solve, and the warm query counted
+    # as a cache hit with a bit-identical payload (runtime included).
+    assert stats.solves == 1 and stats.solve_cache_hits == 1
+    assert warm_solve.to_dict() == first_solve.to_dict()
