@@ -210,7 +210,8 @@ def lp_bounds_on_sequences() -> None:
 def serving() -> None:
     """Serving: resident sessions behind the JSON protocol.
 
-    ``repro serve`` runs this over stdio or HTTP for real deployments; the
+    ``repro serve`` runs this over stdio, HTTP or a selectors loop
+    (``--loop`` / ``--tcp HOST:PORT``) for real deployments; the
     walkthrough drives the identical protocol stack in-process.  Every
     reply is a standard result payload, so ``connect()`` hands back the
     same ``SolveResult``/``BoundResult`` objects a local session returns --
@@ -219,6 +220,7 @@ def serving() -> None:
     import tempfile
 
     from repro import connect
+    from repro.serving import render_prometheus
     from repro.serving.server import ReproServer
 
     print("Serving: a multi-tenant session pool behind the JSON protocol")
@@ -246,7 +248,30 @@ def serving() -> None:
         )
         print(f"  surge epoch: {surged.describe()}")
 
+        # A batch envelope ships a whole trajectory in one round trip:
+        # the first item addresses the session, later items inherit it
+        # (one pool checkout for the run), and per-item errors come back
+        # in place without poisoning their neighbours.
+        trajectory = client.batch(
+            [
+                {"op": "solve", "fingerprint": session.fingerprint},
+                {"op": "update", "params": {"requests": {"c_west_1": 6.0}}},
+                {"op": "bound"},
+            ]
+        )
+        print(f"  batch: {len(trajectory)} replies in one envelope")
+
         print(f"  pool: {client.stats().describe()}")
+        # The same counters back GET /metrics (Prometheus 0.0.4 text);
+        # `repro loadtest` drives open-loop Poisson arrivals against any
+        # endpoint and reports p50/p99 latency and requests/sec.
+        exposition = render_prometheus(server.pool.stats())
+        served = [
+            line for line in exposition.splitlines()
+            if line.startswith("repro_requests_total")
+        ]
+        print("  metrics: " + "; ".join(served))
+
         # With --snapshot-dir, sessions persist across restarts: a reborn
         # server answers the same queries warm from the snapshot files.
         server.snapshot_all()

@@ -76,6 +76,23 @@ Epoch updates can be SLA-aware
 while the replayed epoch stays free of violations and link-saturation
 events, so steady traffic drift costs no re-solves at all
 (``benchmarks/test_serving_pool.py`` pins the warm-pool win).
+
+At the serving edge, throughput comes from amortising per-request
+overhead rather than from more threads.  A **batch envelope**
+(``{"op": "batch", "requests": [...]}``) ships many ops -- a whole epoch
+trajectory -- through one parse/reply cycle; consecutive items on the
+same session share one pool checkout, and unaddressed items inherit the
+previous item's session even as in-batch updates re-key it
+(:meth:`repro.serving.ServingClient.batch` returns the decoded results,
+order-matched, with per-item errors in place).  ``repro serve --loop`` /
+``--tcp HOST:PORT`` runs the same protocol on a single-threaded
+``selectors`` event loop (:class:`repro.serving.LoopServer`) that never
+blocks on a slow client, ``GET /metrics`` exposes the pool's per-op
+latency/throughput counters as Prometheus text, and ``repro loadtest``
+replays an open-loop inhomogeneous-Poisson arrival schedule against any
+endpoint, reporting p50/p99 latency and requests/sec
+(``benchmarks/test_serving_throughput.py`` pins the batched-envelope
+rate at >= 2x the per-envelope rate on the same workload).
 """
 
 from __future__ import annotations

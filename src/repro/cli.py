@@ -261,7 +261,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--http",
         metavar="HOST:PORT",
         default=None,
-        help="serve HTTP instead: POST request envelopes to /, GET /stats",
+        help="serve HTTP instead: POST request envelopes to /, "
+        "GET /stats and /metrics",
+    )
+    srv.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve newline-delimited JSON over TCP from a single-threaded "
+        "selectors loop (never blocks on a slow client)",
+    )
+    srv.add_argument(
+        "--loop",
+        action="store_true",
+        help="with --stdio: run the selectors event loop over stdin/stdout "
+        "instead of the blocking reader (falls back when stdin is a "
+        "regular file); implied by --tcp",
     )
     srv.add_argument(
         "--pool-capacity",
@@ -286,6 +301,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-dir",
         default=None,
         help="persist resident sessions here (and restore them warm on boot)",
+    )
+
+    load = sub.add_parser(
+        "loadtest",
+        help="drive a serving endpoint with open-loop inhomogeneous-Poisson "
+        "load and report req/s plus latency percentiles",
+    )
+    load.add_argument(
+        "--target",
+        default=None,
+        help="endpoint URL (http://HOST:PORT or tcp://HOST:PORT); default "
+        "is an in-process server (measures the engine, not a network)",
+    )
+    load.add_argument(
+        "--tenants", type=int, default=4, help="synthetic tenants (default: 4)"
+    )
+    load.add_argument(
+        "--size", type=int, default=30, help="tree size per tenant (default: 30)"
+    )
+    load.add_argument(
+        "--horizon",
+        type=float,
+        default=2.0,
+        help="scheduled span of the arrival process in seconds (default: 2)",
+    )
+    load.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="mean offered rate in requests/second (default: 50)",
+    )
+    load.add_argument(
+        "--burst",
+        type=float,
+        default=0.5,
+        help="relative amplitude of the sinusoidal intensity in [0, 1] "
+        "(default: 0.5)",
+    )
+    load.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="max due arrivals coalesced into one batch envelope "
+        "(default: 1 = unbatched)",
+    )
+    load.add_argument(
+        "--ops",
+        default="solve,bound",
+        help="comma-separated op cycle per tenant from solve/bound/update "
+        "(default: solve,bound)",
+    )
+    load.add_argument("--seed", type=int, default=0, help="schedule seed")
+    load.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the loadtest_report payload instead of prose",
     )
 
     bench = sub.add_parser(
@@ -459,6 +530,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "serve":
         return _dispatch_serve(args)
+
+    if args.command == "loadtest":
+        return _dispatch_loadtest(args)
 
     if args.command == "bench":
         return _dispatch_bench(args)
@@ -675,7 +749,7 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
 
 
 def _dispatch_serve(args: argparse.Namespace) -> int:
-    """The ``serve`` sub-command: stdio or HTTP serving over a session pool.
+    """The ``serve`` sub-command: stdio, HTTP or loop-TCP serving.
 
     Stdio keeps stdout strictly machine-readable -- one JSON reply line
     per request line, nothing else -- so supervisors can pipe it; all
@@ -684,8 +758,12 @@ def _dispatch_serve(args: argparse.Namespace) -> int:
     from repro.serving.pool import SessionPool
     from repro.serving.server import ReproServer, serve_http, serve_stdio
 
-    if args.http is not None and args.stdio:
-        print("error: --stdio and --http are mutually exclusive", file=sys.stderr)
+    chosen = [flag for flag in ("stdio", "http", "tcp") if getattr(args, flag)]
+    if len(chosen) > 1:
+        print(
+            f"error: --{' and --'.join(chosen)} are mutually exclusive",
+            file=sys.stderr,
+        )
         return 1
 
     pool = SessionPool(
@@ -707,7 +785,77 @@ def _dispatch_serve(args: argparse.Namespace) -> int:
             )
             return 1
         return serve_http(server, host, int(port))
+
+    if args.tcp is not None:
+        from repro.serving.loopserver import LoopServer
+
+        host, _, port = args.tcp.rpartition(":")
+        if not host or not port.isdigit():
+            print(
+                f"error: --tcp expects HOST:PORT, got {args.tcp!r}",
+                file=sys.stderr,
+            )
+            return 1
+        loop = LoopServer(server)
+        bound_host, bound_port = loop.listen(host, int(port))
+        print(
+            f"loop-serving on tcp://{bound_host}:{bound_port} "
+            "(newline-delimited JSON envelopes)",
+            file=sys.stderr,
+        )
+        return loop.serve()
+
+    if args.loop:
+        from repro.serving.loopserver import LoopServer
+
+        loop = LoopServer(server)
+        try:
+            loop.add_stream(sys.stdin.fileno(), sys.stdout.fileno())
+        except PermissionError:
+            # epoll cannot multiplex regular files (e.g. `repro serve
+            # --loop < requests.json`); the blocking reader handles those.
+            print(
+                "note: stdin is not selectable; using the blocking stdio "
+                "transport",
+                file=sys.stderr,
+            )
+            return serve_stdio(server)
+        return loop.serve()
     return serve_stdio(server)
+
+
+def _dispatch_loadtest(args: argparse.Namespace) -> int:
+    """The ``loadtest`` sub-command: one open-loop IPPP run + report."""
+    from repro.serving.loadgen import LoadgenConfig, run_loadtest
+    from repro.serving.pool import SessionPool
+    from repro.serving.server import ReproServer
+
+    ops = tuple(op.strip() for op in args.ops.split(",") if op.strip())
+    try:
+        config = LoadgenConfig(
+            tenants=args.tenants,
+            size=args.size,
+            horizon=args.horizon,
+            rate=args.rate,
+            burst=args.burst,
+            batch=args.batch,
+            ops=ops,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    target = (
+        ReproServer(SessionPool(max(args.tenants, 2)))
+        if args.target is None
+        else args.target
+    )
+    report = run_loadtest(target, config)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.describe())
+    return 0
 
 
 def _dispatch_bench(args: argparse.Namespace) -> int:

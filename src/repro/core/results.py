@@ -56,6 +56,7 @@ _RESULT_MODULES = (
     "repro.api",
     "repro.experiments.harness",
     "repro.serving.pool",
+    "repro.serving.loadgen",
 )
 
 

@@ -1,31 +1,56 @@
 """Multi-tenant serving layer over resident placement sessions.
 
 The ROADMAP's serving milestone: turn the session API into a long-running
-service.  Four layers, each usable on its own:
+service.  The layers, each usable on its own:
 
 * :mod:`repro.serving.fingerprint` -- stable content hashes of problems,
   so equivalent requests share one resident session;
 * :mod:`repro.serving.pool` -- :class:`SessionPool`, a thread-safe,
   fingerprint-keyed LRU of :class:`~repro.session.PlacementSession`\\ s
-  with byte budgets, eviction hooks and :class:`PoolStats` aggregation;
+  with byte budgets, eviction hooks, per-op request metrics and
+  :class:`PoolStats` aggregation;
 * :mod:`repro.serving.protocol` / :mod:`repro.serving.server` -- the JSON
-  request envelopes and the dependency-free stdio / HTTP transports behind
-  ``repro serve``;
+  request envelopes (including batched envelopes that group same-session
+  items under one checkout) and the dependency-free stdio / HTTP
+  transports behind ``repro serve``;
+* :mod:`repro.serving.loopserver` -- :class:`LoopServer`, the
+  single-threaded ``selectors`` event loop serving the same protocol over
+  many sockets/pipes without ever blocking on a slow client
+  (``repro serve --loop`` / ``--tcp``);
+* :mod:`repro.serving.metrics` -- :func:`render_prometheus`, the
+  ``GET /metrics`` text exposition of :class:`PoolStats`;
 * :mod:`repro.serving.snapshot` -- cross-restart persistence of resident
   sessions (warm boots via ``repro serve --snapshot-dir``);
 * :mod:`repro.serving.client` -- :func:`connect`, returning a session-like
-  proxy that decodes replies back into the standard result objects.
+  proxy that decodes replies back into the standard result objects;
+* :mod:`repro.serving.loadgen` -- the open-loop inhomogeneous-Poisson load
+  harness behind ``repro loadtest`` and the serving throughput benchmark.
 """
 
-from repro.serving.client import RemoteSession, ServingClient, ServingError, connect
+from repro.serving.client import (
+    RemoteSession,
+    ServingClient,
+    ServingError,
+    TcpTransport,
+    connect,
+)
 from repro.serving.fingerprint import problem_fingerprint, tree_fingerprint
+from repro.serving.loadgen import LoadgenConfig, LoadtestReport, run_loadtest
+from repro.serving.loopserver import LoopServer
+from repro.serving.metrics import render_prometheus
 from repro.serving.pool import (
     PooledSession,
     PoolStats,
     SessionPool,
     UnknownSessionError,
 )
-from repro.serving.protocol import OPS, ProtocolError, error_envelope, handle_envelope
+from repro.serving.protocol import (
+    MAX_BATCH_ITEMS,
+    OPS,
+    ProtocolError,
+    error_envelope,
+    handle_envelope,
+)
 from repro.serving.server import ReproServer, make_http_server, serve_http, serve_stdio
 from repro.serving.snapshot import restore_pool, save_pool, save_session
 
@@ -37,6 +62,7 @@ __all__ = [
     "PoolStats",
     "UnknownSessionError",
     "OPS",
+    "MAX_BATCH_ITEMS",
     "ProtocolError",
     "error_envelope",
     "handle_envelope",
@@ -44,6 +70,8 @@ __all__ = [
     "serve_stdio",
     "serve_http",
     "make_http_server",
+    "LoopServer",
+    "render_prometheus",
     "save_session",
     "save_pool",
     "restore_pool",
@@ -51,4 +79,8 @@ __all__ = [
     "ServingClient",
     "RemoteSession",
     "ServingError",
+    "TcpTransport",
+    "LoadgenConfig",
+    "LoadtestReport",
+    "run_loadtest",
 ]

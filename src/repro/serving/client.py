@@ -22,6 +22,8 @@ Transports
 
 * an ``http(s)://`` URL -- requests go out as HTTP POST bodies
   (:class:`HttpTransport`, stdlib ``urllib`` only);
+* a ``tcp://HOST:PORT`` URL -- newline-delimited JSON over one socket to a
+  :class:`~repro.serving.loopserver.LoopServer` (:class:`TcpTransport`);
 * a :class:`subprocess.Popen` of ``repro serve --stdio`` (or any
   ``(reader, writer)`` text-stream pair) -- newline-delimited JSON
   (:class:`StdioTransport`);
@@ -32,14 +34,16 @@ Transports
 After the first call the proxy addresses its resident session by
 fingerprint only (no tree re-upload per request); if the server evicted
 the session meanwhile, the proxy transparently re-sends the full problem
-once and retries.
+once and retries.  :meth:`ServingClient.batch` ships many envelopes in one
+round trip (the server groups same-session items under one checkout).
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import urllib.request
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.exceptions import ReproError
 from repro.core.problem import ReplicaPlacementProblem
@@ -49,6 +53,7 @@ from repro.core.serialization import problem_to_dict
 __all__ = [
     "ServingError",
     "HttpTransport",
+    "TcpTransport",
     "StdioTransport",
     "LocalTransport",
     "ServingClient",
@@ -84,6 +89,37 @@ class HttpTransport:
         )
         with urllib.request.urlopen(request, timeout=self.timeout) as response:
             return json.loads(response.read().decode("utf-8"))
+
+
+class TcpTransport:
+    """Newline-delimited JSON over one TCP connection.
+
+    The wire peer is a :class:`~repro.serving.loopserver.LoopServer`
+    (``repro serve --tcp HOST:PORT``); the connection is persistent, so a
+    session's requests ride one socket instead of one HTTP exchange each.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # Request lines ship whole envelopes (a batch spans many segments);
+        # without TCP_NODELAY, Nagle holds the final partial segment for the
+        # peer's delayed ACK and every multi-segment request eats a ~40ms
+        # stall.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def send(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        self._file.write(json.dumps(envelope))
+        self._file.write("\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServingError("closed", "serving endpoint closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        self._file.close()
+        self._sock.close()
 
 
 class StdioTransport:
@@ -175,6 +211,29 @@ class ServingClient:
             constraints=constraints,
             kind=kind,
         )
+
+    def batch(self, requests: Sequence[Dict[str, Any]]) -> List[Any]:
+        """Ship many request envelopes in one round trip.
+
+        Returns one entry per request, **order-matched**: a decoded result
+        object on success, a :class:`ServingError` *instance* (not raised)
+        where that item failed -- one bad item never masks its
+        neighbours' results.  Only a failure of the batch envelope itself
+        (e.g. too many items, a dead transport) raises.
+        """
+        reply = self.request({"op": "batch", "requests": list(requests)})
+        if not isinstance(reply, Mapping) or reply.get("type") != "batch_result":
+            _decode(reply)  # raises ServingError on an error envelope
+            raise ServingError(
+                "protocol", f"expected a batch_result reply, got {reply!r}"
+            )
+        results: List[Any] = []
+        for item in reply.get("results", []):
+            try:
+                results.append(_decode(item))
+            except ServingError as error:
+                results.append(error)
+        return results
 
     def stats(self):
         """The pool-wide :class:`~repro.serving.pool.PoolStats`."""
@@ -334,7 +393,8 @@ class RemoteSession:
 def connect(target: Any) -> ServingClient:
     """Open a :class:`ServingClient` for ``target`` (see module docstring).
 
-    ``target`` may be an ``http(s)://`` URL, a :class:`subprocess.Popen`
+    ``target`` may be an ``http(s)://`` URL, a ``tcp://HOST:PORT`` URL
+    (loop-server socket), a :class:`subprocess.Popen`
     running ``repro serve --stdio``, a ``(reader, writer)`` stream pair, an
     in-process :class:`~repro.serving.server.ReproServer`, or an existing
     transport object (anything with a ``send(envelope)`` method).
@@ -342,9 +402,16 @@ def connect(target: Any) -> ServingClient:
     from repro.serving.server import ReproServer
 
     if isinstance(target, str):
+        if target.startswith("tcp://"):
+            host, _, port = target[len("tcp://"):].rstrip("/").rpartition(":")
+            if not host or not port.isdigit():
+                raise ValueError(
+                    f"tcp targets must be tcp://HOST:PORT, got {target!r}"
+                )
+            return ServingClient(TcpTransport(host, int(port)))
         if not target.startswith(("http://", "https://")):
             raise ValueError(
-                f"string targets must be http(s) URLs, got {target!r}"
+                f"string targets must be http(s) or tcp URLs, got {target!r}"
             )
         return ServingClient(HttpTransport(target))
     if isinstance(target, ReproServer):

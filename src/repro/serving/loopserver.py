@@ -1,0 +1,355 @@
+"""Single-threaded ``selectors`` event loop over the serving protocol.
+
+The threaded transports in :mod:`repro.serving.server` dedicate a worker
+to each connection, which couples the server's health to its *slowest*
+client: a reader that stops draining its socket parks a whole thread (and,
+on the 1-CPU hosts the serving benchmarks target, thread switches are pure
+overhead anyway).  :class:`LoopServer` serves the same newline-delimited
+JSON envelopes -- including batch envelopes -- from **one** thread:
+
+* every socket and pipe is non-blocking; readiness comes from
+  :class:`selectors.DefaultSelector` (epoll/kqueue where available);
+* replies buffer per connection and drain as the peer accepts them, so a
+  slow client never blocks the loop -- it only grows its own buffer, and
+  a buffer past ``max_buffer`` gets the connection dropped with one
+  stderr line (back-pressure by eviction, not by stalling everyone else);
+* the loop serves **both** stdio pipes (:meth:`LoopServer.add_stream`,
+  what ``repro serve --stdio --loop`` uses) and TCP connections
+  (:meth:`LoopServer.listen`, ``repro serve --loop HOST:PORT``) at the
+  same time, all against one shared :class:`~repro.serving.server.ReproServer`.
+
+Request handling itself is synchronous -- a solve runs to completion
+before the next envelope is parsed -- which is the right trade for this
+workload: placement ops are CPU-bound, so interleaving them buys nothing,
+while batched envelopes amortise the parse/reply cycle around them.
+
+``epoll`` refuses regular files, so registering a redirected-from-a-file
+stdin raises :class:`PermissionError`; callers should fall back to the
+blocking :func:`~repro.serving.server.serve_stdio` (the CLI does).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import selectors
+import socket
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.serving.server import ReproServer
+
+__all__ = ["LoopServer", "MAX_LINE_BYTES"]
+
+#: Longest accepted request line; a line still unterminated past this is a
+#: protocol violation (or a hostile stream) and drops the connection.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+_READ_CHUNK = 65536
+
+
+class _Connection:
+    """One peer: separate read/write fds, an input and an output buffer."""
+
+    __slots__ = ("rfd", "wfd", "sock", "name", "inbuf", "outbuf", "eof")
+
+    def __init__(
+        self,
+        rfd: int,
+        wfd: int,
+        *,
+        sock: Optional[socket.socket] = None,
+        name: str = "stream",
+    ) -> None:
+        self.rfd = rfd
+        self.wfd = wfd
+        self.sock = sock  # kept so close() releases the socket object
+        self.name = name
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.eof = False
+
+
+class LoopServer:
+    """Serve newline-delimited envelopes from one ``selectors`` loop.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.serving.server.ReproServer` answering envelopes.
+    max_buffer:
+        Per-connection cap on *buffered, undelivered* reply bytes.  A peer
+        that falls further behind than this is dropped (one stderr line)
+        instead of growing the buffer without bound.
+
+    Typical use::
+
+        loop = LoopServer(server)
+        host, port = loop.listen("127.0.0.1", 8485)
+        loop.serve()            # until shutdown() or KeyboardInterrupt
+
+    or, for a supervisor pipe::
+
+        loop.add_stream(sys.stdin.fileno(), sys.stdout.fileno())
+        loop.serve()            # until EOF on the pipe
+    """
+
+    def __init__(self, server: ReproServer, *, max_buffer: int = 8 * 1024 * 1024) -> None:
+        if max_buffer <= 0:
+            raise ValueError(f"max_buffer must be positive, got {max_buffer}")
+        self.server = server
+        self.max_buffer = max_buffer
+        self._selector = selectors.DefaultSelector()
+        self._registered: Dict[int, int] = {}  # fd -> event mask
+        self._connections: List[_Connection] = []
+        self._listener: Optional[socket.socket] = None
+        self._running = False
+        # Self-pipe so shutdown() from another thread wakes the select.
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, "wake")
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def listen(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind a TCP listener; returns the bound ``(host, port)``."""
+        if self._listener is not None:
+            raise RuntimeError("LoopServer already has a listener")
+        listener = socket.create_server((host, port))
+        listener.setblocking(False)
+        self._listener = listener
+        self._selector.register(listener, selectors.EVENT_READ, "accept")
+        return listener.getsockname()[:2]
+
+    def add_stream(self, rfd: int, wfd: int, *, name: str = "stdio") -> None:
+        """Adopt a read/write fd pair (e.g. stdin/stdout) as one peer.
+
+        Raises :class:`PermissionError` when the read end is a regular
+        file (epoll only multiplexes pipes, sockets and ttys) -- callers
+        fall back to the blocking transport in that case.
+        """
+        os.set_blocking(rfd, False)
+        os.set_blocking(wfd, False)
+        conn = _Connection(rfd, wfd, name=name)
+        self._connections.append(conn)
+        try:
+            self._update_interest(conn)
+        except PermissionError:
+            self._connections.remove(conn)
+            raise
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def serve(self) -> int:
+        """Run until :meth:`shutdown`, ``KeyboardInterrupt`` or -- with no
+        listener -- until the last adopted stream hits EOF.  Snapshots the
+        pool on the way out; returns 0."""
+        self._running = True
+        try:
+            while self._running and (self._listener or self._connections):
+                for key, _mask in self._selector.select():
+                    self._dispatch(key)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        finally:
+            self._running = False
+            self._close_all()
+            self.server.snapshot_all()
+        return 0
+
+    def shutdown(self) -> None:
+        """Stop :meth:`serve` from any thread (idempotent)."""
+        self._running = False
+        try:
+            self._wake_send.send(b"x")
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    def _dispatch(self, key: selectors.SelectorKey) -> None:
+        if key.data == "wake":
+            try:
+                self._wake_recv.recv(64)
+            except BlockingIOError:  # pragma: no cover - spurious wake
+                pass
+            return
+        if key.data == "accept":
+            self._accept()
+            return
+        conn = key.data
+        if conn not in self._connections:
+            return  # closed earlier in this same select batch
+        if key.fd == conn.rfd and not conn.eof:
+            self._read(conn)
+        if conn in self._connections and conn.outbuf and key.fd == conn.wfd:
+            self._write(conn)
+
+    def _accept(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                sock, address = self._listener.accept()
+            except (BlockingIOError, ConnectionAbortedError):
+                return
+            except OSError:  # pragma: no cover - listener torn down
+                return
+            sock.setblocking(False)
+            # Replies are whole JSON lines (a batch_result spans many TCP
+            # segments); Nagle would hold each line's tail segment for the
+            # peer's delayed ACK, adding ~40ms to every large reply.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            fd = sock.fileno()
+            conn = _Connection(fd, fd, sock=sock, name=f"{address[0]}:{address[1]}")
+            self._connections.append(conn)
+            self._update_interest(conn)
+
+    # ------------------------------------------------------------------ #
+    # per-connection I/O
+    # ------------------------------------------------------------------ #
+    def _read(self, conn: _Connection) -> None:
+        try:
+            chunk = os.read(conn.rfd, _READ_CHUNK)
+        except BlockingIOError:
+            return
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            self._drop(conn, "connection lost")
+            return
+        if not chunk:
+            conn.eof = True
+            if not conn.outbuf:
+                self._close(conn)
+            else:
+                self._update_interest(conn)  # flush what's queued, then close
+            return
+        conn.inbuf += chunk
+        self._consume_lines(conn)
+        if conn in self._connections and conn.outbuf:
+            # Try to ship replies immediately -- the peer is usually
+            # waiting -- falling back to write-readiness when the fd is
+            # full (_write arms EVENT_WRITE in that case).
+            self._write(conn)
+
+    def _consume_lines(self, conn: _Connection) -> None:
+        while True:
+            newline = conn.inbuf.find(b"\n")
+            if newline < 0:
+                if len(conn.inbuf) > MAX_LINE_BYTES:
+                    self._drop(
+                        conn,
+                        f"request line exceeds {MAX_LINE_BYTES} bytes",
+                    )
+                return
+            line = bytes(conn.inbuf[:newline])
+            del conn.inbuf[: newline + 1]
+            if not line.strip():
+                continue
+            try:
+                text = line.decode("utf-8")
+            except UnicodeDecodeError as error:
+                reply = json.dumps(
+                    {
+                        "type": "error",
+                        "error": {
+                            "code": "bad_request",
+                            "message": f"request line is not UTF-8: {error}",
+                        },
+                    },
+                    sort_keys=True,
+                )
+            else:
+                reply = self.server.handle_line(text)
+            conn.outbuf += reply.encode("utf-8") + b"\n"
+            if len(conn.outbuf) > self.max_buffer:
+                self._drop(
+                    conn,
+                    f"slow client: {len(conn.outbuf)} undelivered bytes "
+                    f"exceed the {self.max_buffer}-byte buffer cap",
+                )
+                return
+        # unreachable
+
+    def _write(self, conn: _Connection) -> None:
+        try:
+            sent = os.write(conn.wfd, conn.outbuf)
+        except BlockingIOError:
+            self._update_interest(conn)  # wait for write readiness
+            return
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            self._drop(conn, "client disconnected mid-reply")
+            return
+        del conn.outbuf[:sent]
+        if not conn.outbuf and conn.eof:
+            self._close(conn)
+        else:
+            self._update_interest(conn)
+
+    # ------------------------------------------------------------------ #
+    # selector bookkeeping
+    # ------------------------------------------------------------------ #
+    def _update_interest(self, conn: _Connection) -> None:
+        """(Re)register ``conn``'s fds for exactly the events it needs."""
+        read_mask = 0 if conn.eof else selectors.EVENT_READ
+        write_mask = selectors.EVENT_WRITE if conn.outbuf else 0
+        if conn.rfd == conn.wfd:
+            self._set_mask(conn.rfd, read_mask | write_mask, conn)
+        else:
+            self._set_mask(conn.rfd, read_mask, conn)
+            self._set_mask(conn.wfd, write_mask, conn)
+
+    def _set_mask(self, fd: int, mask: int, conn: _Connection) -> None:
+        current = self._registered.get(fd)
+        if mask == 0:
+            if current is not None:
+                self._selector.unregister(fd)
+                del self._registered[fd]
+            return
+        if current is None:
+            self._selector.register(fd, mask, conn)
+        elif current != mask:
+            self._selector.modify(fd, mask, conn)
+        self._registered[fd] = mask
+
+    def _drop(self, conn: _Connection, reason: str) -> None:
+        print(f"loopserver: dropping {conn.name}: {reason}", file=sys.stderr)
+        self._close(conn)
+
+    def _close(self, conn: _Connection) -> None:
+        for fd in {conn.rfd, conn.wfd}:
+            if fd in self._registered:
+                try:
+                    self._selector.unregister(fd)
+                except KeyError:  # pragma: no cover - defensive
+                    pass
+                del self._registered[fd]
+        if conn in self._connections:
+            self._connections.remove(conn)
+        if conn.sock is not None:
+            try:
+                conn.sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        else:
+            for fd in {conn.rfd, conn.wfd}:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+
+    def _close_all(self) -> None:
+        for conn in list(self._connections):
+            self._close(conn)
+        if self._listener is not None:
+            try:
+                self._selector.unregister(self._listener)
+            except KeyError:  # pragma: no cover - defensive
+                pass
+            self._listener.close()
+            self._listener = None
+        try:
+            self._selector.unregister(self._wake_recv)
+        except KeyError:  # pragma: no cover - defensive
+            pass
+        self._wake_recv.close()
+        self._wake_send.close()
+        self._selector.close()

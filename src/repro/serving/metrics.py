@@ -1,0 +1,105 @@
+"""Prometheus text exposition of a pool's :class:`~repro.serving.pool.PoolStats`.
+
+``GET /metrics`` on the HTTP transport answers with
+:func:`render_prometheus` applied to a fresh ``pool.stats()`` snapshot --
+the *same* snapshot the ``stats`` op serialises, so a dashboard scraping
+``/metrics`` and a client decoding the ``stats`` reply can never disagree.
+
+The output follows the Prometheus text exposition format (version 0.0.4):
+``# HELP`` / ``# TYPE`` comment pairs, one sample per line, counters
+suffixed ``_total``, op-labelled request metrics::
+
+    repro_requests_total{op="solve"} 42
+    repro_request_seconds_total{op="solve"} 0.1278
+
+No client library is involved -- the format is plain text and the counters
+already live in :class:`~repro.serving.pool.PoolStats`; rendering is a
+string walk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping
+
+from repro.serving.pool import PoolStats
+
+__all__ = ["render_prometheus"]
+
+#: ``(metric, type, help, attribute)`` for the pool-level gauges/counters.
+_POOL_METRICS = (
+    ("repro_pool_resident_sessions", "gauge", "Resident sessions in the pool", "resident"),
+    ("repro_pool_capacity", "gauge", "Maximum resident sessions before LRU eviction", "capacity"),
+    ("repro_pool_bytes_estimate", "gauge", "Estimated resident bytes across sessions", "bytes_estimate"),
+    ("repro_pool_hits_total", "counter", "Checkouts answered by a resident session", "hits"),
+    ("repro_pool_misses_total", "counter", "Checkouts that built a new session", "misses"),
+    ("repro_pool_evictions_total", "counter", "Sessions evicted or displaced from the pool", "evictions"),
+    ("repro_pool_restored_total", "counter", "Sessions restored warm from snapshots", "restored"),
+    ("repro_session_epochs_total", "counter", "Epoch updates across all sessions (lifetime)", "epochs"),
+    ("repro_solves_total", "counter", "Solve calls across all sessions (lifetime)", "solves"),
+    ("repro_solve_cache_hits_total", "counter", "Solve calls answered from per-epoch caches", "solve_cache_hits"),
+    ("repro_bounds_total", "counter", "Bound calls across all sessions (lifetime)", "bounds"),
+    ("repro_bound_cache_hits_total", "counter", "Bound calls answered from per-epoch caches", "bound_cache_hits"),
+)
+
+#: ``(metric, help, key)`` for the op-labelled request counters.
+_OP_METRICS = (
+    ("repro_requests_total", "Envelopes served, by op", "count"),
+    ("repro_request_errors_total", "Envelopes answered with an error envelope, by op", "errors"),
+    ("repro_request_seconds_total", "Cumulative handling time, by op", "seconds_total"),
+)
+
+
+def _format_value(value: Any) -> str:
+    """A Prometheus sample value: integers bare, floats via repr."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    return repr(number)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus(stats: PoolStats) -> str:
+    """Render ``stats`` as Prometheus text exposition (format 0.0.4).
+
+    Every number is read straight off the :class:`PoolStats` payload; the
+    serving tests assert the exposition against a simultaneously decoded
+    ``stats`` reply.  Always ends with a newline, as the format requires.
+    """
+    lines: List[str] = []
+
+    for name, kind, help_text, attribute in _POOL_METRICS:
+        value = getattr(stats, attribute)
+        if value is None:  # pragma: no cover - defensive
+            continue
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {_format_value(value)}")
+    if stats.max_bytes is not None:
+        lines.append("# HELP repro_pool_max_bytes Configured resident byte budget")
+        lines.append("# TYPE repro_pool_max_bytes gauge")
+        lines.append(f"repro_pool_max_bytes {_format_value(stats.max_bytes)}")
+
+    ops: Mapping[str, Mapping[str, Any]] = stats.ops or {}
+    for name, help_text, key in _OP_METRICS:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        for op in sorted(ops):
+            value = ops[op].get(key, 0)
+            lines.append(f'{name}{{op="{_escape_label(op)}"}} {_format_value(value)}')
+    lines.append("# HELP repro_request_seconds_max Slowest single envelope, by op")
+    lines.append("# TYPE repro_request_seconds_max gauge")
+    for op in sorted(ops):
+        value = ops[op].get("seconds_max", 0.0)
+        lines.append(
+            f'repro_request_seconds_max{{op="{_escape_label(op)}"}} '
+            f"{_format_value(value)}"
+        )
+
+    return "\n".join(lines) + "\n"

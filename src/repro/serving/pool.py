@@ -112,6 +112,11 @@ class PoolStats(ResultBase):
     bounds: int
     bound_cache_hits: int
     sessions: List[Dict[str, Any]] = field(default_factory=list)
+    #: per-op request counters fed by the protocol layer: ``op ->
+    #: {count, errors, seconds_total, seconds_max}``.  ``GET /metrics``
+    #: renders exactly these numbers (see :mod:`repro.serving.metrics`),
+    #: so the Prometheus exposition and the ``stats`` op can never drift.
+    ops: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def describe(self) -> str:
         """One-line summary used by the CLI and the serving examples."""
@@ -120,7 +125,7 @@ class PoolStats(ResultBase):
             if self.max_bytes is None
             else f"~{self.bytes_estimate}/{self.max_bytes} bytes"
         )
-        return (
+        line = (
             f"{self.resident}/{self.capacity} resident sessions ({budget}), "
             f"{self.hits} hits / {self.misses} misses, "
             f"{self.evictions} evicted, {self.restored} restored | "
@@ -128,6 +133,11 @@ class PoolStats(ResultBase):
             f"{self.bounds} bounds ({self.bound_cache_hits} cached), "
             f"{self.epochs} epoch steps"
         )
+        if self.ops:
+            served = sum(int(m.get("count", 0)) for m in self.ops.values())
+            errors = sum(int(m.get("errors", 0)) for m in self.ops.values())
+            line += f" | {served} envelopes served ({errors} errors)"
+        return line
 
     def to_dict(self) -> Dict[str, Any]:
         return self._tagged(
@@ -146,6 +156,7 @@ class PoolStats(ResultBase):
                 "bounds": self.bounds,
                 "bound_cache_hits": self.bound_cache_hits,
                 "sessions": list(self.sessions),
+                "ops": {op: dict(metric) for op, metric in self.ops.items()},
             }
         )
 
@@ -167,6 +178,10 @@ class PoolStats(ResultBase):
             bounds=int(payload["bounds"]),
             bound_cache_hits=int(payload["bound_cache_hits"]),
             sessions=[dict(entry) for entry in payload.get("sessions", [])],
+            ops={
+                str(op): dict(metric)
+                for op, metric in (payload.get("ops") or {}).items()
+            },
         )
 
 
@@ -220,6 +235,8 @@ class SessionPool:
         self._retired_solve_hits = 0
         self._retired_bounds = 0
         self._retired_bound_hits = 0
+        # per-op request counters (protocol layer feeds these via observe_op)
+        self._op_metrics: Dict[str, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------ #
     # mapping-ish surface
@@ -240,6 +257,33 @@ class SessionPool:
     def add_evict_hook(self, hook: Callable[[PooledSession], None]) -> None:
         """Register an additional eviction hook."""
         self._hooks.append(hook)
+
+    # ------------------------------------------------------------------ #
+    # request metrics
+    # ------------------------------------------------------------------ #
+    def observe_op(self, op: str, seconds: float, *, error: bool = False) -> None:
+        """Record one served envelope: latency plus success/error counts.
+
+        The protocol layer calls this for every envelope it answers (and
+        for every item inside a batch envelope), labelling it with the op
+        name.  The counters surface in :attr:`PoolStats.ops` and therefore
+        in both the ``stats`` op and the ``GET /metrics`` exposition.
+        """
+        with self._lock:
+            metric = self._op_metrics.get(op)
+            if metric is None:
+                metric = self._op_metrics[op] = {
+                    "count": 0,
+                    "errors": 0,
+                    "seconds_total": 0.0,
+                    "seconds_max": 0.0,
+                }
+            metric["count"] += 1
+            if error:
+                metric["errors"] += 1
+            metric["seconds_total"] += seconds
+            if seconds > metric["seconds_max"]:
+                metric["seconds_max"] = seconds
 
     # ------------------------------------------------------------------ #
     # checkout
@@ -487,6 +531,9 @@ class SessionPool:
                 bounds=bounds,
                 bound_cache_hits=bound_hits,
                 sessions=sessions,
+                ops={
+                    op: dict(metric) for op, metric in self._op_metrics.items()
+                },
             )
 
     # ------------------------------------------------------------------ #

@@ -159,10 +159,16 @@ def restore_pool(
     if not directory.is_dir():
         return 0
     restored = 0
-    paths = sorted(
-        directory.glob(f"*{SNAPSHOT_SUFFIX}"),
-        key=lambda path: path.stat().st_mtime,
-    )[-pool.capacity :]
+    # stat() each candidate defensively: a concurrent server retiring a
+    # superseded snapshot can unlink a file in the glob-to-stat window, and
+    # one vanished file must not abort the whole restore.
+    stamped: List[Tuple[float, Path]] = []
+    for path in directory.glob(f"*{SNAPSHOT_SUFFIX}"):
+        try:
+            stamped.append((path.stat().st_mtime, path))
+        except FileNotFoundError:
+            continue
+    paths = [path for _, path in sorted(stamped)][-pool.capacity :]
     for path in paths:
         try:
             fingerprint, session = load_session(path, warm_programs=warm_programs)

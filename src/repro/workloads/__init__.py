@@ -4,7 +4,8 @@
   by the experiment campaigns (paper Section 7.2: random trees of size
   ``15 <= s <= 400`` with a target load ``lambda``);
 * :mod:`repro.workloads.distributions` -- request/capacity distributions
-  used to populate generated trees;
+  used to populate generated trees, plus inhomogeneous-Poisson arrival
+  samplers (thinning and inversion) behind the serving load harness;
 * :mod:`repro.workloads.reference_trees` -- the hand-built trees of the
   paper's motivating examples and NP-completeness reductions (Figures 1-5,
   7 and 8);
@@ -21,6 +22,10 @@ from repro.workloads.generator import (
     generate_campaign,
 )
 from repro.workloads.distributions import (
+    inversion_poisson_arrivals,
+    poisson_arrivals,
+    sinusoidal_intensity,
+    thinned_poisson_arrivals,
     uniform_requests,
     uniform_capacities,
     heterogeneous_capacities,
@@ -51,5 +56,9 @@ __all__ = [
     "uniform_capacities",
     "heterogeneous_capacities",
     "zipf_requests",
+    "poisson_arrivals",
+    "thinned_poisson_arrivals",
+    "inversion_poisson_arrivals",
+    "sinusoidal_intensity",
     "reference_trees",
 ]

@@ -7,13 +7,29 @@ directions mentioned in the paper's conclusion is precisely to vary "the
 distribution law of the requests and the degree of heterogeneity of the
 platforms").
 
+Beyond the static rate/capacity draws, this module also samples **arrival
+processes** -- the request *timelines* behind those rates.  The serving
+load harness (:mod:`repro.serving.loadgen`) and sequence replays
+(:func:`repro.simulation.request_flow.simulate_sequence` callers that want
+within-epoch micro-bursts instead of constant rates) both draw open-loop
+arrival times from an inhomogeneous Poisson point process (IPPP), sampled
+with the two classic exact methods:
+
+* **thinning** (Lewis-Shedler): sample a homogeneous process at a bounding
+  rate, accept each candidate ``t`` with probability
+  ``intensity(t) / bound`` -- works for any bounded intensity function;
+* **inversion** (time rescaling): sample a unit-rate process on
+  ``[0, Lambda(T)]`` and map the points back through the inverse of the
+  cumulative intensity -- exact and rejection-free for piecewise-constant
+  intensities (epoch trajectories are exactly that shape).
+
 All helpers take a :class:`numpy.random.Generator` so campaigns are fully
 reproducible from a single seed.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -22,6 +38,10 @@ __all__ = [
     "zipf_requests",
     "uniform_capacities",
     "heterogeneous_capacities",
+    "poisson_arrivals",
+    "thinned_poisson_arrivals",
+    "inversion_poisson_arrivals",
+    "sinusoidal_intensity",
 ]
 
 
@@ -75,3 +95,138 @@ def heterogeneous_capacities(
     if count <= 0:
         return np.zeros(0)
     return rng.choice(np.asarray(choices, dtype=float), size=count)
+
+
+# --------------------------------------------------------------------------- #
+# arrival processes (IPPP sampling: thinning and inversion)
+# --------------------------------------------------------------------------- #
+def poisson_arrivals(
+    rng: np.random.Generator, rate: float, horizon: float
+) -> np.ndarray:
+    """Arrival times of a homogeneous Poisson process on ``[0, horizon)``.
+
+    Sampled by inversion of the exponential inter-arrival gaps.  Returns a
+    sorted float array; empty for ``rate == 0`` or ``horizon <= 0``.
+    """
+    if rate < 0:
+        raise ValueError(f"rate must be >= 0, got {rate}")
+    if rate == 0 or horizon <= 0:
+        return np.zeros(0)
+    # Draw gaps in slabs until the horizon is crossed; E[N] = rate * horizon.
+    expected = rate * horizon
+    arrivals: list = []
+    total = 0.0
+    while True:
+        gaps = rng.exponential(1.0 / rate, size=max(16, int(expected * 1.2) + 8))
+        times = total + np.cumsum(gaps)
+        inside = times[times < horizon]
+        arrivals.append(inside)
+        if inside.size < times.size:  # the slab crossed the horizon
+            return np.concatenate(arrivals)
+        total = float(times[-1])
+
+
+def thinned_poisson_arrivals(
+    rng: np.random.Generator,
+    intensity: Callable[[np.ndarray], np.ndarray],
+    horizon: float,
+    *,
+    bound: float,
+) -> np.ndarray:
+    """IPPP arrival times on ``[0, horizon)`` by Lewis-Shedler thinning.
+
+    ``intensity`` maps an array of times to instantaneous rates and must be
+    dominated by ``bound`` everywhere on the horizon; candidates from a
+    homogeneous ``bound``-rate process are kept with probability
+    ``intensity(t) / bound``.  A candidate whose intensity exceeds the
+    bound (or is negative) raises ``ValueError`` -- a silent violation
+    would skew the sampled process instead of failing loudly.
+    """
+    if bound <= 0:
+        raise ValueError(f"thinning bound must be > 0, got {bound}")
+    candidates = poisson_arrivals(rng, bound, horizon)
+    if candidates.size == 0:
+        return candidates
+    rates = np.asarray(intensity(candidates), dtype=float)
+    if rates.shape != candidates.shape:
+        raise ValueError(
+            "intensity must return one rate per candidate time "
+            f"(got shape {rates.shape} for {candidates.shape})"
+        )
+    if np.any(rates < 0):
+        raise ValueError("intensity returned a negative rate")
+    if np.any(rates > bound * (1 + 1e-12)):
+        raise ValueError(
+            f"intensity exceeds the thinning bound {bound:g} "
+            f"(max sampled {float(rates.max()):g}); raise the bound"
+        )
+    keep = rng.random(candidates.size) * bound < rates
+    return candidates[keep]
+
+
+def inversion_poisson_arrivals(
+    rng: np.random.Generator,
+    breakpoints: Sequence[float],
+    rates: Sequence[float],
+) -> np.ndarray:
+    """IPPP arrival times for a piecewise-constant intensity, by inversion.
+
+    ``breakpoints`` are the ``k + 1`` increasing edges of ``k`` intervals
+    and ``rates`` the ``k`` constant intensities on them.  A unit-rate
+    homogeneous process is sampled on ``[0, Lambda(T)]`` (the cumulative
+    intensity) and mapped back through the exact piecewise-linear inverse
+    of ``Lambda`` -- no rejection, which makes it the natural sampler for
+    epoch trajectories whose per-epoch rates *are* piecewise constant.
+    """
+    edges = np.asarray(breakpoints, dtype=float)
+    levels = np.asarray(rates, dtype=float)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValueError("breakpoints must hold at least two edges")
+    if levels.shape != (edges.size - 1,):
+        raise ValueError(
+            f"need one rate per interval: {edges.size - 1} intervals, "
+            f"{levels.size} rates"
+        )
+    if np.any(np.diff(edges) <= 0):
+        raise ValueError("breakpoints must be strictly increasing")
+    if np.any(levels < 0):
+        raise ValueError("rates must be >= 0")
+    widths = np.diff(edges)
+    cumulative = np.concatenate(([0.0], np.cumsum(levels * widths)))
+    total = float(cumulative[-1])
+    if total == 0.0:
+        return np.zeros(0)
+    # Unit-rate arrivals on [0, total], then Lambda^{-1} per interval.
+    unit_times = poisson_arrivals(rng, 1.0, total)
+    if unit_times.size == 0:
+        return unit_times
+    spans = np.searchsorted(cumulative, unit_times, side="right") - 1
+    spans = np.clip(spans, 0, levels.size - 1)
+    # Zero-rate intervals contribute no cumulative mass, so every sampled
+    # point lands strictly inside a positive-rate span.
+    offsets = (unit_times - cumulative[spans]) / levels[spans]
+    return edges[spans] + offsets
+
+
+def sinusoidal_intensity(
+    rate: float, *, burst: float = 0.5, period: float = 1.0
+) -> Callable[[np.ndarray], np.ndarray]:
+    """The load harness's default diurnal-style intensity function.
+
+    ``lambda(t) = rate * (1 + burst * sin(2 pi t / period))`` -- mean
+    ``rate`` arrivals per unit time with bursts ``(1 + burst)`` times the
+    mean.  ``burst`` must lie in ``[0, 1]`` so the intensity stays
+    non-negative; the tight thinning bound is ``rate * (1 + burst)``.
+    """
+    if rate < 0:
+        raise ValueError(f"rate must be >= 0, got {rate}")
+    if not 0 <= burst <= 1:
+        raise ValueError(f"burst must lie in [0, 1], got {burst}")
+    if period <= 0:
+        raise ValueError(f"period must be > 0, got {period}")
+
+    def intensity(times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        return rate * (1.0 + burst * np.sin(2.0 * np.pi * times / period))
+
+    return intensity

@@ -9,6 +9,10 @@ import pytest
 
 from repro.workloads.distributions import (
     heterogeneous_capacities,
+    inversion_poisson_arrivals,
+    poisson_arrivals,
+    sinusoidal_intensity,
+    thinned_poisson_arrivals,
     uniform_capacities,
     uniform_requests,
     zipf_requests,
@@ -193,3 +197,114 @@ class TestCampaignGeneration:
         first = generate_campaign(lambdas=(0.3,), trees_per_lambda=2, size_range=(15, 20), seed=3)
         second = generate_campaign(lambdas=(0.3,), trees_per_lambda=2, size_range=(15, 20), seed=3)
         assert [t for _l, t in first] == [t for _l, t in second]
+
+
+class TestArrivalProcesses:
+    """The IPPP samplers behind the serving load harness."""
+
+    def test_homogeneous_count_and_order(self):
+        rng = np.random.default_rng(7)
+        times = poisson_arrivals(rng, rate=200.0, horizon=10.0)
+        assert np.all(np.diff(times) > 0)
+        assert times.min() >= 0 and times.max() < 10.0
+        # E[N] = 2000, sd ~ 45: a 5-sigma band keeps this deterministic.
+        assert abs(times.size - 2000) < 225
+
+    def test_homogeneous_empty_cases(self):
+        rng = np.random.default_rng(0)
+        assert poisson_arrivals(rng, 0.0, 10.0).size == 0
+        assert poisson_arrivals(rng, 5.0, 0.0).size == 0
+        with pytest.raises(ValueError):
+            poisson_arrivals(rng, -1.0, 1.0)
+
+    def test_thinning_tracks_piecewise_intensity(self):
+        rng = np.random.default_rng(11)
+
+        def intensity(times):
+            return np.where(times < 5.0, 10.0, 100.0)
+
+        times = thinned_poisson_arrivals(rng, intensity, 10.0, bound=100.0)
+        low = int(np.sum(times < 5.0))
+        high = int(np.sum(times >= 5.0))
+        # E = 50 vs 500; 5-sigma bands.
+        assert abs(low - 50) < 36
+        assert abs(high - 500) < 112
+        assert np.all(np.diff(times) > 0)
+
+    def test_thinning_rejects_bound_violations(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError, match="exceeds the thinning bound"):
+            thinned_poisson_arrivals(
+                rng, lambda t: np.full_like(t, 50.0), 5.0, bound=10.0
+            )
+        with pytest.raises(ValueError, match="negative rate"):
+            thinned_poisson_arrivals(
+                rng, lambda t: np.full_like(t, -1.0), 5.0, bound=10.0
+            )
+        with pytest.raises(ValueError, match="bound must be > 0"):
+            thinned_poisson_arrivals(
+                rng, lambda t: np.zeros_like(t), 5.0, bound=0.0
+            )
+
+    def test_inversion_respects_segments(self):
+        rng = np.random.default_rng(13)
+        times = inversion_poisson_arrivals(
+            rng, breakpoints=[0.0, 2.0, 4.0, 6.0], rates=[100.0, 0.0, 50.0]
+        )
+        assert np.all((times >= 0.0) & (times < 6.0))
+        # The zero-rate middle interval must stay empty.
+        assert not np.any((times >= 2.0) & (times < 4.0))
+        first = int(np.sum(times < 2.0))
+        last = int(np.sum(times >= 4.0))
+        assert abs(first - 200) < 71   # E = 200, 5 sigma
+        assert abs(last - 100) < 50    # E = 100, 5 sigma
+
+    def test_inversion_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="at least two edges"):
+            inversion_poisson_arrivals(rng, [0.0], [])
+        with pytest.raises(ValueError, match="one rate per interval"):
+            inversion_poisson_arrivals(rng, [0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            inversion_poisson_arrivals(rng, [0.0, 0.0, 1.0], [1.0, 1.0])
+        with pytest.raises(ValueError, match="rates must be >= 0"):
+            inversion_poisson_arrivals(rng, [0.0, 1.0], [-1.0])
+        assert inversion_poisson_arrivals(rng, [0.0, 1.0], [0.0]).size == 0
+
+    def test_thinning_and_inversion_agree(self):
+        """Both exact samplers see the same piecewise-constant process."""
+        edges = [0.0, 1.0, 2.0, 3.0]
+        levels = [300.0, 30.0, 150.0]
+
+        def intensity(times):
+            spans = np.clip(
+                np.searchsorted(edges, times, side="right") - 1, 0, 2
+            )
+            return np.asarray(levels, dtype=float)[spans]
+
+        thin = thinned_poisson_arrivals(
+            np.random.default_rng(5), intensity, 3.0, bound=300.0
+        )
+        invert = inversion_poisson_arrivals(
+            np.random.default_rng(6), edges, levels
+        )
+        for low, high, expected in ((0, 1, 300), (1, 2, 30), (2, 3, 150)):
+            got_thin = int(np.sum((thin >= low) & (thin < high)))
+            got_inv = int(np.sum((invert >= low) & (invert < high)))
+            sigma = math.sqrt(expected)
+            assert abs(got_thin - expected) < 5 * sigma
+            assert abs(got_inv - expected) < 5 * sigma
+
+    def test_sinusoidal_intensity_shape(self):
+        intensity = sinusoidal_intensity(40.0, burst=0.5, period=2.0)
+        times = np.linspace(0.0, 4.0, 1000)
+        rates = intensity(times)
+        assert rates.min() >= 40.0 * 0.5 - 1e-9
+        assert rates.max() <= 40.0 * 1.5 + 1e-9
+        assert np.isclose(intensity(np.array([0.5]))[0], 60.0)
+        with pytest.raises(ValueError):
+            sinusoidal_intensity(-1.0)
+        with pytest.raises(ValueError):
+            sinusoidal_intensity(1.0, burst=1.5)
+        with pytest.raises(ValueError):
+            sinusoidal_intensity(1.0, period=0.0)
