@@ -59,6 +59,26 @@ tree: the caches that a one-shot call pays for on every invocation are paid
 once and then patched, which is what
 ``benchmarks/test_session_reuse.py`` measures.
 
+Past ~10^4 clients the whole-tree index and dense LP assembly become the
+wall, and the answer is **sharding** (``solve(..., shards=N)``,
+``PlacementSession(shards=N)``, ``repro solve --shards N``): the tree is
+partitioned at a small cut of high-level nodes
+(:func:`repro.core.partition.partition_problem`), each subtree shard is
+solved on its own sliced index
+(:meth:`repro.core.index.TreeIndex.sliced` -- contiguous DFS spans, the
+whole-tree dense index is never built), and shards that overflow their
+local capacity are reconciled at the cut before the per-shard solutions
+are stitched into one validated global solution
+(:func:`repro.algorithms.sharded.solve_sharded`).  Shard when trees are
+large enough that index/LP memory dominates, or when updates are
+*regional*: a sharded session re-solves only the shards owning changed
+clients, so a rate change confined to one subtree costs one small solve
+instead of a whole-tree pass (``benchmarks/test_shard_scaling.py`` pins
+both wins).  Keep the whole-tree path (the default, and the one-shard
+special case) when the tree is small or optimal cost matters more than
+footprint: shard-local solving trades a bounded amount of placement
+sharing across the cut for locality.
+
 For *many* tenants behind one process, :mod:`repro.serving` turns the
 session model into a service: a :class:`~repro.serving.pool.SessionPool`
 keeps resident sessions keyed by content fingerprint
@@ -160,6 +180,7 @@ def solve(
     algorithm: Optional[str] = None,
     constraints: Optional[ConstraintSet] = None,
     kind: Optional[ProblemKind] = None,
+    shards: Optional[Union[int, Sequence]] = None,
 ) -> Solution:
     """Solve a replica-placement instance under the given access policy.
 
@@ -177,6 +198,12 @@ def solve(
         Name of a registered heuristic to force; by default the optimal
         algorithm is used for Multiple on homogeneous platforms and the best
         result of the policy's heuristic portfolio otherwise.
+    shards:
+        Optional sharded-solve spec (target shard count or explicit cut
+        node sequence): partition the tree into subtree shards, solve each
+        on its own sliced index and reconcile at the cut (see
+        :func:`repro.algorithms.sharded.solve_sharded`).  ``None``/``1``
+        is the whole-tree path.
 
     Raises
     ------
@@ -189,6 +216,7 @@ def solve(
         kind=kind,
         policy=policy,
         algorithm=algorithm,
+        shards=shards,
     )
     return session.solve().solution
 
@@ -483,6 +511,7 @@ def solve_sequence(
     resolve: Union[bool, str] = "always",
     on_error: str = "none",
     engine: Optional[str] = None,
+    shards: Optional[Union[int, Sequence]] = None,
 ) -> SequenceResult:
     """Solve a dynamic-workload epoch sequence with warm starts.
 
@@ -520,6 +549,10 @@ def solve_sequence(
         in epoch order.
     engine:
         Optional request-state engine override (``"fast"`` or ``"dict"``).
+    shards:
+        Optional sharded-solve spec forwarded to the session: epochs are
+        solved shard-by-shard and a rate change confined to one shard
+        re-solves only that shard (the others report ``"reused"``).
 
     Returns
     -------
@@ -552,6 +585,7 @@ def solve_sequence(
                 algorithm=algorithm,
                 mode=mode,
                 engine=engine,
+                shards=shards,
             )
             result = session.solve(on_error="none")
         else:

@@ -103,6 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="request-state engine (default: process-wide engine / REPRO_ENGINE)",
     )
+    slv.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition the tree into N subtree shards, solve each on its own "
+        "sliced index and reconcile at the cut (default: whole-tree)",
+    )
 
     batch = sub.add_parser(
         "batch", help="solve many tree JSON files (optionally in parallel)"
@@ -174,7 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dyn.add_argument(
         "--trajectory",
-        choices=("churn", "ramp", "seasonal", "step", "join-leave"),
+        choices=("churn", "ramp", "seasonal", "step", "join-leave", "regional"),
         default="churn",
         help="request-rate trajectory family (default: churn)",
     )
@@ -199,6 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
     dyn.add_argument("--period", type=float, default=8.0, help="seasonal period (epochs)")
     dyn.add_argument("--join-rate", type=float, default=0.05, help="client join rate")
     dyn.add_argument("--leave-rate", type=float, default=0.05, help="client leave rate")
+    dyn.add_argument(
+        "--region-depth",
+        type=int,
+        default=1,
+        help="regional: tree depth of the surging subtree roots",
+    )
     dyn.add_argument(
         "--simulate",
         action="store_true",
@@ -245,6 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fast", "dict"),
         default=None,
         help="request-state engine (default: process-wide engine / REPRO_ENGINE)",
+    )
+    dyn.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="solve each epoch shard-by-shard; rate changes confined to one "
+        "shard re-solve only that shard (default: whole-tree)",
     )
 
     srv = sub.add_parser(
@@ -301,6 +321,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-dir",
         default=None,
         help="persist resident sessions here (and restore them warm on boot)",
+    )
+    srv.add_argument(
+        "--snapshot-retain",
+        type=int,
+        default=None,
+        metavar="RESTARTS",
+        help="age out snapshot files of tenants not seen for this many "
+        "server restarts (default: keep forever)",
     )
 
     load = sub.add_parser(
@@ -417,6 +445,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             policy=args.policy,
             algorithm=args.algorithm,
             engine=args.engine,
+            shards=args.shards,
         )
         try:
             result = session.solve()
@@ -568,6 +597,8 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
             ("--join-rate", args.join_rate == 0.05),
             ("--leave-rate", args.leave_rate == 0.05),
             ("--engine", args.engine is None),
+            ("--shards", args.shards is None),
+            ("--region-depth", args.region_depth == 1),
         ):
             if not inactive:
                 ignored.append(flag)
@@ -626,14 +657,15 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
     # flags being honoured).
     flag_owners = {
         "--churn": ("churn",),
-        "--magnitude": ("churn",),
-        "--quiet": ("churn",),
+        "--magnitude": ("churn", "regional"),
+        "--quiet": ("churn", "regional"),
         "--factor": ("ramp", "step"),
         "--at": ("step",),
         "--amplitude": ("seasonal",),
         "--period": ("seasonal",),
         "--join-rate": ("join-leave",),
         "--leave-rate": ("join-leave",),
+        "--region-depth": ("regional",),
     }
     defaults = {
         "--churn": args.churn == 0.1,
@@ -645,6 +677,7 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
         "--period": args.period == 8.0,
         "--join-rate": args.join_rate == 0.05,
         "--leave-rate": args.leave_rate == 0.05,
+        "--region-depth": args.region_depth == 1,
     }
     ignored = [
         flag
@@ -678,6 +711,15 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
         epochs = trajectories.step_change(
             problem, args.epochs, at=args.at, factor=args.factor
         )
+    elif args.trajectory == "regional":
+        epochs = trajectories.regional_churn(
+            problem,
+            args.epochs,
+            depth=args.region_depth,
+            magnitude=args.magnitude,
+            quiet_probability=args.quiet,
+            seed=args.seed,
+        )
     else:  # join-leave
         epochs = trajectories.client_join_leave(
             problem,
@@ -693,6 +735,7 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
         mode=args.mode,
         resolve=args.resolve.replace("-", "_"),
         engine=args.engine,
+        shards=args.shards,
     )
     bounds = None
     if args.bounds:
@@ -769,7 +812,11 @@ def _dispatch_serve(args: argparse.Namespace) -> int:
     pool = SessionPool(
         args.pool_capacity, max_bytes=args.max_bytes, mode=args.mode
     )
-    server = ReproServer(pool, snapshot_dir=args.snapshot_dir)
+    server = ReproServer(
+        pool,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_retain=args.snapshot_retain,
+    )
     if server.restored:
         print(
             f"restored {server.restored} warm session(s) from {args.snapshot_dir}",

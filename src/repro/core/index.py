@@ -290,6 +290,109 @@ class TreeIndex:
         }
         return fork
 
+    @classmethod
+    def sliced(cls, shard) -> "TreeIndex":
+        """Index of one :class:`~repro.core.partition.Shard` sub-tree.
+
+        Shard sub-trees preserve the global link insertion order, so the
+        shard's internal nodes and clients are *contiguous DFS spans* of the
+        global layout.  When the global tree already carries an index, this
+        constructor slices those spans out and re-bases positions and depths
+        in O(|shard|) -- no whole-tree DFS.  When it does not (the sharded
+        solve path never builds one), the index is built directly from the
+        shard sub-tree, which is still O(|shard|): the full dense layout of
+        the global tree is never materialised either way.
+
+        The result is bit-identical to ``TreeIndex(shard.problem.tree)``
+        (pinned by the sharding test suite) and is cached on the shard tree
+        like :meth:`for_tree` would.
+        """
+        tree = shard.problem.tree
+        cached = tree._index_cache
+        if cached is not None:
+            return cached
+        source_tree = shard.source.tree
+        source = source_tree._index_cache
+        if source is None or shard.root not in source.node_pos:
+            index = cls(tree)
+        else:
+            index = source._slice_span(tree, shard.root)
+        tree._index_cache = index
+        return index
+
+    def _slice_span(self, tree: TreeNetwork, root: NodeId) -> "TreeIndex":
+        """Re-base the contiguous spans of ``subtree(root)`` onto ``tree``.
+
+        ``tree`` must be the shard sub-tree re-rooted at ``root`` with the
+        global link order preserved (what ``partition_problem`` emits), so
+        its DFS layout equals this index's span of ``root``.
+        """
+        sliced = TreeIndex.__new__(TreeIndex)
+        sliced.tree = tree
+        i0 = self.node_pos[root]
+        i1 = self.node_span_end[i0]
+        c0 = self.client_span_start[i0]
+        c1 = self.client_span_end[i0]
+        depth0 = self.node_depth[i0]
+        sliced.n_nodes = i1 - i0
+        sliced.n_clients = c1 - c0
+        node_order = self.node_order[i0:i1]
+        client_order = self.client_order[c0:c1]
+        sliced.node_order = node_order
+        sliced.client_order = client_order
+        sliced.node_pos = {nid: i for i, nid in enumerate(node_order)}
+        sliced.client_pos = {cid: i for i, cid in enumerate(client_order)}
+        sliced.node_parent = [p - i0 for p in self.node_parent[i0:i1]]
+        sliced.node_parent[0] = -1  # the shard root has no parent link
+        sliced.node_depth = [d - depth0 for d in self.node_depth[i0:i1]]
+        sliced.client_parent = [p - i0 for p in self.client_parent[c0:c1]]
+        sliced.client_depth = [d - depth0 for d in self.client_depth[c0:c1]]
+        sliced.height = max(tree._depth.values()) if tree._depth else 0
+        sliced.node_span_end = [e - i0 for e in self.node_span_end[i0:i1]]
+        sliced.client_span_start = [s - c0 for s in self.client_span_start[i0:i1]]
+        sliced.client_span_end = [e - c0 for e in self.client_span_end[i0:i1]]
+        # Ancestor chains are shard-local (they stop at the shard root), so
+        # they come from the shard tree's own cache, exactly like __init__.
+        ancestors_map = tree._ancestors
+        sliced.node_ancestors = tuple(map(ancestors_map.__getitem__, node_order))
+        sliced.client_ancestors = tuple(map(ancestors_map.__getitem__, client_order))
+        clients_map = tree._clients
+        sliced.client_requests = [
+            float(clients_map[cid].requests) for cid in client_order
+        ]
+        sliced.client_repr = tuple(map(repr, client_order))
+        sliced.uplink_comm = {
+            child: link.comm_time for (child, _parent), link in tree._links.items()
+        }
+        # Root latencies restart at the shard root; accumulate in pre-order
+        # like __init__ so the floats match a fresh build bit for bit
+        # (subtracting the global root latency would not).
+        parent_map = tree._parent
+        uplink = sliced.uplink_comm
+        node_lat: Dict[NodeId, float] = {root: 0.0}
+        for nid in node_order:
+            if nid != root:
+                node_lat[nid] = node_lat[parent_map[nid]] + uplink[nid]
+        sliced.node_root_latency = node_lat
+        sliced.client_root_latency = {
+            cid: node_lat[parent_map[cid]] + uplink[cid] for cid in client_order
+        }
+        sliced.remaining_template = {
+            cid: value for cid, value in zip(client_order, sliced.client_requests)
+        }
+        subtree_requests = tree._subtree_requests
+        sliced.inreq_template = {
+            nid: float(subtree_requests[nid]) for nid in node_order
+        }
+        nodes_map = tree._nodes
+        sliced.residual_template = {
+            nid: float(nodes_map[nid].capacity) for nid in node_order
+        }
+        # Thresholds depend on shard-local depths; the memo starts empty.
+        sliced.qos_threshold_cache = {}
+        sliced._np_cache = {}
+        return sliced
+
     # ------------------------------------------------------------------ #
     # QoS depth thresholds
     # ------------------------------------------------------------------ #

@@ -197,9 +197,13 @@ class SessionPool:
         :meth:`~repro.session.PlacementSession.memory_estimate` of the
         resident sessions; the LRU tail is evicted until the estimate fits
         (the most recent session always stays, whatever its size).
-    mode, engine:
+    mode, engine, shards:
         Session construction defaults forwarded to every
-        :class:`~repro.session.PlacementSession` the pool creates.
+        :class:`~repro.session.PlacementSession` the pool creates.  With
+        ``shards`` set, tenant sessions solve shard-by-shard and their
+        :meth:`~repro.session.PlacementSession.memory_estimate` (and so the
+        ``max_bytes`` budget) reflects only the shard indexes actually
+        built, never the whole-tree index.
     on_evict:
         Iterable of ``hook(entry)`` callables fired (outside the pool lock)
         for every evicted :class:`PooledSession`.
@@ -212,6 +216,7 @@ class SessionPool:
         max_bytes: Optional[int] = None,
         mode: str = "incremental",
         engine: Optional[str] = None,
+        shards: Optional[Any] = None,
         on_evict: Tuple[Callable[[PooledSession], None], ...] = (),
     ) -> None:
         if capacity < 1:
@@ -222,6 +227,7 @@ class SessionPool:
         self.max_bytes = max_bytes
         self.mode = mode
         self.engine = engine
+        self.shards = shards
         self._entries: "OrderedDict[str, PooledSession]" = OrderedDict()
         self._lock = threading.RLock()
         self._hooks: List[Callable[[PooledSession], None]] = list(on_evict)
@@ -363,7 +369,12 @@ class SessionPool:
                 return entry, []
             entry = PooledSession(
                 key,
-                PlacementSession(problem, mode=self.mode, engine=self.engine),
+                PlacementSession(
+                    problem,
+                    mode=self.mode,
+                    engine=self.engine,
+                    shards=self.shards,
+                ),
             )
             self._entries[key] = entry
             self._misses += 1

@@ -72,6 +72,12 @@ class ReproServer:
         restore into the pool immediately (warm boot), every mutating op
         re-persists its session, and evicted sessions flush a final
         snapshot before leaving memory.
+    snapshot_retain:
+        Optional retention window in restarts: snapshot files of tenants
+        not seen (restored or re-persisted) for this many server restarts
+        are deleted at boot and on :meth:`snapshot_all` (see
+        :mod:`repro.serving.snapshot`).  ``None`` keeps every file
+        forever.
     """
 
     def __init__(
@@ -82,14 +88,22 @@ class ReproServer:
         max_bytes: Optional[int] = None,
         mode: str = "incremental",
         snapshot_dir: Optional[Union[str, Path]] = None,
+        snapshot_retain: Optional[int] = None,
     ) -> None:
+        if snapshot_retain is not None and snapshot_retain < 1:
+            raise ValueError(
+                f"snapshot_retain must be >= 1 restarts, got {snapshot_retain}"
+            )
         self.pool = pool if pool is not None else SessionPool(
             capacity, max_bytes=max_bytes, mode=mode
         )
         self.snapshot_dir = None if snapshot_dir is None else Path(snapshot_dir)
+        self.snapshot_retain = snapshot_retain
         self.restored = 0
         if self.snapshot_dir is not None:
-            self.restored = restore_pool(self.pool, self.snapshot_dir)
+            self.restored = restore_pool(
+                self.pool, self.snapshot_dir, retain_restarts=snapshot_retain
+            )
             self.pool.add_evict_hook(self._snapshot_evicted)
 
     # ------------------------------------------------------------------ #
@@ -115,7 +129,9 @@ class ReproServer:
     def snapshot_all(self) -> None:
         """Persist every resident session (shutdown path)."""
         if self.snapshot_dir is not None:
-            save_pool(self.pool, self.snapshot_dir)
+            save_pool(
+                self.pool, self.snapshot_dir, retain_restarts=self.snapshot_retain
+            )
 
     # ------------------------------------------------------------------ #
     # request handling

@@ -20,6 +20,16 @@ Writes are atomic (temp file + ``os.replace``), so a crash mid-snapshot
 leaves the previous snapshot intact.  Corrupt or undecodable files are
 skipped with a warning on ``stderr`` -- a damaged snapshot directory must
 never stop a server from booting cold.
+
+Long-lived directories are **compacted**: a sidecar meta file
+(``snapshots.meta.json``) counts server restarts and remembers, per
+fingerprint, the last restart at which the tenant was seen (restored at
+boot, or written by a snapshot pass).  With ``retain_restarts=N`` (the
+``repro serve --snapshot-retain N`` flag), :func:`restore_pool` and
+:func:`save_pool` delete snapshot files whose tenants have not been seen
+for ``N`` consecutive restarts, so departed tenants stop accumulating
+disk forever while any tenant that returns within the window still boots
+warm.
 """
 
 from __future__ import annotations
@@ -28,7 +38,7 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.exceptions import ReproError, SerializationError
 from repro.serving.fingerprint import problem_fingerprint
@@ -37,6 +47,7 @@ from repro.session import PlacementSession
 
 __all__ = [
     "SNAPSHOT_SUFFIX",
+    "SNAPSHOT_META",
     "snapshot_path",
     "save_session",
     "load_session",
@@ -46,8 +57,72 @@ __all__ = [
 
 SNAPSHOT_SUFFIX = ".session.json"
 
+#: sidecar file tracking restart counts and per-tenant last-seen restarts.
+SNAPSHOT_META = "snapshots.meta.json"
+
 #: payload tag of a snapshot file (bump with the envelope layout).
 _SNAPSHOT_TYPE = "session_snapshot"
+
+#: payload tag of the retention meta file.
+_META_TYPE = "snapshot_retention"
+
+
+def _load_meta(directory: Path) -> Dict[str, object]:
+    """The retention meta state, or a fresh one when absent/corrupt."""
+    path = directory / SNAPSHOT_META
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        payload = None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("type") != _META_TYPE
+        or not isinstance(payload.get("last_seen"), dict)
+    ):
+        return {"restarts": 0, "last_seen": {}}
+    return {
+        "restarts": int(payload.get("restarts", 0)),
+        "last_seen": {
+            str(fp): int(seen) for fp, seen in payload["last_seen"].items()
+        },
+    }
+
+
+def _store_meta(directory: Path, meta: Dict[str, object]) -> None:
+    path = directory / SNAPSHOT_META
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
+        json.dumps(
+            {"type": _META_TYPE, **meta},
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    os.replace(tmp, path)
+
+
+def _snapshot_fingerprint(path: Path) -> str:
+    return path.name[: -len(SNAPSHOT_SUFFIX)]
+
+
+def _age_out(
+    directory: Path, meta: Dict[str, object], retain_restarts: int
+) -> List[Path]:
+    """Delete snapshots not seen for ``retain_restarts`` restarts."""
+    restarts = int(meta["restarts"])
+    last_seen: Dict[str, int] = meta["last_seen"]  # type: ignore[assignment]
+    removed: List[Path] = []
+    for fingerprint, seen_at in list(last_seen.items()):
+        if restarts - seen_at < retain_restarts:
+            continue
+        path = snapshot_path(directory, fingerprint)
+        try:
+            path.unlink()
+            removed.append(path)
+        except FileNotFoundError:
+            pass
+        del last_seen[fingerprint]
+    return removed
 
 
 def snapshot_path(directory: Union[str, Path], fingerprint: str) -> Path:
@@ -115,12 +190,22 @@ def load_session(
     return fingerprint, session
 
 
-def save_pool(pool: SessionPool, directory: Union[str, Path]) -> List[Path]:
+def save_pool(
+    pool: SessionPool,
+    directory: Union[str, Path],
+    *,
+    retain_restarts: Optional[int] = None,
+) -> List[Path]:
     """Persist every resident session of ``pool``; returns the paths.
 
     Sessions whose state cannot be serialised (custom constraint
     subclasses) are skipped with a warning -- a single exotic tenant must
     not veto persistence for the rest.
+
+    Every written tenant is marked *seen* at the current restart in the
+    retention meta file; with ``retain_restarts`` set, snapshots of
+    tenants unseen for that many restarts are deleted (see the module
+    docstring).
     """
     paths: List[Path] = []
     for entry in pool.entries():
@@ -137,6 +222,16 @@ def save_pool(pool: SessionPool, directory: Union[str, Path]) -> List[Path]:
                     f"{entry.fingerprint[:12]}…: {error}",
                     file=sys.stderr,
                 )
+    if paths or retain_restarts is not None:
+        directory = Path(directory)
+        if directory.is_dir():
+            meta = _load_meta(directory)
+            last_seen: Dict[str, int] = meta["last_seen"]  # type: ignore[assignment]
+            for path in paths:
+                last_seen[_snapshot_fingerprint(path)] = int(meta["restarts"])
+            if retain_restarts is not None:
+                _age_out(directory, meta, retain_restarts)
+            _store_meta(directory, meta)
     return paths
 
 
@@ -145,6 +240,7 @@ def restore_pool(
     directory: Union[str, Path],
     *,
     warm_programs: bool = True,
+    retain_restarts: Optional[int] = None,
 ) -> int:
     """Adopt every decodable snapshot under ``directory`` into ``pool``.
 
@@ -154,6 +250,13 @@ def restore_pool(
     pure startup cost.  The survivors restore in modification-time order
     (oldest first), so the pool's LRU order mirrors the snapshot ages.
     Returns the number of sessions restored.
+
+    Each call counts as one server restart in the retention meta file.
+    Restored tenants are marked *seen* at this restart; files present but
+    not restored keep their last-seen restart (files the meta has never
+    seen are graced at this restart, so pre-retention directories age from
+    now rather than being wiped at once).  With ``retain_restarts=N``,
+    snapshots unseen for ``N`` restarts are deleted.
     """
     directory = Path(directory)
     if not directory.is_dir():
@@ -169,6 +272,7 @@ def restore_pool(
         except FileNotFoundError:
             continue
     paths = [path for _, path in sorted(stamped)][-pool.capacity :]
+    seen: set = set()
     for path in paths:
         try:
             fingerprint, session = load_session(path, warm_programs=warm_programs)
@@ -176,5 +280,20 @@ def restore_pool(
             print(f"warning: skipping {error}", file=sys.stderr)
             continue
         pool.adopt(PooledSession(fingerprint, session), restored=True)
+        seen.add(fingerprint)
         restored += 1
+
+    meta = _load_meta(directory)
+    meta["restarts"] = int(meta["restarts"]) + 1
+    last_seen: Dict[str, int] = meta["last_seen"]  # type: ignore[assignment]
+    present = {_snapshot_fingerprint(path) for _, path in stamped}
+    for fingerprint in present:
+        if fingerprint in seen or fingerprint not in last_seen:
+            last_seen[fingerprint] = int(meta["restarts"])
+    for fingerprint in list(last_seen):
+        if fingerprint not in present:
+            del last_seen[fingerprint]
+    if retain_restarts is not None:
+        _age_out(directory, meta, retain_restarts)
+    _store_meta(directory, meta)
     return restored

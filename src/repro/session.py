@@ -481,6 +481,16 @@ class PlacementSession:
     engine:
         Optional request-state engine override (``"fast"`` or ``"dict"``)
         applied around every internal solve.
+    shards:
+        Optional sharded-solve specification: a target shard count or an
+        explicit cut node sequence (see
+        :func:`repro.core.partition.partition_problem`).  A sharded session
+        partitions the tree lazily, indexes each shard through
+        :meth:`TreeIndex.sliced` (the whole-tree dense index is never
+        built), keeps one :class:`IncrementalResolver` per shard, and on a
+        rate-only :meth:`update` re-solves **only** the shards owning the
+        changed clients.  ``shards=1`` (or ``None``) is the classic
+        whole-tree path, bit-identical to an unsharded session.
     """
 
     def __init__(
@@ -493,11 +503,16 @@ class PlacementSession:
         algorithm: Optional[str] = None,
         mode: str = "incremental",
         engine: Optional[str] = None,
+        shards: Optional[Union[int, Iterable[NodeId]]] = None,
     ) -> None:
         if mode not in SESSION_MODES:
             raise ValueError(
                 f"unknown mode {mode!r}; expected one of {sorted(SESSION_MODES)}"
             )
+        if shards is not None and not isinstance(shards, int):
+            shards = tuple(shards)
+        if isinstance(shards, int) and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self._constraints = constraints
         self._kind = kind
         self.problem = as_problem(instance, constraints=constraints, kind=kind)
@@ -505,6 +520,7 @@ class PlacementSession:
         self.algorithm = algorithm
         self.mode = mode
         self.engine = engine
+        self.shards = shards
         self.epoch = 0
         self.stats = SessionStats()
 
@@ -515,6 +531,13 @@ class PlacementSession:
         #: per-epoch result caches, cleared by :meth:`update`.
         self._solve_cache: Dict[Tuple[Policy, Optional[str]], SolveResult] = {}
         self._bound_cache: Dict[Tuple[Policy, str, Optional[float]], BoundResult] = {}
+        #: sharded-solve state, built lazily by :attr:`shard_plan`.
+        self._shard_plan = None
+        self._shard_problems: Optional[list] = None
+        self._shard_resolvers: Dict[
+            Tuple[int, Policy, Optional[str]], "IncrementalResolver"
+        ] = {}
+        self._shard_last: Dict[Tuple[Policy, Optional[str]], Solution] = {}
 
     # ------------------------------------------------------------------ #
     # cache handles
@@ -563,6 +586,7 @@ class PlacementSession:
         policy: Optional[Union[Policy, str]] = None,
         algorithm: Optional[str] = None,
         on_error: str = "raise",
+        sharded: Optional[bool] = None,
     ) -> SolveResult:
         """Solve the current epoch (warm caches, per-epoch memoised).
 
@@ -571,6 +595,12 @@ class PlacementSession:
         :class:`~repro.core.exceptions.InfeasibleError` like
         :func:`repro.api.solve`; ``"none"`` returns a :class:`SolveResult`
         with ``solution=None`` instead (sequence semantics).
+
+        ``sharded`` overrides the session's sharding default for this call:
+        ``True`` forces the per-shard path (partitioning into the
+        constructor's ``shards`` spec, or two shards when none was given),
+        ``False`` forces the whole-tree path, ``None`` (default) follows
+        the constructor.  Overridden calls are memoised separately.
         """
         if on_error not in ("none", "raise"):
             raise ValueError(f"on_error must be 'none' or 'raise', got {on_error!r}")
@@ -580,11 +610,29 @@ class PlacementSession:
             )
         else:
             policy = Policy.parse(policy)
+        if sharded and self.shards is None:
+            self.shards = 2
+        use_sharded = self._sharded_active() if sharded is None else bool(sharded)
+        use_sharded = use_sharded and self._sharded_active()
 
-        key = (policy, algorithm)
+        key = (policy, algorithm) if sharded is None else (policy, algorithm, sharded)
         result = self._solve_cache.get(key)
         if result is not None:
             self.stats.solve_cache_hits += 1
+        elif use_sharded:
+            with self._engine_context():
+                solution, stats = self._sharded_resolve(policy, algorithm)
+            result = SolveResult(
+                epoch=self.epoch,
+                policy=policy,
+                solution=solution,
+                cost=stats.cost,
+                stats=stats,
+                problem=self.problem,
+            )
+            self._solve_cache[key] = result
+            self.stats.solves += 1
+            self.stats._tally(self.stats.solve_strategies, stats.strategy)
         else:
             from repro.algorithms.incremental import IncrementalResolver
 
@@ -613,6 +661,186 @@ class PlacementSession:
                 policy=policy,
             )
         return result
+
+    # ------------------------------------------------------------------ #
+    # sharded solving
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_plan(self):
+        """The session's lazy :class:`~repro.core.partition.ShardPlan`.
+
+        ``None`` for unsharded sessions (``shards`` unset or ``1``).  Built
+        from the *current* epoch's problem on first access and kept until a
+        structural update invalidates it; building it primes per-shard
+        :meth:`~repro.core.index.TreeIndex.sliced` indexes lazily (the
+        whole-tree index is never constructed by the sharded path).
+        """
+        if self.shards is None or (isinstance(self.shards, int) and self.shards <= 1):
+            return None
+        if self._shard_plan is None:
+            from repro.core.partition import partition_problem
+
+            self._shard_plan = partition_problem(self.problem, shards=self.shards)
+            self._shard_problems = list(self._shard_plan.region_problems())
+        return self._shard_plan
+
+    def _sharded_active(self) -> bool:
+        plan = self.shard_plan
+        return plan is not None and len(plan.shards) >= 2
+
+    def _sharded_resolve(self, policy: Policy, algorithm: Optional[str]):
+        """The per-shard incremental solve path of :meth:`solve`.
+
+        Every region (the shards plus the residual tree) keeps its own
+        :class:`~repro.algorithms.incremental.IncrementalResolver`, so a
+        rate-only epoch step re-solves only the regions owning changed
+        clients -- the rest report strategy ``"reused"``.  Region solutions
+        compose directly (disjoint servers, no cut flow); when a region is
+        infeasible on its own the full
+        :func:`~repro.algorithms.sharded.solve_sharded` pipeline takes over
+        and reconciles the overflow at the cut.
+        """
+        import time
+
+        from repro.algorithms.incremental import (
+            IncrementalResolver,
+            ResolveStats,
+            migration_stats,
+        )
+        from repro.algorithms.sharded import (
+            _empty_solution,
+            solve_sharded,
+            stitch_solutions,
+        )
+        from repro.core.index import TreeIndex
+
+        start = time.perf_counter()
+        plan = self.shard_plan
+        for shard in plan.shards:
+            TreeIndex.sliced(shard)
+
+        strategies: list = []
+        solutions: list = []
+        changed = 0
+        failed = False
+        for region, problem in enumerate(self._shard_problems):
+            if not problem.tree.client_ids or problem.tree.total_requests() <= 0:
+                solutions.append(_empty_solution(policy))
+                strategies.append("empty")
+                continue
+            rkey = (region, policy, algorithm)
+            resolver = self._shard_resolvers.get(rkey)
+            if resolver is None:
+                resolver = self._shard_resolvers[rkey] = IncrementalResolver(
+                    policy=policy, algorithm=algorithm, mode=SESSION_MODES[self.mode]
+                )
+            solution, rstats = resolver.resolve(problem)
+            strategies.append(rstats.strategy)
+            changed += rstats.changed_clients
+            if solution is None:
+                failed = True
+                break
+            solutions.append(solution)
+
+        if failed:
+            # Cut contention (or genuine infeasibility): let the full
+            # sharded pipeline peel overflow across the cut and validate.
+            try:
+                stitched = solve_sharded(
+                    self.problem, policy=policy, algorithm=algorithm, shards=self.shards
+                )
+                notes = "sharded: region infeasible, reconciled at the cut"
+            except InfeasibleError:
+                stitched = None
+                notes = "sharded: infeasible"
+            strategy = "solved"
+        else:
+            stitched = stitch_solutions(
+                solutions,
+                policy=policy,
+                algorithm=f"sharded[{len(plan.shards)}:incremental]",
+                metadata={
+                    "shards": len(plan.shards),
+                    "strategy": "incremental",
+                    "shard_strategies": tuple(strategies),
+                },
+            )
+            resolved = sum(1 for s in strategies if s in ("solved", "patched"))
+            strategy = (
+                "solved"
+                if "solved" in strategies
+                else "patched"
+                if "patched" in strategies
+                else "reused"
+            )
+            notes = (
+                f"sharded: {resolved}/{len(strategies)} regions re-solved "
+                f"({','.join(strategies)})"
+            )
+
+        cost = stitched.cost(self.problem) if stitched is not None else None
+        lkey = (policy, algorithm)
+        added, dropped, reassigned = migration_stats(
+            self._shard_last.get(lkey), stitched
+        )
+        if stitched is not None:
+            self._shard_last[lkey] = stitched
+        stats = ResolveStats(
+            epoch=self.epoch,
+            strategy=strategy,
+            changed_clients=changed,
+            cost=cost,
+            replicas_added=added,
+            replicas_dropped=dropped,
+            requests_reassigned=reassigned,
+            runtime=time.perf_counter() - start,
+            notes=notes,
+        )
+        return stitched, stats
+
+    def _advance_shards(
+        self,
+        previous: ReplicaPlacementProblem,
+        current: ReplicaPlacementProblem,
+    ) -> None:
+        """Step the per-shard problems after :meth:`update`.
+
+        Rate-only deltas fork only the regions owning changed clients
+        (unchanged regions keep the *same* problem object, so their
+        resolvers report ``"reused"``); structural changes drop the plan
+        and every per-region resolver.
+        """
+        if self._shard_plan is None:
+            return
+        from repro.algorithms.incremental import diff_problems
+
+        delta = diff_problems(previous, current)
+        if delta.unchanged:
+            return
+        if not delta.rates_only:
+            self._invalidate_shards()
+            return
+        plan = self._shard_plan
+        tree = current.tree
+        by_region: Dict[int, Dict[NodeId, float]] = {}
+        for cid in delta.changed_clients:
+            by_region.setdefault(plan.region_of(cid), {})[cid] = tree.client(
+                cid
+            ).requests
+        for region, updates in by_region.items():
+            base = self._shard_problems[region]
+            self._shard_problems[region] = ReplicaPlacementProblem(
+                tree=base.tree.with_requests(updates),
+                constraints=base.constraints,
+                kind=base.kind,
+                name=base.name,
+            )
+
+    def _invalidate_shards(self) -> None:
+        self._shard_plan = None
+        self._shard_problems = None
+        self._shard_resolvers.clear()
+        self._shard_last.clear()
 
     # ------------------------------------------------------------------ #
     # bounding
@@ -792,6 +1020,8 @@ class PlacementSession:
         self.stats.epochs += 1
         self._solve_cache.clear()
         self._bound_cache.clear()
+        if self.shards is not None:
+            self._advance_shards(previous_problem, problem)
         if resolve is False:
             return None
         if resolve == "on_saturation":
@@ -954,6 +1184,12 @@ class PlacementSession:
         estimate = 4096 + 400 * size
         if self.problem.tree._index_cache is not None:
             estimate += 250 * size
+        if self._shard_problems is not None:
+            # Sharded sessions never build the whole-tree index; the
+            # resident footprint counts only the shard indexes that exist.
+            for shard_problem in self._shard_problems:
+                if shard_problem.tree._index_cache is not None:
+                    estimate += 250 * shard_problem.size
         for bounder in self._bounders.values():
             program = getattr(bounder, "_program", None)
             if program is not None:
@@ -965,7 +1201,7 @@ class PlacementSession:
         for result in self._solve_cache.values():
             if result.solution is not None:
                 estimate += 512 + 120 * len(result.solution.assignment)
-        estimate += 2048 * len(self._resolvers)
+        estimate += 2048 * (len(self._resolvers) + len(self._shard_resolvers))
         return estimate
 
     def export_state(self) -> Dict[str, Any]:
@@ -995,15 +1231,21 @@ class PlacementSession:
             "algorithm": self.algorithm,
             "mode": self.mode,
             "engine": self.engine,
+            "shards": list(self.shards)
+            if isinstance(self.shards, tuple)
+            else self.shards,
             "epoch": self.epoch,
             "stats": self.stats.to_dict(),
             "solves": [
                 {
-                    "policy": policy.value,
-                    "algorithm": algorithm,
+                    "policy": key[0].value,
+                    "algorithm": key[1],
                     "result": result.to_dict(),
                 }
-                for (policy, algorithm), result in self._solve_cache.items()
+                # per-call sharded overrides use 3-tuple keys; those entries
+                # are transient and deliberately not persisted
+                for key, result in self._solve_cache.items()
+                if len(key) == 2
             ],
             "bounds": [
                 {
@@ -1039,12 +1281,14 @@ class PlacementSession:
 
         problem = problem_from_dict(payload["problem"])
         algorithm = payload.get("algorithm")
+        shards = payload.get("shards")
         session = cls(
             problem,
             policy=Policy.parse(payload.get("policy", Policy.MULTIPLE)),
             algorithm=None if algorithm is None else str(algorithm),
             mode=str(payload.get("mode", "incremental")),
             engine=payload.get("engine"),
+            shards=tuple(shards) if isinstance(shards, list) else shards,
         )
         session.epoch = int(payload.get("epoch", 0))
         session.stats = SessionStats.from_dict(payload.get("stats", {}))

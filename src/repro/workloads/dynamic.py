@@ -23,6 +23,7 @@ Generators
 :func:`ramp`              rates scale linearly between two load levels
 :func:`seasonal`          sinusoidal (diurnal-style) modulation of all rates
 :func:`rate_churn`        per-epoch random rate drift on a sampled client set
+:func:`regional_churn`    whole subtrees surge together (one factor per region)
 :func:`client_join_leave` clients appear and disappear (topology churn)
 :func:`capacity_incident` server capacities drop for a window of epochs
 ========================  ====================================================
@@ -47,6 +48,7 @@ __all__ = [
     "ramp",
     "seasonal",
     "rate_churn",
+    "regional_churn",
     "client_join_leave",
     "capacity_incident",
 ]
@@ -228,6 +230,62 @@ def rate_churn(
                     drifted = current * (1.0 + rng.uniform(-magnitude, magnitude))
                     updates[cid] = float(max(0, round(drifted)))
         tree = tree.with_requests(updates)
+        sequence.append(_epoch_problem(problem, tree, t))
+    return sequence
+
+
+def regional_churn(
+    base: Union[TreeNetwork, ReplicaPlacementProblem],
+    epochs: int,
+    *,
+    depth: int = 1,
+    regions_per_epoch: int = 1,
+    magnitude: float = 0.5,
+    quiet_probability: float = 0.0,
+    seed: Optional[int] = None,
+) -> List[ReplicaPlacementProblem]:
+    """Regional rate surges: whole subtrees drift together, one factor each.
+
+    The regions are the internal nodes at tree ``depth`` (clamped to the
+    deepest level that still has internal nodes); per epoch, with
+    probability ``quiet_probability`` nothing changes, otherwise
+    ``regions_per_epoch`` regions are drawn uniformly and every client in a
+    drawn region's subtree scales by the *same* factor
+    ``1 + U(-magnitude, +magnitude)`` -- a flash crowd or regional outage
+    seen through one access subtree.  Rates drift cumulatively from the
+    previous epoch, and all of one epoch's changes stay inside the chosen
+    subtrees, which is exactly the locality a sharded session
+    (:class:`~repro.session.PlacementSession` with ``shards=``, shards cut
+    at the same depth) exploits: each epoch re-solves only the surged
+    shards.
+    """
+    _check_epochs(epochs)
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    if regions_per_epoch < 1:
+        raise ValueError("regions_per_epoch must be >= 1")
+    if magnitude < 0:
+        raise ValueError("magnitude must be non-negative")
+    if not 0.0 <= quiet_probability <= 1.0:
+        raise ValueError("quiet_probability must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    problem = as_base_problem(base)
+    tree = problem.tree
+    node_depths = {nid: tree.depth(nid) for nid in tree.node_ids}
+    max_depth = max(node_depths.values())
+    level = min(depth, max_depth)
+    regions = [nid for nid in tree.node_ids if node_depths[nid] == level]
+    sequence = [problem]
+    for t in range(1, epochs):
+        factor_of: Dict[NodeId, float] = {}
+        if not (quiet_probability > 0.0 and rng.random() < quiet_probability):
+            count = min(regions_per_epoch, len(regions))
+            order = rng.permutation(len(regions))
+            for i in order[:count]:
+                factor = 1.0 + rng.uniform(-magnitude, magnitude)
+                for cid in tree.subtree_clients(regions[i]):
+                    factor_of[cid] = factor
+        tree = tree.with_requests(_scaled_rates(tree, factor_of))
         sequence.append(_epoch_problem(problem, tree, t))
     return sequence
 

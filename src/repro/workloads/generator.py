@@ -26,6 +26,7 @@ reproducing the figures, not matching the authors' exact instances.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -39,7 +40,73 @@ from repro.workloads.distributions import (
     uniform_requests,
 )
 
-__all__ = ["GeneratorConfig", "TreeGenerator", "generate_tree", "generate_campaign"]
+__all__ = [
+    "GeneratorConfig",
+    "TreeGenerator",
+    "generate_tree",
+    "large_tree",
+    "generate_campaign",
+]
+
+
+class _OrderedSampler:
+    """Select-by-rank over a dynamic subset of ``0..n-1``, in position order.
+
+    A Fenwick tree of membership bits: ``select(k)`` returns the position of
+    the ``k``-th member (0-based, ascending position), ``add``/``discard``
+    flip membership -- all ``O(log n)``.  The generator loops below use it to
+    replace ``O(n)`` "filter the prefix, then index into it" scans while
+    drawing *exactly* the same elements for the same rng stream (the member
+    count and the rank-to-element mapping match the filtered list they
+    replace).
+    """
+
+    __slots__ = ("_n", "_tree", "_member", "_count")
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        self._tree = [0] * (n + 1)
+        self._member = [False] * n
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, position: int) -> bool:
+        return self._member[position]
+
+    def _update(self, position: int, delta: int) -> None:
+        index = position + 1
+        while index <= self._n:
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def add(self, position: int) -> None:
+        if not self._member[position]:
+            self._member[position] = True
+            self._count += 1
+            self._update(position, 1)
+
+    def discard(self, position: int) -> None:
+        if self._member[position]:
+            self._member[position] = False
+            self._count -= 1
+            self._update(position, -1)
+
+    def select(self, rank: int) -> int:
+        """Position of the ``rank``-th member (0-based, ascending)."""
+        if not 0 <= rank < self._count:
+            raise IndexError(rank)
+        target = rank + 1
+        position = 0
+        bit = 1 << (self._n.bit_length())
+        while bit:
+            nxt = position + bit
+            if nxt <= self._n and self._tree[nxt] < target:
+                target -= self._tree[nxt]
+                position = nxt
+            bit >>= 1
+        return position  # 0-based: `position` 1-past-the-prefix minus one
 
 
 @dataclass(frozen=True)
@@ -141,20 +208,29 @@ class TreeGenerator:
         n_clients = max(1, config.size - n_nodes)
 
         # --- topology over internal nodes (random recursive tree) -------- #
+        # The candidate pool is "nodes already drawn that still have a free
+        # child slot, in draw order"; the sampler keeps it under O(log n)
+        # per node where rebuilding the filtered prefix would be O(n).  The
+        # pool can never drain (a newly added node always has free slots
+        # with max_children >= 1), so the legacy all-full fallback is kept
+        # only as a guard.
         node_names = [f"n{i}" for i in range(n_nodes)]
         parent_of: Dict[str, Optional[str]] = {node_names[0]: None}
         child_count = {name: 0 for name in node_names}
+        open_nodes = _OrderedSampler(n_nodes)
+        open_nodes.add(0)
         for index in range(1, n_nodes):
-            candidates = [
-                name
-                for name in node_names[:index]
-                if child_count[name] < config.max_children
-            ]
-            if not candidates:
-                candidates = node_names[:index]
-            parent = candidates[int(rng.integers(len(candidates)))]
+            if len(open_nodes):
+                choice = int(rng.integers(len(open_nodes)))
+                parent_index = open_nodes.select(choice)
+            else:  # pragma: no cover - unreachable with max_children >= 1
+                parent_index = int(rng.integers(index))
+            parent = node_names[parent_index]
             parent_of[node_names[index]] = parent
             child_count[parent] += 1
+            if child_count[parent] >= config.max_children:
+                open_nodes.discard(parent_index)
+            open_nodes.add(index)
 
         # --- attach clients ---------------------------------------------- #
         # "leaves" attaches clients below the internal nodes that have no
@@ -171,14 +247,22 @@ class TreeGenerator:
         client_parent: Dict[str, str] = {}
         if config.client_attachment == "spread":
             # Balance the number of clients per edge node: every client goes
-            # to one of the currently least-loaded pool nodes.
-            load = {name: 0 for name in attachment_pool}
+            # to one of the currently least-loaded pool nodes.  Those are
+            # exactly the pool nodes not yet drawn at the current load level
+            # (in pool order), so one sampler drained level by level -- and
+            # refilled with the whole pool when a level completes -- replaces
+            # the O(|pool|) min-and-filter scan per client.
+            lightest = _OrderedSampler(len(attachment_pool))
+            for position in range(len(attachment_pool)):
+                lightest.add(position)
             for name in client_names:
-                smallest = min(load.values())
-                lightest = [n for n in attachment_pool if load[n] == smallest]
-                chosen = lightest[int(rng.integers(len(lightest)))]
-                client_parent[name] = chosen
-                load[chosen] += 1
+                choice = int(rng.integers(len(lightest)))
+                position = lightest.select(choice)
+                client_parent[name] = attachment_pool[position]
+                lightest.discard(position)
+                if not len(lightest):
+                    for refill in range(len(attachment_pool)):
+                        lightest.add(refill)
         else:
             for name in client_names:
                 client_parent[name] = attachment_pool[int(rng.integers(len(attachment_pool)))]
@@ -275,12 +359,29 @@ def _scale_to_total(raw: np.ndarray, target_total: float) -> np.ndarray:
         order = np.argsort(-(scaled - floors))
         floors[order[:remainder]] += 1
     # Avoid zero-request clients when possible: shift one request from the
-    # largest client to each empty one.
+    # largest client to each empty one.  A lazy max-heap keyed
+    # ``(-value, index)`` stands in for the per-empty-client ``np.argmax``
+    # scan: it yields the same donor (largest value, first index on ties)
+    # and running dry means every remaining value is <= 1, where the scan
+    # version stopped transferring too.
+    donors = [(-int(value), int(i)) for i, value in enumerate(floors) if value > 1]
+    heapq.heapify(donors)
     for index in np.where(floors == 0)[0]:
-        donor = int(np.argmax(floors))
+        donor = None
+        while donors:
+            neg_value, candidate = donors[0]
+            if floors[candidate] != -neg_value:  # stale entry
+                heapq.heappop(donors)
+                continue
+            donor = candidate
+            break
+        if donor is None:
+            break
+        floors[donor] -= 1
+        floors[index] += 1
+        heapq.heappop(donors)  # the donor's (validated) top entry
         if floors[donor] > 1:
-            floors[donor] -= 1
-            floors[index] += 1
+            heapq.heappush(donors, (-int(floors[donor]), donor))
     return floors.astype(float)
 
 
@@ -295,6 +396,38 @@ def generate_tree(
     """One-shot convenience wrapper around :class:`TreeGenerator`."""
     config = GeneratorConfig(
         size=size, target_load=target_load, homogeneous=homogeneous, **config_kwargs
+    )
+    return TreeGenerator(seed).generate(config)
+
+
+def large_tree(
+    n_clients: int = 100_000,
+    *,
+    target_load: float = 0.5,
+    client_fraction: float = 0.9,
+    seed: Optional[int] = 7,
+    **config_kwargs,
+) -> TreeNetwork:
+    """A distribution tree with (exactly) ``n_clients`` client leaves.
+
+    The scaling-up entry point: the generator's draw loops are
+    ``O(size log size)`` (see :class:`_OrderedSampler`), so a 10^5-client
+    tree builds in seconds -- the regime the sharded solve path
+    (:func:`repro.algorithms.sharded.solve_sharded`) is built for.  The
+    default ``client_fraction=0.9`` keeps the internal hierarchy an order
+    of magnitude smaller than the client population, the shape of a real
+    edge-distribution tree; all other :class:`GeneratorConfig` knobs pass
+    through.
+    """
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    n_internal = max(2, int(round(n_clients * (1.0 - client_fraction) / client_fraction)))
+    size = n_clients + n_internal
+    config = GeneratorConfig(
+        size=size,
+        target_load=target_load,
+        client_fraction=n_clients / size,
+        **config_kwargs,
     )
     return TreeGenerator(seed).generate(config)
 

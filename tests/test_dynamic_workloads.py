@@ -45,6 +45,7 @@ from repro.workloads.dynamic import (
     client_join_leave,
     ramp,
     rate_churn,
+    regional_churn,
     seasonal,
     step_change,
 )
@@ -760,3 +761,106 @@ class TestChurnCampaign:
         result = run_churn_campaign(config)
         assert all(math.isnan(record.mean_gap) for record in result.records)
         assert all(math.isnan(record.mean_bound) for record in result.records)
+
+
+class TestRegionalChurn:
+    @pytest.fixture
+    def base(self):
+        return replica_counting_problem(
+            generate_tree(size=50, target_load=0.4, seed=17)
+        )
+
+    def test_epoch_zero_is_base_and_metadata_survives(self, base):
+        epochs = regional_churn(base, 5, seed=1)
+        assert len(epochs) == 5
+        assert epochs[0] is base
+        for problem in epochs:
+            assert problem.kind is base.kind
+            assert problem.constraints == base.constraints
+
+    def test_changes_stay_inside_one_region_subtree(self, base):
+        tree = base.tree
+        level = 1
+        regions = {
+            nid: set(tree.subtree_clients(nid))
+            for nid in tree.node_ids
+            if tree.depth(nid) == level
+        }
+        epochs = regional_churn(
+            base, 6, depth=level, regions_per_epoch=1, magnitude=0.8, seed=2
+        )
+        for previous, current in zip(epochs, epochs[1:]):
+            changed = {
+                cid
+                for cid in tree.client_ids
+                if previous.tree.client(cid).requests
+                != current.tree.client(cid).requests
+            }
+            if not changed:
+                continue  # the factor rounded every rate back onto itself
+            assert any(changed <= clients for clients in regions.values())
+
+    def test_region_scales_by_one_shared_factor(self, base):
+        tree = base.tree
+        epochs = regional_churn(base, 2, magnitude=0.9, seed=5)
+        previous, current = epochs
+        factors = set()
+        for cid in tree.client_ids:
+            old = previous.tree.client(cid).requests
+            new = current.tree.client(cid).requests
+            if old != new and old > 0:
+                # rounding blurs the exact ratio; bucket it coarsely
+                factors.add(round(new / old, 1))
+        assert len(factors) <= 3  # one factor, seen through integer rounding
+
+    def test_quiet_probability_one_freezes_the_trajectory(self, base):
+        epochs = regional_churn(base, 5, quiet_probability=1.0, seed=3)
+        for problem in epochs[1:]:
+            for cid in base.tree.client_ids:
+                assert (
+                    problem.tree.client(cid).requests
+                    == base.tree.client(cid).requests
+                )
+
+    def test_zero_magnitude_keeps_rates_but_steps_epochs(self, base):
+        epochs = regional_churn(base, 4, magnitude=0.0, seed=4)
+        for problem in epochs[1:]:
+            for cid in base.tree.client_ids:
+                assert (
+                    problem.tree.client(cid).requests
+                    == base.tree.client(cid).requests
+                )
+
+    def test_depth_is_clamped_to_the_deepest_internal_level(self, base):
+        epochs = regional_churn(base, 3, depth=10_000, magnitude=0.5, seed=6)
+        assert len(epochs) == 3
+
+    def test_rates_stay_integral_and_non_negative(self, base):
+        epochs = regional_churn(base, 8, magnitude=0.9, seed=7)
+        for problem in epochs:
+            for client in problem.tree.clients():
+                assert client.requests >= 0
+                assert client.requests == int(client.requests)
+
+    def test_reproducible_for_a_seed(self, base):
+        first = regional_churn(base, 5, seed=8)
+        second = regional_churn(base, 5, seed=8)
+        assert [p.tree for p in first] == [p.tree for p in second]
+
+    def test_parameter_validation(self, base):
+        with pytest.raises(ValueError):
+            regional_churn(base, 3, depth=-1)
+        with pytest.raises(ValueError):
+            regional_churn(base, 3, regions_per_epoch=0)
+        with pytest.raises(ValueError):
+            regional_churn(base, 3, magnitude=-0.1)
+        with pytest.raises(ValueError):
+            regional_churn(base, 3, quiet_probability=1.5)
+
+    def test_solves_end_to_end_with_shards(self, base):
+        epochs = regional_churn(base, 4, magnitude=0.4, seed=9)
+        result = solve_sequence(epochs, shards=2)
+        assert len(result.solutions) == len(epochs)
+        for problem, solution in zip(epochs, result.solutions):
+            if solution is not None:
+                assert_valid(problem, solution)

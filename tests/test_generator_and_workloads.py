@@ -22,6 +22,7 @@ from repro.workloads.generator import (
     TreeGenerator,
     generate_campaign,
     generate_tree,
+    large_tree,
 )
 
 
@@ -308,3 +309,44 @@ class TestArrivalProcesses:
             sinusoidal_intensity(1.0, burst=1.5)
         with pytest.raises(ValueError):
             sinusoidal_intensity(1.0, period=0.0)
+
+
+class TestOrderedSampler:
+    def test_select_walks_members_in_ascending_order(self):
+        from repro.workloads.generator import _OrderedSampler
+
+        sampler = _OrderedSampler(10)
+        for position in (7, 2, 5, 9):
+            sampler.add(position)
+        assert len(sampler) == 4
+        assert [sampler.select(k) for k in range(4)] == [2, 5, 7, 9]
+        sampler.discard(5)
+        assert 5 not in sampler
+        assert [sampler.select(k) for k in range(3)] == [2, 7, 9]
+        sampler.add(0)
+        assert sampler.select(0) == 0
+
+
+class TestLargeTree:
+    def test_large_tree_hits_the_requested_client_count(self):
+        tree = large_tree(2_000, seed=3)
+        assert len(tree.client_ids) == 2_000
+        # client_fraction=0.9 keeps the internal skeleton thin
+        assert len(tree.node_ids) <= 2_000 // 4
+
+    def test_large_tree_is_reproducible(self):
+        assert large_tree(1_000, seed=5) == large_tree(1_000, seed=5)
+
+    def test_large_tree_100k_smoke_is_bounded(self):
+        """ISSUE acceptance: 10^5 clients build in bounded time/memory."""
+        import time
+
+        start = time.perf_counter()
+        tree = large_tree(100_000, seed=7)
+        elapsed = time.perf_counter() - start
+        assert len(tree.client_ids) == 100_000
+        assert elapsed < 60.0
+        # memory proxy: the ancestor structures stay O(n * depth), far from
+        # the quadratic regime a dense pair table would occupy
+        depths = [tree.depth(cid) for cid in tree.client_ids[:1000]]
+        assert max(depths) < 80

@@ -1,0 +1,152 @@
+"""Snapshot directory compaction: ageing out tenants across restarts.
+
+Long-lived ``--snapshot-dir`` directories accumulate one file per tenant
+forever; with ``retain_restarts=N`` the retention meta sidecar
+(``snapshots.meta.json``) ages out tenants unseen for ``N`` consecutive
+restarts.  These tests pin the exact retention boundary: a tenant's file
+survives every restart while its age is ``< N`` and is deleted at the first
+restart where ``restarts - last_seen >= N``, while active tenants (restored
+at boot, or refreshed by a snapshot pass) never age at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.serving.fingerprint import problem_fingerprint
+from repro.serving.pool import SessionPool
+from repro.serving.server import ReproServer
+from repro.serving.snapshot import (
+    SNAPSHOT_META,
+    restore_pool,
+    save_pool,
+    save_session,
+    snapshot_path,
+)
+from repro.session import PlacementSession
+from tests.conftest import make_random_problem
+
+
+def write_snapshot(directory, seed, *, mtime):
+    """Persist a fresh session for ``seed``; returns (fingerprint, path)."""
+    problem = make_random_problem(seed, size=12, load=0.3)
+    session = PlacementSession(problem)
+    path = save_session(session, directory)
+    os.utime(path, (mtime, mtime))
+    return problem_fingerprint(problem), path
+
+
+def read_meta(directory):
+    return json.loads((directory / SNAPSHOT_META).read_text())
+
+
+class TestRetentionBoundary:
+    def test_stale_tenant_ages_out_exactly_at_the_boundary(self, tmp_path):
+        """Graced at restart 1, a never-seen tenant dies at restart N+1."""
+        stale_fp, stale_path = write_snapshot(tmp_path, seed=1, mtime=1_000.0)
+        live_fp, live_path = write_snapshot(tmp_path, seed=2, mtime=2_000.0)
+
+        # capacity-1 pool: only the newest file (the live tenant) restores,
+        # so the stale tenant is never seen again after its grace restart.
+        assert restore_pool(SessionPool(capacity=1), tmp_path, retain_restarts=2) == 1
+        meta = read_meta(tmp_path)
+        assert meta["restarts"] == 1
+        assert meta["last_seen"] == {stale_fp: 1, live_fp: 1}
+        assert stale_path.exists()
+
+        # restart 2: age(stale) = 1 < 2 -- still inside the window.
+        restore_pool(SessionPool(capacity=1), tmp_path, retain_restarts=2)
+        assert stale_path.exists()
+
+        # restart 3: age(stale) = 2 >= 2 -- aged out; the live tenant,
+        # re-seen every boot, never ages.
+        restore_pool(SessionPool(capacity=1), tmp_path, retain_restarts=2)
+        assert not stale_path.exists()
+        assert live_path.exists()
+        meta = read_meta(tmp_path)
+        assert stale_fp not in meta["last_seen"]
+        assert meta["last_seen"][live_fp] == 3
+
+    def test_returning_tenant_resets_its_age(self, tmp_path):
+        """A tenant restored within the window starts a fresh window."""
+        old_fp, old_path = write_snapshot(tmp_path, seed=3, mtime=1_000.0)
+        write_snapshot(tmp_path, seed=4, mtime=2_000.0)
+
+        restore_pool(SessionPool(capacity=1), tmp_path, retain_restarts=2)
+        # restart 2 with a bigger pool: the old tenant is restored (seen).
+        assert restore_pool(SessionPool(capacity=4), tmp_path, retain_restarts=2) == 2
+        assert read_meta(tmp_path)["last_seen"][old_fp] == 2
+        # restart 3 back at capacity 1: age(old) = 1 < 2, survives.
+        restore_pool(SessionPool(capacity=1), tmp_path, retain_restarts=2)
+        assert old_path.exists()
+
+    def test_save_pool_refreshes_residents_and_compacts_strangers(self, tmp_path):
+        live_fp, live_path = write_snapshot(tmp_path, seed=5, mtime=2_000.0)
+        stale_fp, stale_path = write_snapshot(tmp_path, seed=6, mtime=1_000.0)
+
+        pool = SessionPool(capacity=1)
+        restore_pool(pool, tmp_path)  # restart 1: restores the live tenant
+        restore_pool(pool, tmp_path)  # restart 2: stale tenant's age hits 1
+        # a snapshot pass re-writes the resident (live) tenant, refreshing
+        # its last-seen restart, and compacts the stranger past the window.
+        save_pool(pool, tmp_path, retain_restarts=1)
+        assert live_path.exists()
+        assert not stale_path.exists()
+        meta = read_meta(tmp_path)
+        assert meta["last_seen"] == {live_fp: 2}
+
+    def test_without_retain_nothing_is_ever_deleted(self, tmp_path):
+        _, stale_path = write_snapshot(tmp_path, seed=7, mtime=1_000.0)
+        write_snapshot(tmp_path, seed=8, mtime=2_000.0)
+        for _ in range(5):
+            restore_pool(SessionPool(capacity=1), tmp_path)
+        assert stale_path.exists()
+        # the meta still counts restarts, so enabling retention later ages
+        # from real history instead of wiping the directory at once.
+        assert read_meta(tmp_path)["restarts"] == 5
+
+    def test_vanished_files_are_pruned_from_the_meta(self, tmp_path):
+        gone_fp, gone_path = write_snapshot(tmp_path, seed=9, mtime=1_000.0)
+        write_snapshot(tmp_path, seed=10, mtime=2_000.0)
+        restore_pool(SessionPool(capacity=4), tmp_path, retain_restarts=3)
+        gone_path.unlink()  # an operator removes the file by hand
+        restore_pool(SessionPool(capacity=4), tmp_path, retain_restarts=3)
+        assert gone_fp not in read_meta(tmp_path)["last_seen"]
+
+    def test_corrupt_meta_restarts_the_clock(self, tmp_path):
+        write_snapshot(tmp_path, seed=11, mtime=1_000.0)
+        (tmp_path / SNAPSHOT_META).write_text("{not json")
+        assert restore_pool(SessionPool(capacity=4), tmp_path, retain_restarts=2) == 1
+        assert read_meta(tmp_path)["restarts"] == 1
+
+
+class TestServerIntegration:
+    def test_server_boot_applies_retention(self, tmp_path):
+        stale_fp, stale_path = write_snapshot(tmp_path, seed=12, mtime=1_000.0)
+        write_snapshot(tmp_path, seed=13, mtime=2_000.0)
+        for _ in range(3):
+            server = ReproServer(
+                capacity=1, snapshot_dir=tmp_path, snapshot_retain=2
+            )
+        assert server.restored == 1
+        assert not stale_path.exists()
+
+    def test_snapshot_all_honours_retention(self, tmp_path):
+        server = ReproServer(capacity=4, snapshot_dir=tmp_path, snapshot_retain=1)
+        # a stranger's snapshot appears after boot, last seen a window ago
+        fp, path = write_snapshot(tmp_path, seed=14, mtime=1_000.0)
+        meta = read_meta(tmp_path)
+        meta["last_seen"][fp] = meta["restarts"] - 1
+        (tmp_path / SNAPSHOT_META).write_text(json.dumps(meta))
+        # the explicit snapshot pass compacts it (residents would have been
+        # re-written, and thereby refreshed, before the age-out)
+        server.snapshot_all()
+        assert not path.exists()
+        assert fp not in read_meta(tmp_path)["last_seen"]
+
+    def test_snapshot_retain_is_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ReproServer(snapshot_dir=tmp_path, snapshot_retain=0)
