@@ -10,7 +10,9 @@ the LP-based lower bound and prints where the replicas end up.  A "session
 API" section walks the stateful ``PlacementSession`` (one object owning the
 tree index, the LP program and the incremental solver state across epochs),
 a "scaling up" section shows the batch API solving a whole sweep of random
-instances in one call, a "dynamic workloads" section revises a placement
+instances in one call, an "engines" section tours the three interchangeable
+request-state engines (dict / fast / compiled native) behind the factory,
+a "dynamic workloads" section revises a placement
 across a churning request-rate trajectory with the incremental re-solver,
 an "LP bounds on sequences" section tracks the cost-vs-bound gap of
 that revision epoch by epoch, and a "serving" section runs the multi-tenant
@@ -81,6 +83,8 @@ def main() -> None:
     print()
     scaling_up()
     print()
+    engines()
+    print()
     sharded_solving()
     print()
     dynamic_workloads()
@@ -150,6 +154,37 @@ def scaling_up() -> None:
             print(f"  {label}: no solution under Multiple")
         else:
             print(f"  {label}: {solution.summary(problem)}")
+
+
+def engines() -> None:
+    """Engines: three interchangeable state implementations, one factory.
+
+    Every solve mutates a request-affectation state behind
+    ``make_state``: the paper-faithful ``dict`` engine, the indexed
+    ``fast`` engine (the default) and the compiled ``native`` engine,
+    whose hot loops run in a small C kernel library built on first use
+    with the system compiler (~2.5x over ``fast``, ~6x over ``dict`` on
+    500-node trees).  Pick one per process with ``REPRO_ENGINE=native``,
+    per call with ``engine="native"``, or per block with
+    ``use_engine("native")``; all three engines are cross-validated
+    bit-for-bit, and ``native`` quietly degrades to ``fast`` on hosts
+    without a C compiler, so the selection is always safe.  ``repro
+    doctor`` prints this report from the command line.
+    """
+    from repro.algorithms.common import available_engines, make_state, use_engine
+    from repro.algorithms.native_state import native_kernels_available
+
+    print("Engines: dict (paper-faithful), fast (indexed), native (compiled)")
+    print(f"  available_engines() -> {available_engines()}")
+    problem = replica_counting_problem(build_tree())
+    for engine in available_engines():
+        with use_engine(engine):
+            state = make_state(problem)
+        print(f"  engine={engine!r}: state is a {type(state).__name__}")
+    if native_kernels_available():
+        print("  native kernels: compiled (REPRO_ENGINE=native gets the C path)")
+    else:
+        print("  native kernels: unavailable here; engine='native' runs as fast")
 
 
 def sharded_solving() -> None:

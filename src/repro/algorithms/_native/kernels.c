@@ -1,0 +1,966 @@
+/* Native kernels of the "native" request-state engine.
+ *
+ * Every function operates on the flat TreeIndex layouts -- positional
+ * double vectors for the mutable state (remaining / inreq / residual),
+ * int64 span and ancestor-chain arrays for the structure -- exactly like
+ * repro/algorithms/fast_state.py does from interpreted code.  The float
+ * arithmetic mirrors the fast engine operation for operation (same
+ * additions, in the same order, with the same 1e-9 tolerances), which is
+ * what keeps the three engines bit-for-bit identical on every workload
+ * the equivalence suite pins.
+ *
+ * Buffer conventions (checked only by size where cheap; the Python wrapper
+ * in repro/algorithms/native_state.py owns the layout):
+ *   - double vectors: array('d') / writable buffers of n_clients or n_nodes;
+ *   - int64 vectors:  array('q') (client/node spans, depths, ancestor
+ *     chains flattened with CSR-style offsets, repr ranks, orders);
+ *   - replica flags:  a writable byte buffer of n_nodes.
+ *
+ * Compiled on first use by repro/algorithms/_native (gcc -O2 -shared); no
+ * dependency beyond Python.h and libc.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <stdint.h>
+#include <stdlib.h>
+
+static const double TOL = 1e-9;
+
+/* ------------------------------------------------------------------ */
+/* buffer plumbing                                                     */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    Py_buffer view;
+    int held;
+} buf_t;
+
+static int
+get_buf(PyObject *obj, buf_t *buf, int writable, const char *name)
+{
+    int flags = writable ? PyBUF_WRITABLE : PyBUF_SIMPLE;
+    if (PyObject_GetBuffer(obj, &buf->view, flags) != 0) {
+        PyErr_Format(PyExc_TypeError, "kernel argument %s: bad buffer", name);
+        buf->held = 0;
+        return -1;
+    }
+    buf->held = 1;
+    return 0;
+}
+
+static void
+release_all(buf_t *bufs, int count)
+{
+    for (int i = 0; i < count; i++) {
+        if (bufs[i].held) {
+            PyBuffer_Release(&bufs[i].view);
+            bufs[i].held = 0;
+        }
+    }
+}
+
+#define DBL(b) ((double *)(b).view.buf)
+#define I64(b) ((int64_t *)(b).view.buf)
+#define U8(b) ((unsigned char *)(b).view.buf)
+
+/* ------------------------------------------------------------------ */
+/* drain candidate selection                                           */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    double key;   /* sign * remaining, compared ascending */
+    int64_t rank; /* unique (repr, position) rank: total tie order */
+    int64_t pos;  /* client layout position */
+} cand_t;
+
+static int
+cand_cmp(const void *a, const void *b)
+{
+    const cand_t *x = (const cand_t *)a;
+    const cand_t *y = (const cand_t *)b;
+    if (x->key < y->key) return -1;
+    if (x->key > y->key) return 1;
+    if (x->rank < y->rank) return -1;
+    if (x->rank > y->rank) return 1;
+    return 0;
+}
+
+/* Serve `taken` clients from server position `si`: one fast-engine
+ * `_serve` -- per client, subtract from remaining, walk the client's
+ * ancestor chain subtracting from inreq, then subtract the grand total
+ * from the server's residual (one subtraction, like the fast engine). */
+static double
+serve_taken(double *rem, double *inr, double *res,
+            const int64_t *caf, const int64_t *cao,
+            int64_t si,
+            const int64_t *taken_pos, const double *taken_amt, int64_t count)
+{
+    double total = 0.0;
+    for (int64_t k = 0; k < count; k++) {
+        int64_t p = taken_pos[k];
+        double amount = taken_amt[k];
+        rem[p] = rem[p] - amount;
+        for (int64_t j = cao[p]; j < cao[p + 1]; j++)
+            inr[caf[j]] -= amount;
+        total += amount;
+    }
+    res[si] -= total;
+    return total;
+}
+
+/* Candidate selection + budget walk of the fast engine's drain():
+ * filter the span's pending (QoS-eligible) clients, order them by
+ * (sign * remaining, repr-rank) ascending, then consume whole clients
+ * until the budget runs out (optionally splitting the last one).
+ * Fills taken_pos/taken_amt (caller-allocated, span-sized) and returns
+ * the count; *drained_out receives the amount drained. */
+static int64_t
+drain_select(const double *rem, const int64_t *rrk,
+             const int64_t *thr, int64_t depth,
+             int64_t start, int64_t end,
+             double budget, int largest_first, int split_last,
+             int64_t *taken_pos, double *taken_amt, double *drained_out)
+{
+    int64_t span = end - start;
+    *drained_out = 0.0;
+    if (span <= 0)
+        return 0;
+    cand_t *cands = (cand_t *)malloc((size_t)span * sizeof(cand_t));
+    if (cands == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    double sign = largest_first ? -1.0 : 1.0;
+    int64_t ncand = 0;
+    for (int64_t p = start; p < end; p++) {
+        double v = rem[p];
+        if (v > TOL && (thr == NULL || thr[p] <= depth)) {
+            cands[ncand].key = sign * v;
+            cands[ncand].rank = rrk[p];
+            cands[ncand].pos = p;
+            ncand++;
+        }
+    }
+    if (ncand > 1)
+        qsort(cands, (size_t)ncand, sizeof(cand_t), cand_cmp);
+
+    double drained = 0.0;
+    int64_t count = 0;
+    for (int64_t k = 0; k < ncand; k++) {
+        int64_t p = cands[k].pos;
+        double pending = rem[p];
+        if (pending <= budget + TOL) {
+            taken_pos[count] = p;
+            taken_amt[count] = pending;
+            count++;
+            budget -= pending;
+            drained += pending;
+            if (budget <= TOL)
+                break;
+        }
+        else if (split_last) {
+            taken_pos[count] = p;
+            taken_amt[count] = budget;
+            count++;
+            drained += budget;
+            budget = 0.0;
+            break;
+        }
+        /* whole-client mode: a client larger than the remaining budget is
+         * skipped (the next, smaller, candidate is tried). */
+    }
+    free(cands);
+    *drained_out = drained;
+    return count;
+}
+
+/* Build the [(pos, amount), ...] taken list handed back for the Python
+ * side's amounts-dict bookkeeping. */
+static PyObject *
+taken_list(const int64_t *taken_pos, const double *taken_amt, int64_t count)
+{
+    PyObject *list = PyList_New((Py_ssize_t)count);
+    if (list == NULL)
+        return NULL;
+    for (int64_t k = 0; k < count; k++) {
+        PyObject *pair = Py_BuildValue("(Ld)", (long long)taken_pos[k], taken_amt[k]);
+        if (pair == NULL) {
+            Py_DECREF(list);
+            return NULL;
+        }
+        PyList_SET_ITEM(list, (Py_ssize_t)k, pair);
+    }
+    return list;
+}
+
+/* ------------------------------------------------------------------ */
+/* module functions                                                    */
+/* ------------------------------------------------------------------ */
+
+/* assign(rem, inr, res, caf, cao, ci, si, amount) */
+static PyObject *
+k_assign(PyObject *self, PyObject *args)
+{
+    PyObject *o_rem, *o_inr, *o_res, *o_caf, *o_cao;
+    long long ci, si;
+    double amount;
+    if (!PyArg_ParseTuple(args, "OOOOOLLd", &o_rem, &o_inr, &o_res, &o_caf,
+                          &o_cao, &ci, &si, &amount))
+        return NULL;
+    buf_t b[5] = {0};
+    if (get_buf(o_rem, &b[0], 1, "rem") || get_buf(o_inr, &b[1], 1, "inr") ||
+        get_buf(o_res, &b[2], 1, "res") || get_buf(o_caf, &b[3], 0, "caf") ||
+        get_buf(o_cao, &b[4], 0, "cao")) {
+        release_all(b, 5);
+        return NULL;
+    }
+    double *rem = DBL(b[0]), *inr = DBL(b[1]), *res = DBL(b[2]);
+    const int64_t *caf = I64(b[3]), *cao = I64(b[4]);
+    /* same order as the fast engine's assign(): remaining, residual,
+     * then the ancestor walk */
+    rem[ci] = rem[ci] - amount;
+    res[si] -= amount;
+    for (int64_t j = cao[ci]; j < cao[ci + 1]; j++)
+        inr[caf[j]] -= amount;
+    release_all(b, 5);
+    Py_RETURN_NONE;
+}
+
+/* total(rem) -> float : left-to-right sum, same as Python's sum(list) */
+static PyObject *
+k_total(PyObject *self, PyObject *args)
+{
+    PyObject *o_rem;
+    if (!PyArg_ParseTuple(args, "O", &o_rem))
+        return NULL;
+    buf_t b[1] = {0};
+    if (get_buf(o_rem, &b[0], 0, "rem"))
+        return NULL;
+    const double *rem = DBL(b[0]);
+    int64_t n = (int64_t)(b[0].view.len / (Py_ssize_t)sizeof(double));
+    double acc = 0.0;
+    for (int64_t p = 0; p < n; p++)
+        acc += rem[p];
+    release_all(b, 1);
+    return PyFloat_FromDouble(acc);
+}
+
+/* pending_ids(rem, start, end, thr_or_none, depth, order_tuple) -> [id, ...]
+ * Identifiers of the span's pending (eligible) clients, in layout order. */
+static PyObject *
+k_pending_ids(PyObject *self, PyObject *args)
+{
+    PyObject *o_rem, *o_thr, *o_order;
+    long long start, end, depth;
+    if (!PyArg_ParseTuple(args, "OLLOLO!", &o_rem, &start, &end, &o_thr,
+                          &depth, &PyTuple_Type, &o_order))
+        return NULL;
+    buf_t b[2] = {0};
+    if (get_buf(o_rem, &b[0], 0, "rem"))
+        return NULL;
+    const int64_t *thr = NULL;
+    if (o_thr != Py_None) {
+        if (get_buf(o_thr, &b[1], 0, "thr")) {
+            release_all(b, 2);
+            return NULL;
+        }
+        thr = I64(b[1]);
+    }
+    const double *rem = DBL(b[0]);
+    PyObject *list = PyList_New(0);
+    if (list == NULL) {
+        release_all(b, 2);
+        return NULL;
+    }
+    for (int64_t p = start; p < end; p++) {
+        if (rem[p] > TOL && (thr == NULL || thr[p] <= depth)) {
+            PyObject *cid = PyTuple_GET_ITEM(o_order, (Py_ssize_t)p);
+            if (PyList_Append(list, cid) != 0) {
+                Py_DECREF(list);
+                release_all(b, 2);
+                return NULL;
+            }
+        }
+    }
+    release_all(b, 2);
+    return list;
+}
+
+/* sum_eligible(rem, start, end, thr, depth) -> float */
+static PyObject *
+k_sum_eligible(PyObject *self, PyObject *args)
+{
+    PyObject *o_rem, *o_thr;
+    long long start, end, depth;
+    if (!PyArg_ParseTuple(args, "OLLOL", &o_rem, &start, &end, &o_thr, &depth))
+        return NULL;
+    buf_t b[2] = {0};
+    if (get_buf(o_rem, &b[0], 0, "rem") || get_buf(o_thr, &b[1], 0, "thr")) {
+        release_all(b, 2);
+        return NULL;
+    }
+    const double *rem = DBL(b[0]);
+    const int64_t *thr = I64(b[1]);
+    /* sum(remaining[p] for eligible p): left-to-right like Python sum() */
+    double acc = 0.0;
+    for (int64_t p = start; p < end; p++)
+        if (rem[p] > TOL && thr[p] <= depth)
+            acc += rem[p];
+    release_all(b, 2);
+    return PyFloat_FromDouble(acc);
+}
+
+/* all_within_qos(rem, start, end, thr, depth) -> bool
+ * True when every pending client of the span is QoS-eligible. */
+static PyObject *
+k_all_within_qos(PyObject *self, PyObject *args)
+{
+    PyObject *o_rem, *o_thr;
+    long long start, end, depth;
+    if (!PyArg_ParseTuple(args, "OLLOL", &o_rem, &start, &end, &o_thr, &depth))
+        return NULL;
+    buf_t b[2] = {0};
+    if (get_buf(o_rem, &b[0], 0, "rem") || get_buf(o_thr, &b[1], 0, "thr")) {
+        release_all(b, 2);
+        return NULL;
+    }
+    const double *rem = DBL(b[0]);
+    const int64_t *thr = I64(b[1]);
+    int ok = 1;
+    for (int64_t p = start; p < end; p++) {
+        if (rem[p] > TOL && thr[p] > depth) {
+            ok = 0;
+            break;
+        }
+    }
+    release_all(b, 2);
+    if (ok)
+        Py_RETURN_TRUE;
+    Py_RETURN_FALSE;
+}
+
+/* drain(rem, inr, res, caf, cao, rrk, thr_or_none, si, start, end, depth,
+ *       budget, largest_first, split_last) -> (drained, [(pos, amt), ...]) */
+static PyObject *
+k_drain(PyObject *self, PyObject *args)
+{
+    PyObject *o_rem, *o_inr, *o_res, *o_caf, *o_cao, *o_rrk, *o_thr;
+    long long si, start, end, depth;
+    double budget;
+    int largest_first, split_last;
+    if (!PyArg_ParseTuple(args, "OOOOOOOLLLLdii", &o_rem, &o_inr, &o_res,
+                          &o_caf, &o_cao, &o_rrk, &o_thr, &si, &start, &end,
+                          &depth, &budget, &largest_first, &split_last))
+        return NULL;
+    buf_t b[7] = {0};
+    if (get_buf(o_rem, &b[0], 1, "rem") || get_buf(o_inr, &b[1], 1, "inr") ||
+        get_buf(o_res, &b[2], 1, "res") || get_buf(o_caf, &b[3], 0, "caf") ||
+        get_buf(o_cao, &b[4], 0, "cao") || get_buf(o_rrk, &b[5], 0, "rrk")) {
+        release_all(b, 7);
+        return NULL;
+    }
+    const int64_t *thr = NULL;
+    if (o_thr != Py_None) {
+        if (get_buf(o_thr, &b[6], 0, "thr")) {
+            release_all(b, 7);
+            return NULL;
+        }
+        thr = I64(b[6]);
+    }
+    double *rem = DBL(b[0]), *inr = DBL(b[1]), *res = DBL(b[2]);
+    const int64_t *caf = I64(b[3]), *cao = I64(b[4]), *rrk = I64(b[5]);
+
+    int64_t span = end - start;
+    int64_t *taken_pos = NULL;
+    double *taken_amt = NULL;
+    PyObject *result = NULL;
+    if (span > 0) {
+        taken_pos = (int64_t *)malloc((size_t)span * sizeof(int64_t));
+        taken_amt = (double *)malloc((size_t)span * sizeof(double));
+        if (taken_pos == NULL || taken_amt == NULL) {
+            PyErr_NoMemory();
+            goto done;
+        }
+    }
+    double drained = 0.0;
+    int64_t count = drain_select(rem, rrk, thr, depth, start, end, budget,
+                                 largest_first, split_last, taken_pos,
+                                 taken_amt, &drained);
+    if (count < 0)
+        goto done;
+    if (count > 0)
+        serve_taken(rem, inr, res, caf, cao, si, taken_pos, taken_amt, count);
+    PyObject *taken = taken_list(taken_pos, taken_amt, count);
+    if (taken == NULL)
+        goto done;
+    result = Py_BuildValue("(dN)", drained, taken);
+done:
+    free(taken_pos);
+    free(taken_amt);
+    release_all(b, 7);
+    return result;
+}
+
+/* cover(rem, inr, res, caf, cao, css, cse, nse, naf, nao, thr_or_none,
+ *       si, depth, bulk_min) -> (covered, [(pos, amt), ...])
+ * Serve every eligible pending client of subtree(si).  Past bulk_min
+ * served clients the inreq update batches into one prefix sum over the
+ * subtree span, exactly like the fast engine's _serve_bulk. */
+static PyObject *
+k_cover(PyObject *self, PyObject *args)
+{
+    PyObject *o_rem, *o_inr, *o_res, *o_caf, *o_cao, *o_css, *o_cse, *o_nse,
+        *o_naf, *o_nao, *o_thr;
+    long long si, depth, bulk_min;
+    if (!PyArg_ParseTuple(args, "OOOOOOOOOOOLLL", &o_rem, &o_inr, &o_res,
+                          &o_caf, &o_cao, &o_css, &o_cse, &o_nse, &o_naf,
+                          &o_nao, &o_thr, &si, &depth, &bulk_min))
+        return NULL;
+    buf_t b[11] = {0};
+    if (get_buf(o_rem, &b[0], 1, "rem") || get_buf(o_inr, &b[1], 1, "inr") ||
+        get_buf(o_res, &b[2], 1, "res") || get_buf(o_caf, &b[3], 0, "caf") ||
+        get_buf(o_cao, &b[4], 0, "cao") || get_buf(o_css, &b[5], 0, "css") ||
+        get_buf(o_cse, &b[6], 0, "cse") || get_buf(o_nse, &b[7], 0, "nse") ||
+        get_buf(o_naf, &b[8], 0, "naf") || get_buf(o_nao, &b[9], 0, "nao")) {
+        release_all(b, 11);
+        return NULL;
+    }
+    const int64_t *thr = NULL;
+    if (o_thr != Py_None) {
+        if (get_buf(o_thr, &b[10], 0, "thr")) {
+            release_all(b, 11);
+            return NULL;
+        }
+        thr = I64(b[10]);
+    }
+    double *rem = DBL(b[0]), *inr = DBL(b[1]), *res = DBL(b[2]);
+    const int64_t *caf = I64(b[3]), *cao = I64(b[4]);
+    const int64_t *css = I64(b[5]), *cse = I64(b[6]), *nse = I64(b[7]);
+    const int64_t *naf = I64(b[8]), *nao = I64(b[9]);
+
+    int64_t start = css[si], end = cse[si];
+    int64_t span = end - start;
+    PyObject *result = NULL;
+    int64_t *taken_pos = NULL;
+    double *taken_amt = NULL;
+    double *scratch = NULL;
+    if (span > 0) {
+        taken_pos = (int64_t *)malloc((size_t)span * sizeof(int64_t));
+        taken_amt = (double *)malloc((size_t)span * sizeof(double));
+        if (taken_pos == NULL || taken_amt == NULL) {
+            PyErr_NoMemory();
+            goto done;
+        }
+    }
+    int64_t count = 0;
+    for (int64_t p = start; p < end; p++)
+        if (rem[p] > TOL && (thr == NULL || thr[p] <= depth))
+            taken_pos[count++] = p;
+
+    double total = 0.0;
+    if (count == 0) {
+        /* nothing to serve */
+    }
+    else if (count >= bulk_min) {
+        /* _serve_bulk: zero out the served clients, one prefix sum over
+         * the span, subtract per-node deltas inside the subtree and the
+         * grand total above it. */
+        scratch = (double *)calloc((size_t)(2 * span + 1), sizeof(double));
+        if (scratch == NULL) {
+            PyErr_NoMemory();
+            goto done;
+        }
+        double *served = scratch;          /* span doubles */
+        double *prefix = scratch + span;   /* span + 1 doubles */
+        for (int64_t k = 0; k < count; k++) {
+            int64_t p = taken_pos[k];
+            double amount = rem[p];
+            taken_amt[k] = amount;
+            rem[p] = 0.0;
+            served[p - start] = amount;
+            total += amount;
+        }
+        res[si] -= total;
+        double running = 0.0;
+        prefix[0] = 0.0;
+        for (int64_t k = 0; k < span; k++) {
+            running = running + served[k];
+            prefix[k + 1] = running;
+        }
+        for (int64_t ni = si; ni < nse[si]; ni++) {
+            double delta = prefix[cse[ni] - start] - prefix[css[ni] - start];
+            if (delta != 0.0)
+                inr[ni] -= delta;
+        }
+        for (int64_t j = nao[si]; j < nao[si + 1]; j++)
+            inr[naf[j]] -= total;
+    }
+    else {
+        for (int64_t k = 0; k < count; k++)
+            taken_amt[k] = rem[taken_pos[k]];
+        total = serve_taken(rem, inr, res, caf, cao, si, taken_pos, taken_amt,
+                            count);
+    }
+    PyObject *taken = taken_list(taken_pos, taken_amt, count);
+    if (taken == NULL)
+        goto done;
+    result = Py_BuildValue("(dN)", total, taken);
+done:
+    free(scratch);
+    free(taken_pos);
+    free(taken_amt);
+    release_all(b, 11);
+    return result;
+}
+
+/* Shared body of the two sweep kernels: drain server position i with
+ * `budget`, appending (i, pos, amount) triples to `assigns`.  Returns 0
+ * on success, -1 on error. */
+static int
+sweep_drain(double *rem, double *inr, double *res,
+            const int64_t *caf, const int64_t *cao, const int64_t *rrk,
+            const int64_t *thr, const int64_t *nd,
+            const int64_t *css, const int64_t *cse,
+            int64_t i, double budget, int largest_first, int split_last,
+            int64_t *taken_pos, double *taken_amt, PyObject *assigns)
+{
+    if (budget <= TOL)
+        return 0;
+    double drained = 0.0;
+    int64_t count = drain_select(rem, rrk, thr, thr ? nd[i] : 0, css[i],
+                                 cse[i], budget, largest_first, split_last,
+                                 taken_pos, taken_amt, &drained);
+    if (count < 0)
+        return -1;
+    if (count == 0)
+        return 0;
+    serve_taken(rem, inr, res, caf, cao, i, taken_pos, taken_amt, count);
+    for (int64_t k = 0; k < count; k++) {
+        PyObject *triple = Py_BuildValue("(LLd)", (long long)i,
+                                         (long long)taken_pos[k],
+                                         taken_amt[k]);
+        if (triple == NULL)
+            return -1;
+        int rc = PyList_Append(assigns, triple);
+        Py_DECREF(triple);
+        if (rc != 0)
+            return -1;
+    }
+    return 0;
+}
+
+/* sweep_saturated(rem, inr, res, rep, cap, css, cse, caf, cao, rrk,
+ *                 thr_or_none, nd, order_or_none, largest_first, split_last)
+ *     -> (placed, assigns)
+ * The UTD/MTD/MBU first pass: walk the nodes (pre-order when order is
+ * None, else the given permutation, e.g. post-order), place a replica on
+ * every node whose pending subtree load reaches its capacity, and drain
+ * whole clients into it. */
+static PyObject *
+k_sweep_saturated(PyObject *self, PyObject *args)
+{
+    PyObject *o_rem, *o_inr, *o_res, *o_rep, *o_cap, *o_css, *o_cse, *o_caf,
+        *o_cao, *o_rrk, *o_thr, *o_nd, *o_order;
+    int largest_first, split_last;
+    if (!PyArg_ParseTuple(args, "OOOOOOOOOOOOOii", &o_rem, &o_inr, &o_res,
+                          &o_rep, &o_cap, &o_css, &o_cse, &o_caf, &o_cao,
+                          &o_rrk, &o_thr, &o_nd, &o_order, &largest_first,
+                          &split_last))
+        return NULL;
+    buf_t b[13] = {0};
+    if (get_buf(o_rem, &b[0], 1, "rem") || get_buf(o_inr, &b[1], 1, "inr") ||
+        get_buf(o_res, &b[2], 1, "res") || get_buf(o_rep, &b[3], 1, "rep") ||
+        get_buf(o_cap, &b[4], 0, "cap") || get_buf(o_css, &b[5], 0, "css") ||
+        get_buf(o_cse, &b[6], 0, "cse") || get_buf(o_caf, &b[7], 0, "caf") ||
+        get_buf(o_cao, &b[8], 0, "cao") || get_buf(o_rrk, &b[9], 0, "rrk") ||
+        get_buf(o_nd, &b[10], 0, "nd")) {
+        release_all(b, 13);
+        return NULL;
+    }
+    const int64_t *thr = NULL;
+    if (o_thr != Py_None) {
+        if (get_buf(o_thr, &b[11], 0, "thr")) {
+            release_all(b, 13);
+            return NULL;
+        }
+        thr = I64(b[11]);
+    }
+    const int64_t *order = NULL;
+    if (o_order != Py_None) {
+        if (get_buf(o_order, &b[12], 0, "order")) {
+            release_all(b, 13);
+            return NULL;
+        }
+        order = I64(b[12]);
+    }
+    double *rem = DBL(b[0]), *inr = DBL(b[1]), *res = DBL(b[2]);
+    unsigned char *rep = U8(b[3]);
+    const double *cap = DBL(b[4]);
+    const int64_t *css = I64(b[5]), *cse = I64(b[6]);
+    const int64_t *caf = I64(b[7]), *cao = I64(b[8]), *rrk = I64(b[9]);
+    const int64_t *nd = I64(b[10]);
+    int64_t n_nodes = (int64_t)(b[4].view.len / (Py_ssize_t)sizeof(double));
+    int64_t n_clients = (int64_t)(b[0].view.len / (Py_ssize_t)sizeof(double));
+
+    PyObject *placed = NULL, *assigns = NULL, *result = NULL;
+    int64_t *taken_pos = NULL;
+    double *taken_amt = NULL;
+    placed = PyList_New(0);
+    assigns = PyList_New(0);
+    if (placed == NULL || assigns == NULL)
+        goto done;
+    if (n_clients > 0) {
+        taken_pos = (int64_t *)malloc((size_t)n_clients * sizeof(int64_t));
+        taken_amt = (double *)malloc((size_t)n_clients * sizeof(double));
+        if (taken_pos == NULL || taken_amt == NULL) {
+            PyErr_NoMemory();
+            goto done;
+        }
+    }
+    for (int64_t k = 0; k < n_nodes; k++) {
+        int64_t i = order ? order[k] : k;
+        double capacity = cap[i];
+        if (inr[i] >= capacity - TOL && inr[i] > TOL) {
+            rep[i] = 1;
+            PyObject *pos = PyLong_FromLongLong((long long)i);
+            if (pos == NULL)
+                goto done;
+            int rc = PyList_Append(placed, pos);
+            Py_DECREF(pos);
+            if (rc != 0)
+                goto done;
+            if (sweep_drain(rem, inr, res, caf, cao, rrk, thr, nd, css, cse,
+                            i, capacity, largest_first, split_last, taken_pos,
+                            taken_amt, assigns) != 0)
+                goto done;
+        }
+    }
+    result = Py_BuildValue("(OO)", placed, assigns);
+done:
+    free(taken_pos);
+    free(taken_amt);
+    Py_XDECREF(placed);
+    Py_XDECREF(assigns);
+    release_all(b, 13);
+    return result;
+}
+
+/* sweep_second(rem, inr, res, rep, css, cse, nse, caf, cao, rrk,
+ *              thr_or_none, nd, largest_first, split_last)
+ *     -> (placed, assigns)
+ * The UTD/MTD/MBU second pass: top-down, place a replica on the highest
+ * non-replica node that still sees pending requests and drain everything
+ * it may serve; never descend below a fresh replica, skip subtrees with
+ * nothing pending. */
+static PyObject *
+k_sweep_second(PyObject *self, PyObject *args)
+{
+    PyObject *o_rem, *o_inr, *o_res, *o_rep, *o_css, *o_cse, *o_nse, *o_caf,
+        *o_cao, *o_rrk, *o_thr, *o_nd;
+    int largest_first, split_last;
+    if (!PyArg_ParseTuple(args, "OOOOOOOOOOOOii", &o_rem, &o_inr, &o_res,
+                          &o_rep, &o_css, &o_cse, &o_nse, &o_caf, &o_cao,
+                          &o_rrk, &o_thr, &o_nd, &largest_first, &split_last))
+        return NULL;
+    buf_t b[12] = {0};
+    if (get_buf(o_rem, &b[0], 1, "rem") || get_buf(o_inr, &b[1], 1, "inr") ||
+        get_buf(o_res, &b[2], 1, "res") || get_buf(o_rep, &b[3], 1, "rep") ||
+        get_buf(o_css, &b[4], 0, "css") || get_buf(o_cse, &b[5], 0, "cse") ||
+        get_buf(o_nse, &b[6], 0, "nse") || get_buf(o_caf, &b[7], 0, "caf") ||
+        get_buf(o_cao, &b[8], 0, "cao") || get_buf(o_rrk, &b[9], 0, "rrk") ||
+        get_buf(o_nd, &b[10], 0, "nd")) {
+        release_all(b, 12);
+        return NULL;
+    }
+    const int64_t *thr = NULL;
+    if (o_thr != Py_None) {
+        if (get_buf(o_thr, &b[11], 0, "thr")) {
+            release_all(b, 12);
+            return NULL;
+        }
+        thr = I64(b[11]);
+    }
+    double *rem = DBL(b[0]), *inr = DBL(b[1]), *res = DBL(b[2]);
+    unsigned char *rep = U8(b[3]);
+    const int64_t *css = I64(b[4]), *cse = I64(b[5]), *nse = I64(b[6]);
+    const int64_t *caf = I64(b[7]), *cao = I64(b[8]), *rrk = I64(b[9]);
+    const int64_t *nd = I64(b[10]);
+    int64_t n_nodes = (int64_t)(b[6].view.len / (Py_ssize_t)sizeof(int64_t));
+    int64_t n_clients = (int64_t)(b[0].view.len / (Py_ssize_t)sizeof(double));
+
+    PyObject *placed = NULL, *assigns = NULL, *result = NULL;
+    int64_t *taken_pos = NULL;
+    double *taken_amt = NULL;
+    placed = PyList_New(0);
+    assigns = PyList_New(0);
+    if (placed == NULL || assigns == NULL)
+        goto done;
+    if (n_clients > 0) {
+        taken_pos = (int64_t *)malloc((size_t)n_clients * sizeof(int64_t));
+        taken_amt = (double *)malloc((size_t)n_clients * sizeof(double));
+        if (taken_pos == NULL || taken_amt == NULL) {
+            PyErr_NoMemory();
+            goto done;
+        }
+    }
+    /* The recursive pass visits the root unconditionally and only filters
+     * *children* on pending load, so the root gets its own step: place
+     * there if possible, otherwise scan descendants with the per-node
+     * filter (a node's pending load is untouched by its earlier siblings'
+     * drains, so testing on arrival equals the recursion's test). */
+    int64_t i = n_nodes;
+    if (n_nodes > 0) {
+        if (!rep[0] && inr[0] > TOL) {
+            rep[0] = 1;
+            PyObject *pos = PyLong_FromLongLong(0);
+            if (pos == NULL)
+                goto done;
+            int rc = PyList_Append(placed, pos);
+            Py_DECREF(pos);
+            if (rc != 0)
+                goto done;
+            if (sweep_drain(rem, inr, res, caf, cao, rrk, thr, nd, css, cse,
+                            0, inr[0], largest_first, split_last, taken_pos,
+                            taken_amt, assigns) != 0)
+                goto done;
+        }
+        else {
+            i = 1;
+        }
+    }
+    while (i < n_nodes) {
+        if (inr[i] <= TOL) {
+            i = nse[i]; /* nothing pending below: skip the whole subtree */
+            continue;
+        }
+        if (!rep[i]) {
+            rep[i] = 1;
+            PyObject *pos = PyLong_FromLongLong((long long)i);
+            if (pos == NULL)
+                goto done;
+            int rc = PyList_Append(placed, pos);
+            Py_DECREF(pos);
+            if (rc != 0)
+                goto done;
+            if (sweep_drain(rem, inr, res, caf, cao, rrk, thr, nd, css, cse,
+                            i, inr[i], largest_first, split_last, taken_pos,
+                            taken_amt, assigns) != 0)
+                goto done;
+            i = nse[i]; /* never descend below a fresh replica */
+        }
+        else {
+            i++; /* an old replica: keep searching below it */
+        }
+    }
+    result = Py_BuildValue("(OO)", placed, assigns);
+done:
+    free(taken_pos);
+    free(taken_amt);
+    Py_XDECREF(placed);
+    Py_XDECREF(assigns);
+    release_all(b, 12);
+    return result;
+}
+
+/* best_fit(res, nd, caf, cao, ci, threshold, requests) -> int
+ * Best-fit server position for a whole client (UBCF): walk the client's
+ * ancestor chain bottom-up, keep the first minimal-residual ancestor that
+ * can host all requests; stop at the QoS threshold (-1: no QoS).
+ * Returns -1 when no ancestor qualifies. */
+static PyObject *
+k_best_fit(PyObject *self, PyObject *args)
+{
+    PyObject *o_res, *o_nd, *o_caf, *o_cao;
+    long long ci, threshold;
+    double requests;
+    if (!PyArg_ParseTuple(args, "OOOOLLd", &o_res, &o_nd, &o_caf, &o_cao, &ci,
+                          &threshold, &requests))
+        return NULL;
+    buf_t b[4] = {0};
+    if (get_buf(o_res, &b[0], 0, "res") || get_buf(o_nd, &b[1], 0, "nd") ||
+        get_buf(o_caf, &b[2], 0, "caf") || get_buf(o_cao, &b[3], 0, "cao")) {
+        release_all(b, 4);
+        return NULL;
+    }
+    const double *res = DBL(b[0]);
+    const int64_t *nd = I64(b[1]);
+    const int64_t *caf = I64(b[2]), *cao = I64(b[3]);
+    int64_t best = -1;
+    for (int64_t j = cao[ci]; j < cao[ci + 1]; j++) {
+        int64_t a = caf[j];
+        if (threshold >= 0 && nd[a] < threshold)
+            break; /* monotone QoS: everything above is out of bound too */
+        if (res[a] + TOL >= requests) {
+            if (best < 0 || res[a] < res[best] - TOL)
+                best = a;
+        }
+    }
+    release_all(b, 4);
+    return PyLong_FromLongLong((long long)best);
+}
+
+/* build_chains(first_parent, node_parent, flat_out, off_out)
+ * Flatten bottom-up ancestor chains (as dense node positions) in CSR
+ * form.  For element e the chain starts at first_parent[e] and climbs
+ * node_parent until the root (parent -1).  off_out must hold n+1 slots;
+ * flat_out must hold the total chain length (sum of depths). */
+static PyObject *
+k_build_chains(PyObject *self, PyObject *args)
+{
+    PyObject *o_fp, *o_np, *o_flat, *o_off;
+    if (!PyArg_ParseTuple(args, "OOOO", &o_fp, &o_np, &o_flat, &o_off))
+        return NULL;
+    buf_t b[4] = {0};
+    if (get_buf(o_fp, &b[0], 0, "first_parent") ||
+        get_buf(o_np, &b[1], 0, "node_parent") ||
+        get_buf(o_flat, &b[2], 1, "flat_out") ||
+        get_buf(o_off, &b[3], 1, "off_out")) {
+        release_all(b, 4);
+        return NULL;
+    }
+    const int64_t *fp = I64(b[0]);
+    const int64_t *np = I64(b[1]);
+    int64_t *flat = I64(b[2]);
+    int64_t *off = I64(b[3]);
+    int64_t n = (int64_t)(b[0].view.len / (Py_ssize_t)sizeof(int64_t));
+    int64_t flat_cap = (int64_t)(b[2].view.len / (Py_ssize_t)sizeof(int64_t));
+    int64_t k = 0;
+    off[0] = 0;
+    for (int64_t e = 0; e < n; e++) {
+        int64_t a = fp[e];
+        while (a >= 0 && k < flat_cap) {
+            flat[k++] = a;
+            a = np[a];
+        }
+        if (a >= 0) {
+            release_all(b, 4);
+            PyErr_SetString(PyExc_ValueError, "ancestor chain overflow");
+            return NULL;
+        }
+        off[e + 1] = k;
+    }
+    release_all(b, 4);
+    return PyLong_FromLongLong((long long)k);
+}
+
+/* thresholds_distance(client_depth, bounds, caf, cao, nd, out)
+ * Per-client minimal eligible server depth under hop-count QoS; mirrors
+ * TreeIndex.qos_depth_thresholds comparison for comparison. */
+static PyObject *
+k_thresholds_distance(PyObject *self, PyObject *args)
+{
+    PyObject *o_cd, *o_bounds, *o_caf, *o_cao, *o_nd, *o_out;
+    if (!PyArg_ParseTuple(args, "OOOOOO", &o_cd, &o_bounds, &o_caf, &o_cao,
+                          &o_nd, &o_out))
+        return NULL;
+    buf_t b[6] = {0};
+    if (get_buf(o_cd, &b[0], 0, "client_depth") ||
+        get_buf(o_bounds, &b[1], 0, "bounds") ||
+        get_buf(o_caf, &b[2], 0, "caf") || get_buf(o_cao, &b[3], 0, "cao") ||
+        get_buf(o_nd, &b[4], 0, "nd") || get_buf(o_out, &b[5], 1, "out")) {
+        release_all(b, 6);
+        return NULL;
+    }
+    const int64_t *cd = I64(b[0]);
+    const double *bounds = DBL(b[1]);
+    const int64_t *caf = I64(b[2]), *cao = I64(b[3]), *nd = I64(b[4]);
+    int64_t *out = I64(b[5]);
+    int64_t n = (int64_t)(b[0].view.len / (Py_ssize_t)sizeof(int64_t));
+    for (int64_t ci = 0; ci < n; ci++) {
+        int64_t client_depth = cd[ci];
+        double bound = bounds[ci];
+        int64_t best = client_depth; /* sentinel: nothing eligible */
+        for (int64_t j = cao[ci]; j < cao[ci + 1]; j++) {
+            int64_t depth = nd[caf[j]];
+            if ((double)(client_depth - depth) <= bound)
+                best = depth;
+            else
+                break; /* monotone metric: everything above fails */
+        }
+        out[ci] = best;
+    }
+    release_all(b, 6);
+    Py_RETURN_NONE;
+}
+
+/* thresholds_latency(client_depth, bounds, client_uplink, node_uplink,
+ *                    caf, cao, nd, out)
+ * Same, accumulating link communication times path-order like the
+ * indexed Python implementation. */
+static PyObject *
+k_thresholds_latency(PyObject *self, PyObject *args)
+{
+    PyObject *o_cd, *o_bounds, *o_cup, *o_nup, *o_caf, *o_cao, *o_nd, *o_out;
+    if (!PyArg_ParseTuple(args, "OOOOOOOO", &o_cd, &o_bounds, &o_cup, &o_nup,
+                          &o_caf, &o_cao, &o_nd, &o_out))
+        return NULL;
+    buf_t b[8] = {0};
+    if (get_buf(o_cd, &b[0], 0, "client_depth") ||
+        get_buf(o_bounds, &b[1], 0, "bounds") ||
+        get_buf(o_cup, &b[2], 0, "client_uplink") ||
+        get_buf(o_nup, &b[3], 0, "node_uplink") ||
+        get_buf(o_caf, &b[4], 0, "caf") || get_buf(o_cao, &b[5], 0, "cao") ||
+        get_buf(o_nd, &b[6], 0, "nd") || get_buf(o_out, &b[7], 1, "out")) {
+        release_all(b, 8);
+        return NULL;
+    }
+    const int64_t *cd = I64(b[0]);
+    const double *bounds = DBL(b[1]);
+    const double *cup = DBL(b[2]), *nup = DBL(b[3]);
+    const int64_t *caf = I64(b[4]), *cao = I64(b[5]), *nd = I64(b[6]);
+    int64_t *out = I64(b[7]);
+    int64_t n = (int64_t)(b[0].view.len / (Py_ssize_t)sizeof(int64_t));
+    for (int64_t ci = 0; ci < n; ci++) {
+        double bound = bounds[ci];
+        int64_t best = cd[ci];
+        double latency = 0.0;
+        double comm = cup[ci];
+        for (int64_t j = cao[ci]; j < cao[ci + 1]; j++) {
+            int64_t a = caf[j];
+            latency += comm;
+            if (latency <= bound)
+                best = nd[a];
+            else
+                break;
+            comm = nup[a];
+        }
+        out[ci] = best;
+    }
+    release_all(b, 8);
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef kernel_methods[] = {
+    {"assign", k_assign, METH_VARARGS, "Affect requests of one client to a server."},
+    {"total", k_total, METH_VARARGS, "Sum of a double vector, left to right."},
+    {"pending_ids", k_pending_ids, METH_VARARGS, "Identifiers of pending (eligible) clients in a span."},
+    {"sum_eligible", k_sum_eligible, METH_VARARGS, "Pending eligible requests of a span."},
+    {"all_within_qos", k_all_within_qos, METH_VARARGS, "Whether every pending client of a span is QoS-eligible."},
+    {"drain", k_drain, METH_VARARGS, "Whole-client drain of a subtree span into a server."},
+    {"cover", k_cover, METH_VARARGS, "Serve every eligible pending client of a subtree."},
+    {"sweep_saturated", k_sweep_saturated, METH_VARARGS, "Place+drain every saturated node (first pass)."},
+    {"sweep_second", k_sweep_second, METH_VARARGS, "Top-down completion pass (second pass)."},
+    {"best_fit", k_best_fit, METH_VARARGS, "Best-fit ancestor for a whole client."},
+    {"build_chains", k_build_chains, METH_VARARGS, "Flatten bottom-up ancestor chains in CSR form."},
+    {"thresholds_distance", k_thresholds_distance, METH_VARARGS, "Per-client QoS depth thresholds (hop metric)."},
+    {"thresholds_latency", k_thresholds_latency, METH_VARARGS, "Per-client QoS depth thresholds (latency metric)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef kernel_module = {
+    PyModuleDef_HEAD_INIT,
+    "_repro_native",
+    "Compiled kernels of the native request-state engine.",
+    -1,
+    kernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__repro_native(void)
+{
+    return PyModule_Create(&kernel_module);
+}

@@ -14,7 +14,6 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.algorithms.base import PlacementHeuristic, register_heuristic
-from repro.algorithms.closest.ctda import closest_cover_eligible
 from repro.algorithms.common import make_state
 from repro.core.policies import Policy
 from repro.core.problem import ReplicaPlacementProblem
@@ -35,7 +34,7 @@ class ClosestBottomUp(PlacementHeuristic):
         tree = problem.tree
 
         for node_id in tree.post_order_nodes():
-            if closest_cover_eligible(state, node_id):
+            if state.can_cover(node_id):
                 state.place(node_id)
                 state.cover(node_id)
 

@@ -22,26 +22,16 @@ from repro.core.solution import Solution
 
 __all__ = ["ClosestTopDownAll", "closest_cover_eligible"]
 
-_TOL = 1e-9
-
 
 def closest_cover_eligible(state: RequestState, node_id) -> bool:
     """Can ``node_id`` capture the whole remaining load of its subtree?
 
-    Under the Closest policy a replica automatically serves every pending
-    client of its subtree, so the node must have enough capacity for all of
-    them and (when QoS is enforced) be within the QoS bound of each.
+    Thin wrapper kept for backwards compatibility: the eligibility test now
+    lives on the state (:meth:`RequestState.can_cover`) so each engine can
+    supply its own implementation -- the native engine checks the QoS of the
+    whole span in one kernel call instead of one predicate per client.
     """
-    pending = state.inreq[node_id]
-    if pending <= _TOL:
-        return False
-    if state.problem.capacity(node_id) + _TOL < pending:
-        return False
-    if state.problem.constraints.has_qos:
-        for client_id in state.pending_clients(node_id):
-            if not state.problem.qos_satisfied(client_id, node_id):
-                return False
-    return True
+    return state.can_cover(node_id)
 
 
 @register_heuristic
@@ -65,7 +55,7 @@ class ClosestTopDownAll(PlacementHeuristic):
                 if state.is_replica(node_id):
                     # The subtree is fully captured; never look below a replica.
                     continue
-                if closest_cover_eligible(state, node_id):
+                if state.can_cover(node_id):
                     state.place(node_id)
                     state.cover(node_id)
                     added = True

@@ -19,7 +19,6 @@ from collections import deque
 from typing import Optional
 
 from repro.algorithms.base import PlacementHeuristic, register_heuristic
-from repro.algorithms.closest.ctda import closest_cover_eligible
 from repro.algorithms.common import RequestState, make_state
 from repro.core.policies import Policy
 from repro.core.problem import ReplicaPlacementProblem
@@ -58,7 +57,7 @@ class ClosestTopDownLargestFirst(PlacementHeuristic):
             node_id = fifo.popleft()
             if state.is_replica(node_id):
                 continue
-            if closest_cover_eligible(state, node_id):
+            if state.can_cover(node_id):
                 state.place(node_id)
                 state.cover(node_id)
                 return True

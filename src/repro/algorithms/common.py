@@ -43,10 +43,41 @@ __all__ = [
 
 _TOL = 1e-9
 
-#: The two interchangeable state engines: the paper-faithful dict
-#: implementation below and the indexed array implementation of
-#: :mod:`repro.algorithms.fast_state`.
-_ENGINES = ("dict", "fast")
+
+def _make_dict_state(problem: "ReplicaPlacementProblem") -> "RequestState":
+    return RequestState(problem)
+
+
+def _make_fast_state(problem: "ReplicaPlacementProblem") -> "RequestState":
+    from repro.algorithms.fast_state import FastRequestState
+
+    return FastRequestState(problem)
+
+
+def _make_native_state(problem: "ReplicaPlacementProblem") -> "RequestState":
+    from repro.algorithms.native_state import create_native_state
+
+    return create_native_state(problem)
+
+
+#: The interchangeable state engines: the paper-faithful dict implementation
+#: below, the indexed array implementation of
+#: :mod:`repro.algorithms.fast_state`, and the compiled-kernel implementation
+#: of :mod:`repro.algorithms.native_state` (which falls back to ``fast`` when
+#: no C compiler is available, so every name here is always valid).
+#: ``_ENGINES`` and every engine-listing error message derive from this
+#: registry, so they cannot drift from the factory.
+_ENGINE_FACTORIES = {
+    "dict": _make_dict_state,
+    "fast": _make_fast_state,
+    "native": _make_native_state,
+}
+
+_ENGINES = tuple(_ENGINE_FACTORIES)
+
+
+def _engine_names() -> str:
+    return ", ".join(_ENGINES)
 
 #: The selected engine lives in a :class:`~contextvars.ContextVar` so that
 #: concurrent batch calls (threads, async tasks) switching engines never
@@ -76,8 +107,8 @@ def set_default_engine(engine: str) -> str:
     context-local: it applies to the current thread / async context and to
     worker processes forked from it.
     """
-    if engine not in _ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; available: {_ENGINES}")
+    if engine not in _ENGINE_FACTORIES:
+        raise ValueError(f"unknown engine {engine!r}; available: {_engine_names()}")
     previous = _engine_var.get()
     _engine_var.set(engine)
     return previous
@@ -86,8 +117,8 @@ def set_default_engine(engine: str) -> str:
 @contextlib.contextmanager
 def use_engine(engine: str) -> Iterator[str]:
     """Context manager temporarily switching the default engine."""
-    if engine not in _ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; available: {_ENGINES}")
+    if engine not in _ENGINE_FACTORIES:
+        raise ValueError(f"unknown engine {engine!r}; available: {_engine_names()}")
     token = _engine_var.set(engine)
     try:
         yield engine
@@ -98,19 +129,20 @@ def use_engine(engine: str) -> Iterator[str]:
 def make_state(problem: ReplicaPlacementProblem, engine: Optional[str] = None) -> "RequestState":
     """Build the request-affectation state every heuristic runs on.
 
-    ``engine`` forces ``"dict"`` (the seed implementation below) or
-    ``"fast"`` (the array-backed :class:`~repro.algorithms.fast_state.FastRequestState`);
+    ``engine`` forces one of ``"dict"`` (the seed implementation below),
+    ``"fast"`` (the array-backed
+    :class:`~repro.algorithms.fast_state.FastRequestState`) or ``"native"``
+    (the compiled-kernel
+    :class:`~repro.algorithms.native_state.NativeRequestState`, which falls
+    back to ``fast`` with a stderr note when the kernels cannot be built);
     by default the engine selected by :func:`set_default_engine` /
     :func:`use_engine` is used.
     """
     engine = engine or _engine_var.get()
-    if engine == "dict":
-        return RequestState(problem)
-    if engine == "fast":
-        from repro.algorithms.fast_state import FastRequestState
-
-        return FastRequestState(problem)
-    raise ValueError(f"unknown engine {engine!r}; available: {_ENGINES}")
+    factory = _ENGINE_FACTORIES.get(engine)
+    if factory is None:
+        raise ValueError(f"unknown engine {engine!r}; available: {_engine_names()}")
+    return factory(problem)
 
 
 class RequestState:
@@ -252,6 +284,115 @@ class RequestState:
         return covered
 
     # ------------------------------------------------------------------ #
+    # heuristic inner loops
+    #
+    # The traversal loops below used to live inside the individual
+    # heuristics; hoisting them onto the state lets each engine supply its
+    # own implementation (the native engine runs them as single C kernel
+    # calls).  The bodies here are verbatim copies of the original
+    # heuristic code, so the dict and fast engines behave exactly as
+    # before.
+    # ------------------------------------------------------------------ #
+    def can_cover(self, node_id: NodeId) -> bool:
+        """Can ``node_id`` capture the whole remaining load of its subtree?
+
+        Under the Closest policy a replica automatically serves every
+        pending client of its subtree, so the node must have enough capacity
+        for all of them and (when QoS is enforced) be within the QoS bound
+        of each (paper Algorithms 4-5 eligibility test).
+        """
+        pending = self.inreq[node_id]
+        if pending <= _TOL:
+            return False
+        if self.problem.capacity(node_id) + _TOL < pending:
+            return False
+        if self.problem.constraints.has_qos:
+            for client_id in self.pending_clients(node_id):
+                if not self.problem.qos_satisfied(client_id, node_id):
+                    return False
+        return True
+
+    def first_pass_sweep(
+        self, *, order: str = "pre", largest_first: bool = True, split_last: bool = False
+    ) -> None:
+        """Place a replica on every *exhausted* node and fill it by draining.
+
+        The saturation pass shared by UTD / MTD (``order="pre"``, paper
+        Algorithm 7) and MBU (``order="post"``, Algorithm 11): every node
+        whose pending subtree load reaches its capacity becomes a replica
+        and is filled via :meth:`drain` with the given client order and
+        splitting rule.
+        """
+        problem = self.problem
+        tree = self.tree
+        if order == "post":
+            node_ids: Iterable[NodeId] = tree.post_order_nodes()
+        else:
+            node_ids = _pre_order_nodes(tree)
+        for node_id in node_ids:
+            capacity = problem.capacity(node_id)
+            if self.inreq[node_id] >= capacity - _TOL and self.inreq[node_id] > _TOL:
+                self.place(node_id)
+                self.drain(
+                    node_id,
+                    capacity,
+                    largest_first=largest_first,
+                    split_last=split_last,
+                )
+
+    def second_pass_sweep(
+        self, *, largest_first: bool = True, split_last: bool = False
+    ) -> None:
+        """Top-down completion pass adding non-exhausted replicas.
+
+        Shared by UTD / MTD (paper Algorithm 8) and MBU (Algorithm 12): a
+        replica is placed on the highest free node that still sees pending
+        requests, everything it may serve is drained into it, and the
+        traversal never descends below a fresh replica; subtrees with
+        nothing pending are skipped.
+        """
+        self._second_pass_visit(self.tree.root, largest_first, split_last)
+
+    def _second_pass_visit(
+        self, node_id: NodeId, largest_first: bool, split_last: bool
+    ) -> None:
+        if not self.is_replica(node_id) and self.inreq[node_id] > _TOL:
+            self.place(node_id)
+            self.drain(
+                node_id,
+                self.inreq[node_id],
+                largest_first=largest_first,
+                split_last=split_last,
+            )
+            return
+        for child in self.tree.child_nodes(node_id):
+            if self.inreq[child] > _TOL:
+                self._second_pass_visit(child, largest_first, split_last)
+
+    def best_fit_server(self, client_id: NodeId, requests: float) -> Optional[NodeId]:
+        """Best-fit ancestor able to host all ``requests`` of ``client_id``.
+
+        The UBCF affectation rule (paper Algorithm 9): among the QoS-eligible
+        ancestors with enough residual capacity, keep the one with *minimal*
+        residual capacity; ancestors are enumerated bottom-up, so ties go to
+        the deepest node, keeping scarcer high-level capacity available for
+        clients with fewer options.  Returns ``None`` when no ancestor
+        qualifies.
+        """
+        candidates = [
+            ancestor
+            for ancestor in self.problem.eligible_servers(client_id)
+            if self.residual[ancestor] + _TOL >= requests
+        ]
+        if not candidates:
+            return None
+        target = candidates[0]
+        for ancestor in candidates[1:]:
+            if self.residual[ancestor] < self.residual[target] - _TOL:
+                target = ancestor
+        return target
+
+    # ------------------------------------------------------------------ #
     # results
     # ------------------------------------------------------------------ #
     def to_solution(self, policy: Policy, algorithm: str, **metadata) -> Solution:
@@ -276,3 +417,18 @@ class RequestState:
             if value > 1e-6
         }
         return ", ".join(f"{cid!r}: {value:g}" for cid, value in sorted(pending.items(), key=lambda kv: repr(kv[0])))
+
+
+def _pre_order_nodes(tree) -> Iterator[NodeId]:
+    """Internal nodes in DFS pre-order, children in link insertion order.
+
+    Exactly the visit order of the recursive first passes this generator
+    replaced (and of ``TreeIndex.node_order``).
+    """
+    stack = [tree.root]
+    while stack:
+        node_id = stack.pop()
+        yield node_id
+        children = tree.child_nodes(node_id)
+        if children:
+            stack.extend(reversed(children))

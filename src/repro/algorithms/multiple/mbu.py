@@ -17,54 +17,37 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.algorithms.base import PlacementHeuristic, register_heuristic
-from repro.algorithms.common import RequestState, make_state
+from repro.algorithms.common import make_state
 from repro.core.policies import Policy
 from repro.core.problem import ReplicaPlacementProblem
 from repro.core.solution import Solution
 
 __all__ = ["MultipleBottomUp"]
 
-_TOL = 1e-9
-
 
 @register_heuristic
 class MultipleBottomUp(PlacementHeuristic):
-    """Bottom-up exhausted-node pass, then a top-down completion pass."""
+    """Bottom-up exhausted-node pass, then a top-down completion pass.
+
+    Both passes are engine methods (:meth:`RequestState.first_pass_sweep`
+    with ``order="post"`` and :meth:`second_pass_sweep`), so the native
+    engine runs each as a single compiled kernel call.
+    """
 
     name = "MBU"
     policy = Policy.MULTIPLE
 
     def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
         state = make_state(problem)
-        tree = problem.tree
 
         # First pass: bottom-up, saturate every exhausted node with small
         # clients first (splitting allowed).
-        for node_id in tree.post_order_nodes():
-            capacity = problem.capacity(node_id)
-            if state.inreq[node_id] >= capacity - _TOL and state.inreq[node_id] > _TOL:
-                state.place(node_id)
-                state.drain(node_id, capacity, largest_first=False, split_last=True)
+        state.first_pass_sweep(order="post", largest_first=False, split_last=True)
 
         # Second pass: top-down completion on the remaining requests.
         if not state.all_requests_affected():
-            self._second_pass(state, tree, tree.root)
+            state.second_pass_sweep(largest_first=False, split_last=True)
 
         if not state.all_requests_affected():
             return None
         return state.to_solution(self.policy, self.name)
-
-    def _second_pass(self, state: RequestState, tree, node_id) -> None:
-        """Add non-exhausted replicas top-down (Algorithm 12)."""
-        if not state.is_replica(node_id) and state.inreq[node_id] > _TOL:
-            state.place(node_id)
-            state.drain(
-                node_id,
-                state.inreq[node_id],
-                largest_first=False,
-                split_last=True,
-            )
-            return
-        for child in tree.child_nodes(node_id):
-            if state.inreq[child] > _TOL:
-                self._second_pass(state, tree, child)

@@ -1,0 +1,597 @@
+"""Compiled request-affectation state (the "native" engine).
+
+:class:`NativeRequestState` is the third engine behind
+:func:`repro.algorithms.common.make_state`.  It keeps the exact public API
+of the dict and fast engines but stores the mutable state in flat
+``array('d')`` vectors laid out by :class:`~repro.core.index.TreeIndex` and
+runs every hot loop -- span scans, decorate-sort drains, prefix-sum covers,
+whole first/second heuristic passes, the UBCF best-fit walk -- inside the C
+kernels of :mod:`repro.algorithms._native` (compiled on first use with the
+system C compiler).
+
+The ``remaining`` / ``inreq`` / ``residual`` mappings every heuristic and
+test reads are :class:`VecMap` views over those vectors: id-keyed like the
+dict engine's mappings, but reading and writing the positional arrays the
+kernels mutate, so there is no dual bookkeeping to keep in sync.
+
+Equivalence contract
+--------------------
+
+Same as the fast engine's, one level down: every kernel repeats the fast
+implementation's float operations in the same order with the same ``1e-9``
+tolerances (drains select on ``(sign * remaining, repr-rank)`` exactly like
+the decorate-sort, covers batch ``inreq`` with the same prefix sums past the
+same 32-client cutoff), so ``native`` is bit-for-bit identical to ``fast``
+and ``dict`` across the engine-matrix suite.  Paths the kernels cannot
+represent -- non-monotone :class:`ConstraintSet` subclasses, spans addressed
+by client id -- delegate to the inherited fast implementations, which run
+unmodified over the same arrays.
+
+When the kernels cannot be built (no compiler, read-only filesystem,
+``REPRO_NATIVE_DISABLE=1``), :func:`create_native_state` falls back to
+:class:`~repro.algorithms.fast_state.FastRequestState` with a one-line
+stderr note, so ``engine="native"`` is always a valid selection.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.algorithms import _native
+from repro.algorithms.common import _TOL
+from repro.algorithms.fast_state import _BULK_COVER_MIN, FastRequestState
+from repro.core.index import TreeIndex
+from repro.core.problem import ReplicaPlacementProblem
+from repro.core.tree import NodeId
+
+__all__ = [
+    "NativeRequestState",
+    "VecMap",
+    "create_native_state",
+    "native_kernels_available",
+]
+
+
+def native_kernels_available() -> bool:
+    """``True`` when the compiled kernels loaded (or compiled) successfully."""
+    return _native.load_kernels() is not None
+
+
+_fallback_noted = False
+
+
+def create_native_state(problem: ReplicaPlacementProblem):
+    """Factory behind ``engine="native"``: kernels if possible, fast if not."""
+    global _fallback_noted
+    if native_kernels_available():
+        return NativeRequestState(problem)
+    if not _fallback_noted:
+        reason = _native.kernel_status().get("error") or "unavailable"
+        print(
+            f"repro: native kernels unavailable ({reason}); "
+            "falling back to the fast engine",
+            file=sys.stderr,
+        )
+        _fallback_noted = True
+    return FastRequestState(problem)
+
+
+class VecMap:
+    """Id-keyed dict-shaped view over one positional ``array('d')`` vector.
+
+    Heuristics and tests read the engine state as mappings
+    (``state.residual[node_id]``); the kernels mutate positional arrays.
+    This view serves both without synchronisation: lookups translate ids to
+    layout positions through the index's (shared, immutable) position dict
+    and read the live array; writes go straight through.  Unknown ids raise
+    ``KeyError`` exactly like the dict engines' mappings.
+    """
+
+    __slots__ = ("_vec", "_pos", "_order")
+
+    def __init__(self, vec: array, pos: Dict[NodeId, int], order: Tuple[NodeId, ...]):
+        self._vec = vec
+        self._pos = pos
+        self._order = order
+
+    def __getitem__(self, key: NodeId) -> float:
+        return self._vec[self._pos[key]]
+
+    def __setitem__(self, key: NodeId, value: float) -> None:
+        self._vec[self._pos[key]] = value
+
+    def __contains__(self, key: NodeId) -> bool:
+        return key in self._pos
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def get(self, key: NodeId, default=None):
+        position = self._pos.get(key)
+        return default if position is None else self._vec[position]
+
+    def keys(self) -> Tuple[NodeId, ...]:
+        return self._order
+
+    def values(self):
+        return list(self._vec)
+
+    def items(self):
+        return zip(self._order, self._vec)
+
+    def copy(self) -> Dict[NodeId, float]:
+        return dict(zip(self._order, self._vec))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, VecMap):
+            return self._order == other._order and self._vec == other._vec
+        if isinstance(other, dict):
+            return self.copy() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"VecMap({self.copy()!r})"
+
+
+class _NativeArrays:
+    """Structural buffers of one topology, shaped for the C kernels.
+
+    Everything here derives from the index's immutable layout (spans,
+    depths, parent pointers, capacities, ``repr`` tie-break keys), so one
+    instance is built per topology, cached in the index's ``_np_cache`` and
+    shared verbatim by epoch forks -- exactly like the numpy mirrors the LP
+    assembly keeps there.
+    """
+
+    __slots__ = (
+        "css",
+        "cse",
+        "nse",
+        "nd",
+        "cd",
+        "cap",
+        "caf",
+        "cao",
+        "naf",
+        "nao",
+        "rrk",
+        "_post_order",
+    )
+
+    def __init__(self, index: TreeIndex, kernels):
+        self.css = array("q", index.client_span_start)
+        self.cse = array("q", index.client_span_end)
+        self.nse = array("q", index.node_span_end)
+        self.nd = array("q", index.node_depth)
+        self.cd = array("q", index.client_depth)
+        self.cap = array(
+            "d", map(index.residual_template.__getitem__, index.node_order)
+        )
+        # Bottom-up ancestor chains as dense node positions, flattened in
+        # CSR form (client c's chain is caf[cao[c] : cao[c + 1]]).
+        client_parent = array("q", index.client_parent)
+        node_parent = array("q", index.node_parent)
+        self.caf = array("q", bytes(8 * sum(index.client_depth)))
+        self.cao = array("q", bytes(8 * (index.n_clients + 1)))
+        kernels.build_chains(client_parent, node_parent, self.caf, self.cao)
+        self.naf = array("q", bytes(8 * sum(index.node_depth)))
+        self.nao = array("q", bytes(8 * (index.n_nodes + 1)))
+        kernels.build_chains(node_parent, node_parent, self.naf, self.nao)
+        # Integer rank of every client under the (repr(id), position)
+        # lexicographic order: comparing ranks in C reproduces the decorated
+        # tuple sort's tie-breaking exactly (stable sort on repr alone keeps
+        # equal reprs in position order, which is the trailing tuple key).
+        reprs = index.client_repr
+        by_repr = sorted(range(index.n_clients), key=reprs.__getitem__)
+        rrk = array("q", bytes(8 * index.n_clients))
+        for rank, position in enumerate(by_repr):
+            rrk[position] = rank
+        self.rrk = rrk
+        self._post_order = None
+
+    def post_order(self, index: TreeIndex) -> array:
+        """Node positions in the tree's post-order (children before parent)."""
+        if self._post_order is None:
+            node_pos = index.node_pos
+            self._post_order = array(
+                "q", map(node_pos.__getitem__, index.tree.post_order_nodes())
+            )
+        return self._post_order
+
+
+def _native_arrays(index: TreeIndex, kernels) -> _NativeArrays:
+    arrays = index._np_cache.get("native_arrays")
+    if arrays is None:
+        arrays = _NativeArrays(index, kernels)
+        index._np_cache["native_arrays"] = arrays
+    return arrays
+
+
+def _qos_threshold_array(index: TreeIndex, problem, kernels, arrays) -> array:
+    """Per-client QoS depth thresholds as an ``array('q')``, kernel-computed.
+
+    Stored in the index's threshold memo next to the list the pure-Python
+    path computes (under a ``("native", mode)`` key), and mirrored into the
+    plain-mode slot as a list so the fast engine and the eligible-servers
+    cache never recompute it.  The kernel repeats the comparisons of
+    :meth:`TreeIndex.qos_depth_thresholds` operation for operation.
+    """
+    from repro.core.constraints import QoSMode
+
+    constraints = problem.constraints
+    mode = constraints.qos_mode
+    cache = index.qos_threshold_cache
+    key = ("native", mode)
+    thresholds = cache.get(key)
+    if thresholds is not None:
+        return thresholds
+    base = cache.get(mode)
+    if base is not None:
+        thresholds = array("q", base)
+    else:
+        clients_map = index.tree._clients
+        bounds = array("d", (clients_map[cid].qos for cid in index.client_order))
+        thresholds = array("q", bytes(8 * index.n_clients))
+        if mode is QoSMode.DISTANCE:
+            kernels.thresholds_distance(
+                arrays.cd, bounds, arrays.caf, arrays.cao, arrays.nd, thresholds
+            )
+        else:
+            uplink = index.uplink_comm
+            client_uplink = array("d", (uplink[cid] for cid in index.client_order))
+            node_uplink = array(
+                "d", (uplink.get(nid, 0.0) for nid in index.node_order)
+            )
+            kernels.thresholds_latency(
+                arrays.cd,
+                bounds,
+                client_uplink,
+                node_uplink,
+                arrays.caf,
+                arrays.cao,
+                arrays.nd,
+                thresholds,
+            )
+        cache[mode] = list(thresholds)
+    cache[key] = thresholds
+    return thresholds
+
+
+class NativeRequestState(FastRequestState):
+    """``RequestState`` whose hot methods run in compiled kernels.
+
+    Subclasses the fast engine so every path the kernels do not cover
+    (per-pair QoS predicates of constraint subclasses, spans addressed by
+    client id) inherits the fast implementation, which operates on the same
+    arrays through the :class:`VecMap` views.
+    """
+
+    def __init__(self, problem: ReplicaPlacementProblem):
+        kernels = _native.load_kernels()
+        if kernels is None:  # create_native_state guards; direct users may not
+            raise RuntimeError(
+                "native kernels unavailable; use make_state(problem, 'native') "
+                "for the graceful fallback"
+            )
+        self._k = kernels
+        self.problem = problem
+        self.tree = problem.tree
+        index = TreeIndex.for_tree(self.tree)
+        self._index = index
+        arrays = _native_arrays(index, kernels)
+        self._arrays = arrays
+        remaining_vec = array("d", index.client_requests)
+        inreq_vec = array(
+            "d", map(index.inreq_template.__getitem__, index.node_order)
+        )
+        residual_vec = array(
+            "d", map(index.residual_template.__getitem__, index.node_order)
+        )
+        self._remaining_vec = remaining_vec
+        self._inreq_vec = inreq_vec
+        self._residual_vec = residual_vec
+        self.remaining = VecMap(remaining_vec, index.client_pos, index.client_order)
+        self.inreq = VecMap(inreq_vec, index.node_pos, index.node_order)
+        self.residual = VecMap(residual_vec, index.node_pos, index.node_order)
+        #: positional replica flags, kept in sync with ``replicas`` by
+        #: :meth:`place` and mutated directly by the sweep kernels
+        self._replica_vec = bytearray(index.n_nodes)
+        self.replicas = set()
+        self.amounts: Dict[Tuple[NodeId, NodeId], float] = {}
+
+        from repro.core.constraints import ConstraintSet
+
+        constraints = problem.constraints
+        self._qos_thresholds = None
+        self._qos_check = None
+        if constraints.has_qos:
+            if type(constraints) is ConstraintSet:
+                self._qos_thresholds = _qos_threshold_array(
+                    index, problem, kernels, arrays
+                )
+            else:
+                self._qos_check = problem.qos_satisfied
+
+    # ------------------------------------------------------------------ #
+    # elementary operations
+    # ------------------------------------------------------------------ #
+    def place(self, node_id: NodeId) -> None:
+        self.replicas.add(node_id)
+        position = self._index.node_pos.get(node_id)
+        if position is not None:
+            self._replica_vec[position] = 1
+
+    def assign(self, client_id: NodeId, server_id: NodeId, amount: float) -> None:
+        if amount <= _TOL:
+            return
+        index = self._index
+        ci = index.client_pos[client_id]
+        si = index.node_pos[server_id]  # KeyError on clients, like the seed
+        arrays = self._arrays
+        self._k.assign(
+            self._remaining_vec,
+            self._inreq_vec,
+            self._residual_vec,
+            arrays.caf,
+            arrays.cao,
+            ci,
+            si,
+            amount,
+        )
+        key = (client_id, server_id)
+        self.amounts[key] = self.amounts.get(key, 0.0) + amount
+
+    # ------------------------------------------------------------------ #
+    # client queries
+    # ------------------------------------------------------------------ #
+    def pending_clients(self, node_id: NodeId):
+        si, start, end = self._span(node_id)
+        if si >= 0 and self._inreq_vec[si] <= _TOL:
+            return []
+        return self._k.pending_ids(
+            self._remaining_vec, start, end, None, 0, self._index.client_order
+        )
+
+    def eligible_pending_clients(self, server_id: NodeId):
+        if self._qos_check is not None:
+            return super().eligible_pending_clients(server_id)
+        si, start, end = self._span(server_id)
+        if si >= 0 and self._inreq_vec[si] <= _TOL:
+            return []
+        thresholds = self._qos_thresholds
+        if thresholds is not None and si >= 0:
+            return self._k.pending_ids(
+                self._remaining_vec,
+                start,
+                end,
+                thresholds,
+                self._arrays.nd[si],
+                self._index.client_order,
+            )
+        return self._k.pending_ids(
+            self._remaining_vec, start, end, None, 0, self._index.client_order
+        )
+
+    def eligible_inreq(self, server_id: NodeId) -> float:
+        thresholds = self._qos_thresholds
+        if thresholds is None and self._qos_check is None:
+            si = self._index.node_pos.get(server_id)
+            if si is not None:
+                return self._inreq_vec[si]
+            return super().eligible_inreq(server_id)
+        if self._qos_check is not None:
+            return super().eligible_inreq(server_id)
+        si, start, end = self._span(server_id)
+        if si < 0:
+            return super().eligible_inreq(server_id)
+        if self._inreq_vec[si] <= _TOL:
+            return 0.0
+        return self._k.sum_eligible(
+            self._remaining_vec, start, end, thresholds, self._arrays.nd[si]
+        )
+
+    def total_pending(self) -> float:
+        return self._k.total(self._remaining_vec)
+
+    # ------------------------------------------------------------------ #
+    # the paper's delete-requests procedures
+    # ------------------------------------------------------------------ #
+    def drain(
+        self,
+        server_id: NodeId,
+        budget: float,
+        *,
+        largest_first: bool = True,
+        split_last: bool = False,
+    ) -> float:
+        if self._qos_check is not None:
+            return super().drain(
+                server_id, budget, largest_first=largest_first, split_last=split_last
+            )
+        if budget <= _TOL:
+            return 0.0
+        si, start, end = self._span(server_id)
+        if si < 0:  # spans addressed by client id keep the inherited quirks
+            return super().drain(
+                server_id, budget, largest_first=largest_first, split_last=split_last
+            )
+        if self._inreq_vec[si] <= _TOL:
+            return 0.0
+        arrays = self._arrays
+        thresholds = self._qos_thresholds
+        drained, taken = self._k.drain(
+            self._remaining_vec,
+            self._inreq_vec,
+            self._residual_vec,
+            arrays.caf,
+            arrays.cao,
+            arrays.rrk,
+            thresholds,
+            si,
+            start,
+            end,
+            arrays.nd[si] if thresholds is not None else 0,
+            float(budget),
+            1 if largest_first else 0,
+            1 if split_last else 0,
+        )
+        if taken:
+            self._record_amounts(server_id, taken)
+        return drained
+
+    def cover(self, server_id: NodeId) -> float:
+        if self._qos_check is not None:
+            return super().cover(server_id)
+        si, _start, _end = self._span(server_id)
+        if si < 0:
+            return super().cover(server_id)
+        if self._inreq_vec[si] <= _TOL:
+            return 0.0
+        arrays = self._arrays
+        thresholds = self._qos_thresholds
+        covered, taken = self._k.cover(
+            self._remaining_vec,
+            self._inreq_vec,
+            self._residual_vec,
+            arrays.caf,
+            arrays.cao,
+            arrays.css,
+            arrays.cse,
+            arrays.nse,
+            arrays.naf,
+            arrays.nao,
+            thresholds,
+            si,
+            arrays.nd[si] if thresholds is not None else 0,
+            _BULK_COVER_MIN,
+        )
+        if taken:
+            self._record_amounts(server_id, taken)
+        return covered
+
+    def _record_amounts(self, server_id: NodeId, taken) -> None:
+        """Fold a kernel's ``(position, amount)`` list into ``amounts``."""
+        order = self._index.client_order
+        amounts = self.amounts
+        for position, amount in taken:
+            key = (order[position], server_id)
+            amounts[key] = amounts.get(key, 0.0) + amount
+
+    # ------------------------------------------------------------------ #
+    # whole-pass sweeps (heuristic inner loops in C)
+    # ------------------------------------------------------------------ #
+    def first_pass_sweep(
+        self, *, order: str = "pre", largest_first: bool = True, split_last: bool = False
+    ) -> None:
+        if self._qos_check is not None:
+            super().first_pass_sweep(
+                order=order, largest_first=largest_first, split_last=split_last
+            )
+            return
+        arrays = self._arrays
+        order_arr = None if order == "pre" else arrays.post_order(self._index)
+        placed, assigns = self._k.sweep_saturated(
+            self._remaining_vec,
+            self._inreq_vec,
+            self._residual_vec,
+            self._replica_vec,
+            arrays.cap,
+            arrays.css,
+            arrays.cse,
+            arrays.caf,
+            arrays.cao,
+            arrays.rrk,
+            self._qos_thresholds,
+            arrays.nd,
+            order_arr,
+            1 if largest_first else 0,
+            1 if split_last else 0,
+        )
+        self._absorb_sweep(placed, assigns)
+
+    def second_pass_sweep(
+        self, *, largest_first: bool = True, split_last: bool = False
+    ) -> None:
+        if self._qos_check is not None:
+            super().second_pass_sweep(
+                largest_first=largest_first, split_last=split_last
+            )
+            return
+        arrays = self._arrays
+        placed, assigns = self._k.sweep_second(
+            self._remaining_vec,
+            self._inreq_vec,
+            self._residual_vec,
+            self._replica_vec,
+            arrays.css,
+            arrays.cse,
+            arrays.nse,
+            arrays.caf,
+            arrays.cao,
+            arrays.rrk,
+            self._qos_thresholds,
+            arrays.nd,
+            1 if largest_first else 0,
+            1 if split_last else 0,
+        )
+        self._absorb_sweep(placed, assigns)
+
+    def _absorb_sweep(self, placed, assigns) -> None:
+        """Fold a sweep kernel's placements and assignments into the state."""
+        node_order = self._index.node_order
+        self.replicas.update(node_order[position] for position in placed)
+        if assigns:
+            client_order = self._index.client_order
+            amounts = self.amounts
+            for si, position, amount in assigns:
+                key = (client_order[position], node_order[si])
+                amounts[key] = amounts.get(key, 0.0) + amount
+
+    # ------------------------------------------------------------------ #
+    # per-element heuristic steps
+    # ------------------------------------------------------------------ #
+    def best_fit_server(self, client_id: NodeId, requests: float) -> Optional[NodeId]:
+        if self._qos_check is not None:
+            return super().best_fit_server(client_id, requests)
+        index = self._index
+        ci = index.client_pos[client_id]
+        thresholds = self._qos_thresholds
+        threshold = thresholds[ci] if thresholds is not None else -1
+        arrays = self._arrays
+        position = self._k.best_fit(
+            self._residual_vec,
+            arrays.nd,
+            arrays.caf,
+            arrays.cao,
+            ci,
+            threshold,
+            float(requests),
+        )
+        return None if position < 0 else index.node_order[position]
+
+    def can_cover(self, node_id: NodeId) -> bool:
+        if self._qos_check is not None:
+            return super().can_cover(node_id)
+        index = self._index
+        si = index.node_pos[node_id]
+        pending = self._inreq_vec[si]
+        if pending <= _TOL:
+            return False
+        arrays = self._arrays
+        if arrays.cap[si] + _TOL < pending:
+            return False
+        thresholds = self._qos_thresholds
+        if thresholds is not None:
+            return self._k.all_within_qos(
+                self._remaining_vec,
+                arrays.css[si],
+                arrays.cse[si],
+                thresholds,
+                arrays.nd[si],
+            )
+        return True

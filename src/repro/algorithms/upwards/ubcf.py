@@ -24,8 +24,6 @@ from repro.core.solution import Solution
 
 __all__ = ["UpwardsBigClientFirst"]
 
-_TOL = 1e-9
-
 
 @register_heuristic
 class UpwardsBigClientFirst(PlacementHeuristic):
@@ -43,22 +41,12 @@ class UpwardsBigClientFirst(PlacementHeuristic):
             key=lambda c: (-c.requests, repr(c.id)),
         )
         for client in clients:
-            candidates = [
-                ancestor
-                for ancestor in problem.eligible_servers(client.id)
-                if state.residual[ancestor] + _TOL >= client.requests
-            ]
-            if not candidates:
+            # Best fit along the client's eligible ancestor chain (the rule
+            # lives on the state so the native engine can walk the chain in
+            # C; see RequestState.best_fit_server for the tie-breaking).
+            target = state.best_fit_server(client.id, client.requests)
+            if target is None:
                 return None
-            # Best fit: the valid ancestor with minimal residual capacity.
-            # Ancestors are enumerated bottom-up, so ties go to the deepest
-            # node, keeping the scarcer high-level capacity available for
-            # clients with fewer options (paper Algorithm 9 keeps the first
-            # minimum encountered on the path).
-            target = candidates[0]
-            for ancestor in candidates[1:]:
-                if state.residual[ancestor] < state.residual[target] - _TOL:
-                    target = ancestor
             state.place(target)
             state.assign(client.id, target, client.requests)
 

@@ -22,19 +22,23 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.algorithms.base import PlacementHeuristic, register_heuristic
-from repro.algorithms.common import RequestState, make_state
+from repro.algorithms.common import make_state
 from repro.core.policies import Policy
 from repro.core.problem import ReplicaPlacementProblem
 from repro.core.solution import Solution
 
 __all__ = ["UpwardsTopDown"]
 
-_TOL = 1e-9
-
 
 @register_heuristic
 class UpwardsTopDown(PlacementHeuristic):
-    """Two-pass top-down heuristic for the Upwards policy."""
+    """Two-pass top-down heuristic for the Upwards policy.
+
+    Both passes are engine methods (the paper's Algorithms 7 and 8 live in
+    :meth:`RequestState.first_pass_sweep` / :meth:`second_pass_sweep`), so
+    each engine supplies its own traversal -- the native engine runs them
+    as single compiled kernel calls.
+    """
 
     name = "UTD"
     policy = Policy.UPWARDS
@@ -47,42 +51,17 @@ class UpwardsTopDown(PlacementHeuristic):
 
     def _solve(self, problem: ReplicaPlacementProblem) -> Optional[Solution]:
         state = make_state(problem)
-        tree = problem.tree
 
-        self._first_pass(state, tree, tree.root)
+        state.first_pass_sweep(
+            order="pre",
+            largest_first=self.largest_first,
+            split_last=self.split_last,
+        )
         if not state.all_requests_affected():
-            self._second_pass(state, tree, tree.root)
+            state.second_pass_sweep(
+                largest_first=self.largest_first, split_last=self.split_last
+            )
 
         if not state.all_requests_affected():
             return None
         return state.to_solution(self.policy, self.name)
-
-    # ------------------------------------------------------------------ #
-    def _first_pass(self, state: RequestState, tree, node_id) -> None:
-        """Depth-first pass placing replicas on exhausted nodes (Algorithm 7)."""
-        capacity = state.problem.capacity(node_id)
-        if state.inreq[node_id] >= capacity - _TOL and state.inreq[node_id] > _TOL:
-            state.place(node_id)
-            state.drain(
-                node_id,
-                capacity,
-                largest_first=self.largest_first,
-                split_last=self.split_last,
-            )
-        for child in tree.child_nodes(node_id):
-            self._first_pass(state, tree, child)
-
-    def _second_pass(self, state: RequestState, tree, node_id) -> None:
-        """Top-down pass adding non-exhausted replicas (Algorithm 8)."""
-        if not state.is_replica(node_id) and state.inreq[node_id] > _TOL:
-            state.place(node_id)
-            state.drain(
-                node_id,
-                state.inreq[node_id],
-                largest_first=self.largest_first,
-                split_last=self.split_last,
-            )
-            return
-        for child in tree.child_nodes(node_id):
-            if state.inreq[child] > _TOL:
-                self._second_pass(state, tree, child)

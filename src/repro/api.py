@@ -51,7 +51,13 @@ Every solve runs on the indexed flat-tree engine
 (:class:`repro.core.index.TreeIndex` + the array-backed state of
 :mod:`repro.algorithms.fast_state`), cross-validated bit-for-bit against
 the paper-faithful dict engine (``REPRO_ENGINE=dict``, ``engine="dict"``,
-or :func:`repro.algorithms.common.set_default_engine` switch back).  For
+or :func:`repro.algorithms.common.set_default_engine` switch back).  When
+a C compiler is available, ``REPRO_ENGINE=native`` (or ``engine="native"``)
+moves the hot loops -- span scans, drain/cover, the heuristic sweeps --
+into a small compiled kernel library (:mod:`repro.algorithms.native_state`,
+built on first use, cached under ``build/native/``) that is pinned
+bit-identical to the other two engines; without a compiler the name stays
+valid and quietly degrades to ``fast``.  For
 campaign-scale workloads, :func:`solve_many` with ``workers=N`` forks a
 process pool and splits the instance list into per-worker chunks.  For
 long-lived serving, keep a :class:`~repro.session.PlacementSession` per
@@ -362,8 +368,10 @@ def solve_many(
         :class:`~repro.core.exceptions.InfeasibleError` in input order.
         Any other exception always propagates.
     engine:
-        Optional request-state engine override (``"fast"`` or ``"dict"``)
-        applied inside the workers; defaults to the process-wide engine.
+        Optional request-state engine override -- any name from
+        :func:`repro.algorithms.common.available_engines` (``"dict"``,
+        ``"fast"`` or the compiled ``"native"``) -- applied inside the
+        workers; defaults to the process-wide engine.
 
     Returns
     -------
@@ -548,7 +556,9 @@ def solve_sequence(
         re-raises the first :class:`~repro.core.exceptions.InfeasibleError`
         in epoch order.
     engine:
-        Optional request-state engine override (``"fast"`` or ``"dict"``).
+        Optional request-state engine override -- any name from
+        :func:`repro.algorithms.common.available_engines` (``"dict"``,
+        ``"fast"`` or the compiled ``"native"``).
     shards:
         Optional sharded-solve spec forwarded to the session: epochs are
         solved shard-by-shard and a rate change confined to one shard
@@ -804,9 +814,9 @@ def compare_policies(
     Parameters
     ----------
     engine:
-        Optional request-state engine override (``"fast"`` or ``"dict"``),
-        matching the :func:`solve_many` / :func:`solve_sequence`
-        convention.
+        Optional request-state engine override (any name from
+        :func:`repro.algorithms.common.available_engines`), matching the
+        :func:`solve_many` / :func:`solve_sequence` convention.
     bounds:
         Also compute the LP lower bound (method ``bound_method``) and
         report per-policy gaps via :meth:`CompareResult.gaps`.

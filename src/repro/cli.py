@@ -30,6 +30,10 @@ Sub-commands
     request protocol, over stdio (newline-delimited JSON, the default) or
     HTTP (``--http HOST:PORT``); ``--snapshot-dir`` persists sessions
     across restarts and restores them warm on boot.
+``doctor``
+    Report the health of the request-state engines: which engines import,
+    whether the native C kernels compile (and from which cache), and the
+    process-wide default engine.
 ``table1``
     Print the computational evidence backing paper Table 1.
 
@@ -43,18 +47,22 @@ and ``dynamic`` payloads are registered result types, round-trippable
 through :func:`repro.core.results.result_from_dict`; ``batch`` emits a
 ``{"type": "batch"}`` aggregate whose per-file ``solution`` entries decode
 with :func:`repro.core.serialization.solution_from_dict`.  ``solve``,
-``batch`` and ``dynamic`` also accept ``--engine {fast,dict}`` to pick the
+``batch``, ``dynamic`` and ``serve`` also accept ``--engine`` to pick the
 request-state engine per invocation (previously only reachable via the
-``REPRO_ENGINE`` environment variable).
+``REPRO_ENGINE`` environment variable); the choices come straight from
+:func:`repro.algorithms.common.available_engines`, so new engines (such as
+the compiled ``native`` one) appear here without CLI changes.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
+from repro.algorithms.common import available_engines
 from repro.api import compare_policies, solve_many, solve_sequence
 from repro.session import PlacementSession
 from repro.core.exceptions import InfeasibleError, ReproError
@@ -99,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     slv.add_argument(
         "--engine",
-        choices=("fast", "dict"),
+        choices=available_engines(),
         default=None,
         help="request-state engine (default: process-wide engine / REPRO_ENGINE)",
     )
@@ -141,7 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--engine",
-        choices=("fast", "dict"),
+        choices=available_engines(),
         default=None,
         help="request-state engine (default: process-wide engine / REPRO_ENGINE)",
     )
@@ -255,7 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dyn.add_argument(
         "--engine",
-        choices=("fast", "dict"),
+        choices=available_engines(),
         default=None,
         help="request-state engine (default: process-wide engine / REPRO_ENGINE)",
     )
@@ -316,6 +324,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("incremental", "patch", "scratch"),
         default="incremental",
         help="re-solve mode of the pooled sessions (default: incremental)",
+    )
+    srv.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help="request-state engine of the pooled sessions (default: "
+        "process-wide engine / REPRO_ENGINE)",
     )
     srv.add_argument(
         "--snapshot-dir",
@@ -407,6 +422,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--collect-only",
         action="store_true",
         help="collect the selected bench tests without running them",
+    )
+
+    doc = sub.add_parser(
+        "doctor",
+        help="report engine availability, native-kernel compile status and "
+        "the active default engine",
+    )
+    doc.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of prose",
     )
 
     sub.add_parser("table1", help="print the computational evidence for paper Table 1")
@@ -565,6 +591,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "bench":
         return _dispatch_bench(args)
+
+    if args.command == "doctor":
+        return _dispatch_doctor(args)
 
     if args.command == "table1":
         from repro.experiments.tables import table1_table
@@ -810,7 +839,10 @@ def _dispatch_serve(args: argparse.Namespace) -> int:
         return 1
 
     pool = SessionPool(
-        args.pool_capacity, max_bytes=args.max_bytes, mode=args.mode
+        args.pool_capacity,
+        max_bytes=args.max_bytes,
+        mode=args.mode,
+        engine=args.engine,
     )
     server = ReproServer(
         pool,
@@ -949,6 +981,64 @@ def _dispatch_bench(args: argparse.Namespace) -> int:
     if not args.collect_only and code == 0:
         print(f"bench entries appended to {root / 'BENCH_engine.json'}")
     return code
+
+
+def _dispatch_doctor(args: argparse.Namespace) -> int:
+    """The ``doctor`` sub-command: engine and native-kernel health report.
+
+    Builds a two-client probe tree and runs every registered engine on it,
+    so the report reflects what :func:`repro.algorithms.common.make_state`
+    would actually return (including the native engine's silent fallback to
+    ``fast`` when no C compiler is around).
+    """
+    from repro.algorithms._native import kernel_cache_dir, kernel_status
+    from repro.algorithms.common import get_default_engine, make_state
+    from repro.core.builder import TreeBuilder
+
+    tree = (
+        TreeBuilder()
+        .add_node("root", capacity=10)
+        .add_client("c1", requests=3, parent="root")
+        .add_client("c2", requests=2, parent="root")
+        .build()
+    )
+    probe = ReplicaPlacementProblem(tree=tree)
+
+    engines = {}
+    for engine in available_engines():
+        try:
+            state = make_state(probe, engine=engine)
+        except Exception as error:  # report, never crash the doctor
+            engines[engine] = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        else:
+            engines[engine] = {"ok": True, "state": type(state).__name__}
+
+    status = kernel_status()
+    report = {
+        "type": "doctor",
+        "default_engine": get_default_engine(),
+        "env_engine": os.environ.get("REPRO_ENGINE"),
+        "engines": engines,
+        "native_kernels": status,
+        "native_cache_dir": str(kernel_cache_dir()),
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+
+    print(f"default engine: {report['default_engine']}"
+          + (f" (REPRO_ENGINE={report['env_engine']})" if report["env_engine"] else ""))
+    for engine, entry in engines.items():
+        if entry["ok"]:
+            print(f"engine {engine:>6}: ok ({entry['state']})")
+        else:
+            print(f"engine {engine:>6}: FAILED ({entry['error']})")
+    if status.get("available"):
+        print(f"native kernels: compiled ({status.get('so_path')})")
+    else:
+        print(f"native kernels: unavailable ({status.get('error')})")
+    print(f"native cache dir: {report['native_cache_dir']}")
+    return 0
 
 
 def _load_problem(path: str, *, counting: bool) -> ReplicaPlacementProblem:

@@ -479,8 +479,10 @@ class PlacementSession:
         ``"scratch"`` (no warm starts; also disables bound patching --
         the baseline the other modes are validated against).
     engine:
-        Optional request-state engine override (``"fast"`` or ``"dict"``)
-        applied around every internal solve.
+        Optional request-state engine override -- any name from
+        :func:`repro.algorithms.common.available_engines` (``"dict"``,
+        ``"fast"`` or the compiled ``"native"``) -- applied around every
+        internal solve.
     shards:
         Optional sharded-solve specification: a target shard count or an
         explicit cut node sequence (see

@@ -1,17 +1,23 @@
-"""Cross-validation: the fast engine is bit-for-bit the seed dict engine.
+"""Cross-validation: every engine is bit-for-bit the seed dict engine.
 
-Every heuristic of the paper runs twice on every instance -- once on the
-seed :class:`~repro.algorithms.common.RequestState` (``engine="dict"``) and
-once on the indexed :class:`~repro.algorithms.fast_state.FastRequestState`
-(``engine="fast"``) -- and must produce *identical* feasibility verdicts,
+Every heuristic of the paper runs once per registered engine on every
+instance -- the seed :class:`~repro.algorithms.common.RequestState`
+(``engine="dict"``), the indexed
+:class:`~repro.algorithms.fast_state.FastRequestState` (``engine="fast"``)
+and the compiled-kernel :class:`~repro.algorithms.native_state.NativeRequestState`
+(``engine="native"``) -- and must produce *identical* feasibility verdicts,
 replica placements, request assignments and costs.  The instance population
 covers homogeneous and heterogeneous platforms, all client-attachment
 shapes, hop-count and latency QoS, and bandwidth-constrained links, across
 more than 50 seeded random instances.
 
-A second battery drives the two state implementations through the same
+A second battery drives the state implementations through the same
 scripted operation sequences (place / assign / drain / cover) and compares
 the full mutable state after every step.
+
+When no C compiler is available the ``native`` engine falls back to the
+fast state; the matrix still runs (the fallback must be equivalent too),
+it just exercises the same code twice.
 """
 
 from __future__ import annotations
@@ -19,7 +25,12 @@ from __future__ import annotations
 import pytest
 
 from repro.algorithms.base import available_heuristics, get_heuristic
-from repro.algorithms.common import RequestState, make_state, use_engine
+from repro.algorithms.common import (
+    RequestState,
+    available_engines,
+    make_state,
+    use_engine,
+)
 from repro.algorithms.fast_state import FastRequestState
 from repro.core.constraints import ConstraintSet
 from repro.core.problem import ProblemKind, ReplicaPlacementProblem
@@ -28,6 +39,14 @@ from repro.workloads.generator import GeneratorConfig, TreeGenerator
 
 #: The eight polynomial heuristics of paper Section 6.
 HEURISTICS = ("CTDA", "CTDLF", "CBU", "UTD", "UBCF", "MG", "MTD", "MBU")
+
+#: The full engine matrix, and the engines validated against the dict seed.
+ENGINES = ("dict", "fast", "native")
+ALT_ENGINES = tuple(engine for engine in ENGINES if engine != "dict")
+
+
+def test_engine_matrix_covers_the_registry():
+    assert set(ENGINES) == set(available_engines())
 
 
 def with_bandwidth(tree: TreeNetwork, limit: float) -> TreeNetwork:
@@ -76,43 +95,58 @@ def instance(seed: int) -> ReplicaPlacementProblem:
 INSTANCE_SEEDS = list(range(56))
 
 
-def solve_both(name: str, problem: ReplicaPlacementProblem):
+def solve_with(name: str, problem: ReplicaPlacementProblem, engine: str):
     heuristic = get_heuristic(name)
-    with use_engine("dict"):
-        seed_solution = heuristic.try_solve(problem)
-    with use_engine("fast"):
-        fast_solution = heuristic.try_solve(problem)
-    return seed_solution, fast_solution
+    with use_engine(engine):
+        return heuristic.try_solve(problem)
 
 
+def solve_both(name: str, problem: ReplicaPlacementProblem, engine: str = "fast"):
+    """Seed solution and ``engine`` solution for one heuristic/instance."""
+    return solve_with(name, problem, "dict"), solve_with(name, problem, engine)
+
+
+@pytest.mark.parametrize("engine", ALT_ENGINES)
 @pytest.mark.parametrize("name", HEURISTICS)
-def test_every_heuristic_matches_seed_engine(name):
+def test_every_heuristic_matches_seed_engine(name, engine):
     mismatches = []
     for seed in INSTANCE_SEEDS:
         problem = instance(seed)
-        seed_solution, fast_solution = solve_both(name, problem)
-        if (seed_solution is None) != (fast_solution is None):
-            mismatches.append((seed, "feasibility", seed_solution, fast_solution))
+        seed_solution, other_solution = solve_both(name, problem, engine)
+        if (seed_solution is None) != (other_solution is None):
+            mismatches.append((seed, "feasibility", seed_solution, other_solution))
             continue
         if seed_solution is None:
             continue
-        if seed_solution.placement.replicas != fast_solution.placement.replicas:
-            mismatches.append((seed, "placement", seed_solution, fast_solution))
-        elif dict(seed_solution.assignment.items()) != dict(fast_solution.assignment.items()):
-            mismatches.append((seed, "assignment", seed_solution, fast_solution))
-        elif seed_solution.cost(problem) != fast_solution.cost(problem):
-            mismatches.append((seed, "cost", seed_solution, fast_solution))
-    assert not mismatches, f"{name} diverged from the seed engine: {mismatches[:3]}"
+        if seed_solution.placement.replicas != other_solution.placement.replicas:
+            mismatches.append((seed, "placement", seed_solution, other_solution))
+        elif dict(seed_solution.assignment.items()) != dict(other_solution.assignment.items()):
+            mismatches.append((seed, "assignment", seed_solution, other_solution))
+        elif seed_solution.cost(problem) != other_solution.cost(problem):
+            mismatches.append((seed, "cost", seed_solution, other_solution))
+    assert not mismatches, f"{name} [{engine}] diverged from the seed engine: {mismatches[:3]}"
 
 
 def test_engine_selection_controls_state_type(small_problem):
+    from repro.algorithms.native_state import NativeRequestState, native_kernels_available
+
     with use_engine("dict"):
         assert type(make_state(small_problem)) is RequestState
     with use_engine("fast"):
         assert isinstance(make_state(small_problem), FastRequestState)
     assert isinstance(make_state(small_problem, engine="fast"), FastRequestState)
-    with pytest.raises(ValueError):
+    native_state = make_state(small_problem, engine="native")
+    if native_kernels_available():
+        assert isinstance(native_state, NativeRequestState)
+    else:
+        # No compiler: the name stays valid and degrades to the fast engine.
+        assert isinstance(native_state, FastRequestState)
+        assert not isinstance(native_state, NativeRequestState)
+    with pytest.raises(ValueError) as excinfo:
         make_state(small_problem, engine="nope")
+    # The error enumerates the registry, so it cannot drift from it.
+    for engine in available_engines():
+        assert engine in str(excinfo.value)
 
 
 def test_all_eight_heuristics_are_registered():
@@ -143,32 +177,33 @@ def assert_states_agree(a: RequestState, b: RequestState):
         assert a.eligible_inreq(nid) == pytest.approx(b.eligible_inreq(nid))
 
 
+@pytest.mark.parametrize("engine", ALT_ENGINES)
 @pytest.mark.parametrize("qos", [None, (2, 5)])
 @pytest.mark.parametrize("seed", [0, 7, 19])
-def test_scripted_operations_match(seed, qos):
+def test_scripted_operations_match(seed, qos, engine):
     tree = TreeGenerator(seed).generate(
         GeneratorConfig(size=36, target_load=0.5, homogeneous=False, qos_hops=qos)
     )
     constraints = ConstraintSet.qos_distance() if qos else ConstraintSet.none()
     problem = ReplicaPlacementProblem(tree=tree, constraints=constraints)
     dict_state = make_state(problem, engine="dict")
-    fast_state = make_state(problem, engine="fast")
-    assert_states_agree(dict_state, fast_state)
+    other_state = make_state(problem, engine=engine)
+    assert_states_agree(dict_state, other_state)
 
     nodes = list(tree.post_order_nodes())
     for step, node_id in enumerate(nodes):
         capacity = problem.capacity(node_id)
         if step % 3 == 0:
-            for state in (dict_state, fast_state):
+            for state in (dict_state, other_state):
                 state.place(node_id)
                 state.drain(node_id, capacity / 2, largest_first=True, split_last=False)
         elif step % 3 == 1:
-            for state in (dict_state, fast_state):
+            for state in (dict_state, other_state):
                 state.drain(node_id, capacity, largest_first=False, split_last=True)
         else:
-            for state in (dict_state, fast_state):
+            for state in (dict_state, other_state):
                 state.cover(node_id)
-        assert_states_agree(dict_state, fast_state)
+        assert_states_agree(dict_state, other_state)
 
     # Explicit single assignments exercise assign() symmetrically.
     for client in tree.clients():
@@ -178,23 +213,25 @@ def test_scripted_operations_match(seed, qos):
         amount = min(2.0, dict_state.remaining[client.id])
         if amount <= 0:
             continue
-        for state in (dict_state, fast_state):
+        for state in (dict_state, other_state):
             state.assign(client.id, servers[-1], amount)
-    assert_states_agree(dict_state, fast_state)
+    assert_states_agree(dict_state, other_state)
 
 
 class _EvenDepthQoS(ConstraintSet):
     """Deliberately non-monotone QoS metric: only even-depth servers allowed.
 
-    A single depth threshold cannot represent this eligible set, so the
-    fast engine must fall back to per-pair filtering to match the seed.
+    A single depth threshold cannot represent this eligible set, so both the
+    fast and the native engine must fall back to per-pair filtering (the
+    native kernels never see a ``_qos_check`` problem) to match the seed.
     """
 
     def qos_metric(self, tree, client_id, server_id):
         return 0.0 if tree.depth(server_id) % 2 == 0 else float("inf")
 
 
-def test_non_monotone_constraint_subclass_matches_seed_engine():
+@pytest.mark.parametrize("engine", ALT_ENGINES)
+def test_non_monotone_constraint_subclass_matches_seed_engine(engine):
     from repro.core.constraints import QoSMode
 
     constraints = _EvenDepthQoS(qos_mode=QoSMode.DISTANCE)
@@ -204,34 +241,36 @@ def test_non_monotone_constraint_subclass_matches_seed_engine():
         )
         problem = ReplicaPlacementProblem(tree=tree, constraints=constraints)
         dict_state = make_state(problem, engine="dict")
-        fast_state = make_state(problem, engine="fast")
+        other_state = make_state(problem, engine=engine)
         for nid in tree.node_ids:
-            assert dict_state.eligible_pending_clients(nid) == fast_state.eligible_pending_clients(nid)
-            assert dict_state.eligible_inreq(nid) == pytest.approx(fast_state.eligible_inreq(nid))
+            assert dict_state.eligible_pending_clients(nid) == other_state.eligible_pending_clients(nid)
+            assert dict_state.eligible_inreq(nid) == pytest.approx(other_state.eligible_inreq(nid))
         for name in HEURISTICS:
-            seed_solution, fast_solution = solve_both(name, problem)
-            assert (seed_solution is None) == (fast_solution is None), name
+            seed_solution, other_solution = solve_both(name, problem, engine)
+            assert (seed_solution is None) == (other_solution is None), (name, engine)
             if seed_solution is not None:
-                assert seed_solution.placement.replicas == fast_solution.placement.replicas
+                assert seed_solution.placement.replicas == other_solution.placement.replicas
                 assert dict(seed_solution.assignment.items()) == dict(
-                    fast_solution.assignment.items()
+                    other_solution.assignment.items()
                 )
 
 
-def test_unserved_summary_matches(small_problem):
+@pytest.mark.parametrize("engine", ALT_ENGINES)
+def test_unserved_summary_matches(small_problem, engine):
     dict_state = make_state(small_problem, engine="dict")
-    fast_state = make_state(small_problem, engine="fast")
-    assert dict_state.unserved_summary() == fast_state.unserved_summary()
-    for state in (dict_state, fast_state):
+    other_state = make_state(small_problem, engine=engine)
+    assert dict_state.unserved_summary() == other_state.unserved_summary()
+    for state in (dict_state, other_state):
         state.place("n1")
         state.cover("n1")
-    assert dict_state.unserved_summary() == fast_state.unserved_summary()
+    assert dict_state.unserved_summary() == other_state.unserved_summary()
 
 
-def test_fast_state_to_solution_round_trip(small_problem):
+@pytest.mark.parametrize("engine", ALT_ENGINES)
+def test_state_to_solution_round_trip(small_problem, engine):
     from repro.core.policies import Policy
 
-    state = make_state(small_problem, engine="fast")
+    state = make_state(small_problem, engine=engine)
     state.place("root")
     covered = state.cover("root")
     assert covered == pytest.approx(12.0)
