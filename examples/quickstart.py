@@ -14,6 +14,8 @@ instances in one call, an "engines" section tours the three interchangeable
 request-state engines (dict / fast / compiled native) behind the factory,
 a "dynamic workloads" section revises a placement
 across a churning request-rate trajectory with the incremental re-solver,
+a "traces" section ingests a timestamped request log, detects its epochs
+and replays it through the same machinery,
 an "LP bounds on sequences" section tracks the cost-vs-bound gap of
 that revision epoch by epoch, and a "serving" section runs the multi-tenant
 serving endpoint in-process -- start a server, connect a client, step
@@ -88,6 +90,8 @@ def main() -> None:
     sharded_solving()
     print()
     dynamic_workloads()
+    print()
+    traces()
     print()
     lp_bounds_on_sequences()
     print()
@@ -249,6 +253,72 @@ def dynamic_workloads() -> None:
         result = solve_sequence(epochs, policy=Policy.MULTIPLE, mode=mode)
         print(f"  {mode:>11}: {result.describe()}")
     print("  (incremental = cheapest cost-identical revision; patch = fewest migrations)")
+
+
+def traces() -> None:
+    """Trace-driven workloads: ingest a request log, detect epochs, replay.
+
+    The synthetic trajectories above fabricate epoch rates; this closes
+    the loop with **real request logs**.  A CSV/JSONL log (gzip welcome)
+    ingests into a ``Trace``; ``detect_epochs`` places epoch boundaries
+    where the traffic actually shifts and estimates per-client rates; the
+    resulting ``TraceEpochs`` model emits the same structure-shared
+    problem sequence ``solve_sequence`` already consumes, and its
+    estimated intensity drives the open-loop load harness.  From the
+    shell: ``repro trace info LOG``, ``repro dynamic TREE --trace LOG``
+    and ``repro loadtest --trace LOG``.
+    """
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.serving.server import ReproServer
+    from repro.serving.loadgen import LoadgenConfig, run_loadtest
+    from repro.workloads.dynamic import as_base_problem
+    from repro.workloads.traces import detect_epochs, load_trace, sample_trace
+
+    print("Trace-driven workloads: ingest -> detect -> replay -> loadtest")
+    tree = build_tree()
+    base = as_base_problem(replica_counting_problem(tree))
+    # Fake a production log: calm traffic, then a surge -- in real use this
+    # is your access log, one `timestamp,client[,weight]` row per request.
+    surge = base.tree.with_requests(
+        {c: base.tree.client(c).requests * 18 for c in base.tree.client_ids}
+    )
+    calm = base.tree.with_requests(
+        {c: base.tree.client(c).requests * 15 for c in base.tree.client_ids}
+    )
+    log = sample_trace(
+        [as_base_problem(calm), as_base_problem(surge)],
+        np.random.default_rng(7),
+        epoch_duration=30.0,
+    )
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "requests.jsonl.gz"
+        log.to_jsonl(path)  # gzip-transparent on both ends
+
+        trace = load_trace(path)  # repro trace info requests.jsonl.gz
+        model = detect_epochs(trace)
+        print(f"  ingest: {trace!r}")
+        print(f"  epochs: {model.summary(path=path.name).describe()}")
+
+        # repro dynamic TREE --trace requests.jsonl.gz
+        epochs = model.problems(base, rate_scale=1.0 / 15.0)
+        replayed = solve_sequence(epochs, policy=Policy.MULTIPLE)
+        print(f"  replay: {replayed.describe()}")
+
+        # repro loadtest --trace requests.jsonl.gz: the trace's detected
+        # intensity (rescaled to the configured horizon and mean rate)
+        # replaces the sinusoid as the arrival schedule.
+        config = LoadgenConfig(tenants=2, size=16, horizon=0.5, rate=40.0)
+        arrivals = model.arrival_schedule(
+            np.random.default_rng(config.seed),
+            horizon=config.horizon,
+            mean_rate=config.rate,
+        )
+        report = run_loadtest(ReproServer(capacity=4), config, arrivals=arrivals)
+        print(f"  loadtest: {report.describe()}")
 
 
 def lp_bounds_on_sequences() -> None:

@@ -119,6 +119,27 @@ replays an open-loop inhomogeneous-Poisson arrival schedule against any
 endpoint, reporting p50/p99 latency and requests/sec
 (``benchmarks/test_serving_throughput.py`` pins the batched-envelope
 rate at >= 2x the per-envelope rate on the same workload).
+
+Real workloads enter through **traces** (:mod:`repro.workloads.traces`):
+a timestamped request log (CSV/JSONL, gzip-transparent) ingests into a
+:class:`~repro.workloads.traces.Trace`,
+:func:`~repro.workloads.traces.detect_epochs` places epoch boundaries
+where the traffic actually shifts (greedy mean-shift changepoints over
+binned counts; :func:`~repro.workloads.traces.fixed_epochs` is the
+deterministic fallback) and estimates piecewise-constant per-client
+rates, and the resulting epoch model replays through everything above:
+:meth:`~repro.workloads.traces.TraceEpochs.problems` emits the same
+structure-shared epoch sequence :func:`solve_sequence` consumes
+(``repro dynamic --trace LOG``), while
+:meth:`~repro.workloads.traces.TraceEpochs.arrival_schedule` rebuilds the
+trace's piecewise-constant intensity and samples exact IPPP arrivals for
+the load harness (``repro loadtest --trace LOG``).  ``repro trace info``
+prints the ingest/epoch report as a first-class
+:class:`~repro.workloads.traces.TraceSummary` result, and
+:func:`~repro.workloads.traces.sample_trace` inverts the pipeline --
+sampling a synthetic log from any rate trajectory -- which is how the
+test suite pins estimate/export round-trips within Poisson tolerance
+(``benchmarks/test_trace_replay.py`` pins ingest+detection throughput).
 """
 
 from __future__ import annotations

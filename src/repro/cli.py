@@ -274,6 +274,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve each epoch shard-by-shard; rate changes confined to one "
         "shard re-solve only that shard (default: whole-tree)",
     )
+    dyn.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="replay a request-log trace (CSV/JSONL, gzip-transparent) "
+        "instead of a synthetic trajectory: epoch boundaries are detected "
+        "from the log (at most --epochs of them) and per-client rates "
+        "estimated per epoch",
+    )
+
+    trc = sub.add_parser(
+        "trace",
+        help="inspect request-log traces (ingest, epoch detection, rates)",
+    )
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    tin = trc_sub.add_parser(
+        "info",
+        help="ingest a trace file, detect epochs and print the rate table",
+    )
+    tin.add_argument("file", help="trace file (CSV or JSONL, optionally .gz)")
+    tin.add_argument(
+        "--format",
+        choices=("csv", "jsonl"),
+        default=None,
+        help="force the parser (default: inferred from the extension)",
+    )
+    tin.add_argument(
+        "--sort",
+        action="store_true",
+        help="reorder a shuffled log instead of rejecting it",
+    )
+    tin.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="use N equal-width epochs instead of detecting boundaries",
+    )
+    tin.add_argument(
+        "--max-epochs",
+        type=int,
+        default=16,
+        help="cap on detected epochs (default: 16)",
+    )
+    tin.add_argument(
+        "--bins",
+        type=int,
+        default=None,
+        help="detection histogram bins (default: events//32, clamped to "
+        "[8, 256])",
+    )
+    tin.add_argument(
+        "--threshold",
+        type=float,
+        default=4.0,
+        help="mean-shift z-score a boundary must reach (default: 4.0)",
+    )
+    tin.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the trace_summary payload instead of prose",
+    )
 
     srv = sub.add_parser(
         "serve",
@@ -396,6 +458,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: solve,bound)",
     )
     load.add_argument("--seed", type=int, default=0, help="schedule seed")
+    load.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="sample the arrival schedule from a request-log trace instead "
+        "of the sinusoidal intensity: epochs are detected from the log and "
+        "its piecewise-constant intensity is rescaled to --horizon seconds "
+        "at --rate mean requests/second",
+    )
     load.add_argument(
         "--json",
         action="store_true",
@@ -589,6 +660,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "loadtest":
         return _dispatch_loadtest(args)
 
+    if args.command == "trace":
+        return _dispatch_trace(args)
+
     if args.command == "bench":
         return _dispatch_bench(args)
 
@@ -628,6 +702,7 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
             ("--engine", args.engine is None),
             ("--shards", args.shards is None),
             ("--region-depth", args.region_depth == 1),
+            ("--trace", args.trace is None),
         ):
             if not inactive:
                 ignored.append(flag)
@@ -680,6 +755,41 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
         )
 
     from repro.workloads import dynamic as trajectories
+
+    if args.trace is not None:
+        from repro.workloads.traces import detect_epochs, load_trace
+
+        # The trace dictates epoch boundaries and per-client rates; every
+        # trajectory-family knob is dead weight and deserves a warning.
+        ignored = [
+            flag
+            for flag, default in (
+                ("--trajectory", args.trajectory == "churn"),
+                ("--seed", args.seed is None),
+                ("--churn", args.churn == 0.1),
+                ("--magnitude", args.magnitude == 0.5),
+                ("--quiet", args.quiet == 0.25),
+                ("--factor", args.factor == 1.5),
+                ("--at", args.at == 1),
+                ("--amplitude", args.amplitude == 0.3),
+                ("--period", args.period == 8.0),
+                ("--join-rate", args.join_rate == 0.05),
+                ("--leave-rate", args.leave_rate == 0.05),
+                ("--region-depth", args.region_depth == 1),
+            )
+            if not default
+        ]
+        if ignored:
+            print(
+                f"warning: --trace derives the epoch sequence from the log; "
+                f"ignoring {', '.join(ignored)}",
+                file=sys.stderr,
+            )
+        problem = _load_problem(args.tree, counting=args.counting)
+        trace = load_trace(args.trace)
+        trace_model = detect_epochs(trace, max_epochs=args.epochs)
+        epochs = trace_model.problems(problem)
+        return _run_dynamic_sequence(args, epochs, trace_model=trace_model)
 
     # Warn about non-default flags the chosen trajectory family never reads,
     # mirroring the --campaign branch (silently dropping them reads as the
@@ -758,6 +868,25 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
 
+    return _run_dynamic_sequence(args, epochs)
+
+
+def _run_dynamic_sequence(
+    args: argparse.Namespace, epochs, trace_model=None
+) -> int:
+    """Solve and report one epoch sequence (synthetic or trace-derived).
+
+    ``trace_model`` is the :class:`~repro.workloads.traces.TraceEpochs`
+    behind a ``--trace`` replay; it labels the run and supplies the real
+    epoch time spans to the ``--simulate`` replay.
+    """
+    label = "trace" if trace_model is not None else args.trajectory
+    spans = None
+    if trace_model is not None:
+        spans = list(
+            zip(trace_model.boundaries[:-1], trace_model.boundaries[1:])
+        )
+
     result = solve_sequence(
         epochs,
         policy=args.policy,
@@ -774,8 +903,15 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
         gaps = bounds.gaps(result.costs)
     if args.json:
         payload = result.to_dict()
-        payload["trajectory"] = args.trajectory
+        payload["trajectory"] = label
         payload["tree"] = args.tree
+        if trace_model is not None:
+            payload["trace"] = {
+                "file": args.trace,
+                "events": trace_model.trace.events,
+                "method": trace_model.method,
+                "boundaries": [float(b) for b in trace_model.boundaries],
+            }
         if bounds is not None:
             payload["bounds"] = bounds.to_dict()
             # gaps() yields finite floats or None, both JSON-safe as-is.
@@ -783,7 +919,7 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
         if args.simulate:
             from repro.simulation import simulate_sequence
 
-            replay = simulate_sequence(epochs, result.solutions)
+            replay = simulate_sequence(epochs, result.solutions, spans=spans)
             payload["replay"] = {
                 "summary": replay.summary(),
                 "transient_saturations": [
@@ -793,10 +929,17 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
             }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0 if result.solved_epochs else 2
-    print(
-        f"{args.trajectory} trajectory over {args.tree} "
-        f"({args.mode} mode, {args.policy} policy)"
-    )
+    if trace_model is not None:
+        print(
+            f"trace replay of {args.trace} over {args.tree} "
+            f"({args.mode} mode, {args.policy} policy)"
+        )
+        print(trace_model.summary(path=args.trace).describe())
+    else:
+        print(
+            f"{args.trajectory} trajectory over {args.tree} "
+            f"({args.mode} mode, {args.policy} policy)"
+        )
     print(result.describe())
     for epoch, entry in enumerate(result.stats):
         line = "  " + entry.describe()
@@ -812,7 +955,7 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
     if args.simulate:
         from repro.simulation import simulate_sequence
 
-        replay = simulate_sequence(epochs, result.solutions)
+        replay = simulate_sequence(epochs, result.solutions, spans=spans)
         print()
         print("Replay: " + replay.summary())
         for epoch, link in replay.transient_saturations():
@@ -903,8 +1046,34 @@ def _dispatch_serve(args: argparse.Namespace) -> int:
     return serve_stdio(server)
 
 
+def _dispatch_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` sub-command: ingest a log, model its epochs, report."""
+    from repro.workloads.traces import detect_epochs, fixed_epochs, load_trace
+
+    # Only `info` today; the required subparser rejects anything else.
+    trace = load_trace(args.file, format=args.format, sort=args.sort)
+    if args.epochs is not None:
+        model = fixed_epochs(trace, args.epochs)
+    else:
+        model = detect_epochs(
+            trace,
+            bins=args.bins,
+            threshold=args.threshold,
+            max_epochs=args.max_epochs,
+        )
+    summary = model.summary(path=args.file)
+    if args.json:
+        print(summary.to_json(indent=2))
+        return 0
+    print(summary.describe())
+    print(summary.rate_table())
+    return 0
+
+
 def _dispatch_loadtest(args: argparse.Namespace) -> int:
     """The ``loadtest`` sub-command: one open-loop IPPP run + report."""
+    import numpy as np
+
     from repro.serving.loadgen import LoadgenConfig, run_loadtest
     from repro.serving.pool import SessionPool
     from repro.serving.server import ReproServer
@@ -924,12 +1093,32 @@ def _dispatch_loadtest(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    arrivals = None
+    if args.trace is not None:
+        from repro.workloads.traces import detect_epochs, load_trace
+
+        # The trace's detected intensity replaces the sinusoid, rescaled to
+        # the configured horizon and mean rate so --horizon/--rate keep
+        # meaning what they say.
+        trace = load_trace(args.trace)
+        model = detect_epochs(trace)
+        arrivals = model.arrival_schedule(
+            np.random.default_rng(config.seed),
+            horizon=config.horizon,
+            mean_rate=config.rate,
+        )
+        if args.burst != 0.5:
+            print(
+                "warning: --trace replaces the sinusoidal intensity; "
+                "ignoring --burst",
+                file=sys.stderr,
+            )
     target = (
         ReproServer(SessionPool(max(args.tenants, 2)))
         if args.target is None
         else args.target
     )
-    report = run_loadtest(target, config)
+    report = run_loadtest(target, config, arrivals=arrivals)
     if args.json:
         print(report.to_json())
     else:

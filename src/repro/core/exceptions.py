@@ -18,7 +18,12 @@ callers can catch a single base class.  More specific subclasses communicate
   its bandwidth;
 * :class:`SolverError` -- the LP/ILP backend failed unexpectedly;
 * :class:`SerializationError` -- a persisted payload cannot be decoded
-  (unknown result tag, malformed file, unserialisable constraint subclass).
+  (unknown result tag, malformed file, unserialisable constraint subclass);
+* :class:`WorkloadError` -- a workload input (an arrival-process intensity,
+  a trace-shaped timestamp array) is malformed: non-finite values, unsorted
+  timestamps, invalid horizons;
+* :class:`TraceFormatError` -- a request-log trace file cannot be parsed
+  (bad CSV/JSONL rows, out-of-order timestamps, unknown client ids).
 """
 
 from __future__ import annotations
@@ -93,3 +98,27 @@ class SerializationError(ReproError, ValueError):
     Also a :class:`ValueError` so callers that predate the dedicated class
     (and the CLI's blanket error handling) keep working.
     """
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload input is malformed (non-finite, unsorted, bad horizon).
+
+    Raised by the arrival-process samplers of
+    :mod:`repro.workloads.distributions` and the trace subsystem of
+    :mod:`repro.workloads.traces` instead of letting a numpy broadcasting
+    traceback surface.  Also a :class:`ValueError` so callers that caught
+    the samplers' original ``ValueError``s keep working.
+    """
+
+
+class TraceFormatError(WorkloadError):
+    """A request-log trace cannot be parsed or does not fit its target tree.
+
+    Carries an optional ``line`` attribute naming the offending line of the
+    source file (1-based) when the failure is local to one record.
+    """
+
+    def __init__(self, message: str, *, line=None):
+        super().__init__(message if line is None else f"line {line}: {message}")
+        #: 1-based line number of the offending record (``None`` if global).
+        self.line = line

@@ -57,6 +57,7 @@ _RESULT_MODULES = (
     "repro.experiments.harness",
     "repro.serving.pool",
     "repro.serving.loadgen",
+    "repro.workloads.traces",
 )
 
 

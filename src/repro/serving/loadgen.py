@@ -170,23 +170,47 @@ class _Tenant:
 
 def build_schedule(
     config: LoadgenConfig,
+    *,
+    arrivals: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, List[_Tenant]]:
     """Sample the open-loop schedule: arrival times, tenant picks, tenants.
 
     Deterministic in ``config.seed``.  Arrival times come from the IPPP
     sampler (thinning under the sinusoidal intensity); tenants are drawn
     uniformly per arrival, so every tenant's sub-process is itself Poisson.
+
+    An explicit ``arrivals`` array (sorted, finite, non-negative seconds)
+    replaces the sampled schedule -- the hook ``repro loadtest --trace``
+    uses to replay a trace-estimated intensity
+    (:meth:`~repro.workloads.traces.TraceEpochs.arrival_schedule`) against
+    the same tenants and envelope logic.
     """
+    from repro.core.exceptions import WorkloadError
     from repro.core.problem import ProblemKind, ReplicaPlacementProblem
     from repro.workloads.generator import GeneratorConfig, TreeGenerator
 
     rng = np.random.default_rng(config.seed)
-    arrivals = thinned_poisson_arrivals(
-        rng,
-        sinusoidal_intensity(config.rate, burst=config.burst, period=config.period),
-        config.horizon,
-        bound=config.rate * (1.0 + config.burst),
-    )
+    if arrivals is None:
+        arrivals = thinned_poisson_arrivals(
+            rng,
+            sinusoidal_intensity(
+                config.rate, burst=config.burst, period=config.period
+            ),
+            config.horizon,
+            bound=config.rate * (1.0 + config.burst),
+        )
+    else:
+        arrivals = np.asarray(arrivals, dtype=float)
+        if arrivals.ndim != 1:
+            raise WorkloadError(
+                f"arrival schedule must be 1-d, got shape {arrivals.shape}"
+            )
+        if arrivals.size and not np.all(np.isfinite(arrivals)):
+            raise WorkloadError("arrival times must be finite")
+        if arrivals.size and float(arrivals[0]) < 0:
+            raise WorkloadError("arrival times must be >= 0")
+        if arrivals.size > 1 and np.any(np.diff(arrivals) < 0):
+            raise WorkloadError("arrival times must be sorted (non-decreasing)")
     picks = rng.integers(0, config.tenants, size=arrivals.size)
     tenants: List[_Tenant] = []
     for index in range(config.tenants):
@@ -238,7 +262,10 @@ def _adopt_fingerprints(
 
 
 def run_loadtest(
-    target: Any, config: Optional[LoadgenConfig] = None
+    target: Any,
+    config: Optional[LoadgenConfig] = None,
+    *,
+    arrivals: Optional[np.ndarray] = None,
 ) -> LoadtestReport:
     """Drive ``target`` through one open-loop run; returns the report.
 
@@ -250,10 +277,13 @@ def run_loadtest(
     every arrival that is already due -- one envelope each with
     ``batch=1``, coalesced into batch envelopes (cap ``config.batch``)
     otherwise.  Latency is reply time minus scheduled arrival time.
+
+    ``arrivals`` replays an explicit schedule (e.g. one estimated from a
+    real trace) instead of sampling one; see :func:`build_schedule`.
     """
     config = LoadgenConfig() if config is None else config
     client = target if isinstance(target, ServingClient) else connect(target)
-    arrivals, picks, tenants = build_schedule(config)
+    arrivals, picks, tenants = build_schedule(config, arrivals=arrivals)
     rng = np.random.default_rng(config.seed + 1)
 
     latencies: List[float] = []

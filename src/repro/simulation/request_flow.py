@@ -214,9 +214,14 @@ class SequenceFlowSimulation:
 
     ``epochs[t]`` is the :class:`FlowSimulation` of epoch ``t`` (``None``
     when that epoch had no valid solution -- a service brown-out window).
+    ``spans[t]``, when present, is the real ``(start, end)`` time window
+    epoch ``t`` covers -- trace-driven replays carry the detected epoch
+    boundaries here so the summary can weight epochs by wall-clock
+    duration instead of treating every epoch as equally long.
     """
 
     epochs: List[Optional[FlowSimulation]]
+    spans: Optional[List[Tuple[float, float]]] = None
 
     # ------------------------------------------------------------------ #
     def saturation_epochs(self) -> List[int]:
@@ -256,12 +261,37 @@ class SequenceFlowSimulation:
         """Per-epoch mean service latency (``None`` for unsolved epochs)."""
         return [sim.mean_latency if sim is not None else None for sim in self.epochs]
 
+    def epoch_durations(self) -> List[float]:
+        """Per-epoch durations from ``spans`` (1.0 each when spans are absent)."""
+        if self.spans is None:
+            return [1.0] * len(self.epochs)
+        return [end - start for start, end in self.spans]
+
+    def time_weighted_mean_latency(self) -> Optional[float]:
+        """Mean latency weighted by epoch duration (``None`` if all unsolved).
+
+        With ``spans`` (trace-driven replays), a 3-hour steady epoch counts
+        proportionally more than a 2-minute burst; without spans this
+        degrades to the plain mean over solved epochs.
+        """
+        total = 0.0
+        weight = 0.0
+        for sim, duration in zip(self.epochs, self.epoch_durations()):
+            if sim is not None and sim.mean_latency is not None:
+                total += sim.mean_latency * duration
+                weight += duration
+        return total / weight if weight > 0 else None
+
     def summary(self) -> str:
         """Short report of the transient behaviour over the whole replay."""
         saturated = self.saturation_epochs()
         unsolved = self.unsolved_epochs()
         transients = self.transient_saturations()
         parts = [f"{len(self.epochs)} epochs replayed"]
+        if self.spans is not None and self.spans:
+            parts[0] += (
+                f" over [{self.spans[0][0]:g}, {self.spans[-1][1]:g}]"
+            )
         parts.append(
             f"{len(saturated)} with saturated links" if saturated else "no saturation"
         )
@@ -277,6 +307,7 @@ def simulate_sequence(
     solutions: Sequence[Optional[Solution]],
     *,
     saturation_threshold: float = 0.999,
+    spans: Optional[Sequence[Tuple[float, float]]] = None,
 ) -> SequenceFlowSimulation:
     """Replay a solution sequence epoch by epoch.
 
@@ -284,16 +315,30 @@ def simulate_sequence(
     :func:`repro.api.solve_sequence`); ``None`` solutions are carried
     through as unsolved epochs rather than raising, so brown-out windows
     stay visible in the replay.
+
+    ``spans`` optionally attaches the real ``(start, end)`` time window of
+    each epoch (one pair per problem) -- trace-driven replays pass the
+    detected epoch boundaries so duration-weighted aggregates are honest.
     """
     if len(problems) != len(solutions):
         raise ValueError(
             f"sequence mismatch: {len(problems)} problems vs "
             f"{len(solutions)} solutions"
         )
+    span_list: Optional[List[Tuple[float, float]]] = None
+    if spans is not None:
+        span_list = [(float(start), float(end)) for start, end in spans]
+        if len(span_list) != len(problems):
+            raise ValueError(
+                f"sequence mismatch: {len(problems)} problems vs "
+                f"{len(span_list)} spans"
+            )
+        if any(end < start for start, end in span_list):
+            raise ValueError("epoch spans must satisfy start <= end")
     epochs = [
         simulate_solution(problem, solution, saturation_threshold=saturation_threshold)
         if solution is not None
         else None
         for problem, solution in zip(problems, solutions)
     ]
-    return SequenceFlowSimulation(epochs=epochs)
+    return SequenceFlowSimulation(epochs=epochs, spans=span_list)

@@ -12,7 +12,11 @@
 * :mod:`repro.workloads.dynamic` -- request-rate trajectories (steps, ramps,
   seasonal cycles, random churn, client join/leave, capacity incidents)
   turning one base instance into a sequence of epochs for the incremental
-  re-solver.
+  re-solver;
+* :mod:`repro.workloads.traces` -- trace-driven workloads: ingest real
+  timestamped request logs (CSV/JSONL), detect epoch boundaries where the
+  traffic actually moves, estimate per-client rates and replay the trace
+  as epoch trajectories and IPPP arrival schedules.
 """
 
 from repro.workloads.generator import (
@@ -40,8 +44,26 @@ from repro.workloads.dynamic import (
     seasonal,
     step_change,
 )
+from repro.workloads.traces import (
+    Trace,
+    TimeIndexer,
+    TraceEpochs,
+    TraceSummary,
+    detect_epochs,
+    fixed_epochs,
+    load_trace,
+    sample_trace,
+)
 
 __all__ = [
+    "Trace",
+    "TimeIndexer",
+    "TraceEpochs",
+    "TraceSummary",
+    "detect_epochs",
+    "fixed_epochs",
+    "load_trace",
+    "sample_trace",
     "capacity_incident",
     "client_join_leave",
     "ramp",

@@ -33,6 +33,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.exceptions import WorkloadError
+
 __all__ = [
     "uniform_requests",
     "zipf_requests",
@@ -107,9 +109,17 @@ def poisson_arrivals(
 
     Sampled by inversion of the exponential inter-arrival gaps.  Returns a
     sorted float array; empty for ``rate == 0`` or ``horizon <= 0``.
+
+    Raises :class:`~repro.core.exceptions.WorkloadError` on non-finite
+    inputs (a ``nan`` horizon would silently return an empty schedule, an
+    infinite rate would loop forever) and on negative rates.
     """
-    if rate < 0:
-        raise ValueError(f"rate must be >= 0, got {rate}")
+    rate = float(rate)
+    horizon = float(horizon)
+    if not np.isfinite(rate) or rate < 0:
+        raise WorkloadError(f"rate must be finite and >= 0, got {rate}")
+    if np.isnan(horizon) or horizon == np.inf:
+        raise WorkloadError(f"horizon must be finite, got {horizon}")
     if rate == 0 or horizon <= 0:
         return np.zeros(0)
     # Draw gaps in slabs until the horizon is crossed; E[N] = rate * horizon.
@@ -142,8 +152,9 @@ def thinned_poisson_arrivals(
     bound (or is negative) raises ``ValueError`` -- a silent violation
     would skew the sampled process instead of failing loudly.
     """
-    if bound <= 0:
-        raise ValueError(f"thinning bound must be > 0, got {bound}")
+    bound = float(bound)
+    if not np.isfinite(bound) or bound <= 0:
+        raise WorkloadError(f"thinning bound must be > 0 and finite, got {bound}")
     candidates = poisson_arrivals(rng, bound, horizon)
     if candidates.size == 0:
         return candidates
@@ -181,16 +192,28 @@ def inversion_poisson_arrivals(
     edges = np.asarray(breakpoints, dtype=float)
     levels = np.asarray(rates, dtype=float)
     if edges.ndim != 1 or edges.size < 2:
-        raise ValueError("breakpoints must hold at least two edges")
+        raise WorkloadError("breakpoints must hold at least two edges")
     if levels.shape != (edges.size - 1,):
-        raise ValueError(
+        raise WorkloadError(
             f"need one rate per interval: {edges.size - 1} intervals, "
             f"{levels.size} rates"
         )
+    if not np.all(np.isfinite(edges)):
+        raise WorkloadError("breakpoints must be finite")
     if np.any(np.diff(edges) <= 0):
-        raise ValueError("breakpoints must be strictly increasing")
+        raise WorkloadError(
+            "breakpoints must be strictly increasing (zero-length intervals "
+            "and unsorted timestamps are rejected)"
+        )
+    if not np.all(np.isfinite(levels)):
+        raise WorkloadError("rates must be finite")
     if np.any(levels < 0):
-        raise ValueError("rates must be >= 0")
+        raise WorkloadError("rates must be >= 0")
+    if not np.any(levels > 0):
+        # All-zero intensity: the process is empty by definition.  Checked
+        # explicitly (rather than via the cumulative total below) so the
+        # degenerate case never reaches the span-mapping arithmetic.
+        return np.zeros(0)
     widths = np.diff(edges)
     cumulative = np.concatenate(([0.0], np.cumsum(levels * widths)))
     total = float(cumulative[-1])

@@ -296,6 +296,41 @@ class TestArrivalProcesses:
             assert abs(got_thin - expected) < 5 * sigma
             assert abs(got_inv - expected) < 5 * sigma
 
+    def test_samplers_reject_trace_shaped_garbage(self):
+        """Non-finite inputs fail with a tagged WorkloadError, not numpy noise."""
+        from repro.core.exceptions import ReproError, WorkloadError
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(WorkloadError, match="finite"):
+            poisson_arrivals(rng, np.nan, 1.0)
+        with pytest.raises(WorkloadError, match="finite"):
+            poisson_arrivals(rng, np.inf, 1.0)
+        with pytest.raises(WorkloadError, match="finite"):
+            poisson_arrivals(rng, 5.0, np.nan)
+        with pytest.raises(WorkloadError, match="finite"):
+            poisson_arrivals(rng, 5.0, np.inf)
+        with pytest.raises(WorkloadError, match="finite"):
+            thinned_poisson_arrivals(
+                rng, lambda t: np.zeros_like(t), 1.0, bound=np.inf
+            )
+        with pytest.raises(WorkloadError, match="finite"):
+            inversion_poisson_arrivals(rng, [0.0, np.nan, 2.0], [1.0, 1.0])
+        with pytest.raises(WorkloadError, match="finite"):
+            inversion_poisson_arrivals(rng, [0.0, 1.0], [np.inf])
+        # unsorted timestamp edges carry the strictly-increasing message
+        with pytest.raises(WorkloadError, match="strictly increasing"):
+            inversion_poisson_arrivals(rng, [0.0, 2.0, 1.0], [1.0, 1.0])
+        # WorkloadError stays catchable as both ReproError and ValueError
+        assert issubclass(WorkloadError, ReproError)
+        assert issubclass(WorkloadError, ValueError)
+
+    def test_all_zero_intensity_yields_empty_schedule(self):
+        rng = np.random.default_rng(1)
+        empty = inversion_poisson_arrivals(
+            rng, [0.0, 1.0, 2.0, 3.0], [0.0, 0.0, 0.0]
+        )
+        assert empty.size == 0
+
     def test_sinusoidal_intensity_shape(self):
         intensity = sinusoidal_intensity(40.0, burst=0.5, period=2.0)
         times = np.linspace(0.0, 4.0, 1000)

@@ -1,0 +1,527 @@
+"""Trace-driven workloads: ingest, epoch detection, replay, round-trip.
+
+The load-bearing test is the round-trip property pinning the whole
+pipeline: sample a synthetic request log from a known epoch trajectory
+(``sample_trace``), re-estimate the epoch model from the log alone, and
+the boundaries land on the trajectory's grid while per-client rates agree
+within Poisson tolerance.  Rate estimates over an epoch of duration ``d``
+are Poisson counts divided by ``d``, so their standard deviation is
+``sqrt(rate / d)``; the tests allow 5 sigma (plus a 0.5 rounding floor),
+generous enough to be seed-stable and tight enough to catch any indexing
+or normalisation slip.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.exceptions import TraceFormatError, WorkloadError
+from repro.core.results import result_from_json
+from repro.core.serialization import save_tree
+from repro.simulation import simulate_sequence
+from repro.workloads.dynamic import as_base_problem, rate_churn, seasonal
+from repro.workloads.generator import generate_tree
+from repro.workloads.traces import (
+    TimeIndexer,
+    Trace,
+    TraceSummary,
+    detect_epochs,
+    fixed_epochs,
+    load_trace,
+    sample_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return generate_tree(size=20, seed=7)
+
+
+def make_trace(times, clients=None, weights=None):
+    times = np.asarray(times, dtype=float)
+    clients = (
+        np.zeros(times.size, dtype=int) if clients is None else np.asarray(clients)
+    )
+    weights = np.ones(times.size) if weights is None else np.asarray(weights, float)
+    ids = tuple(f"c{i}" for i in range(int(clients.max()) + 1 if clients.size else 1))
+    return Trace(times, clients, weights, ids)
+
+
+# --------------------------------------------------------------------------- #
+# TimeIndexer
+# --------------------------------------------------------------------------- #
+class TestTimeIndexer:
+    def test_at_slice_counts(self):
+        idx = TimeIndexer([0.0, 1.0, 1.0, 2.5, 4.0])
+        assert idx.at(-0.1) == -1
+        assert idx.at(0.0) == 0
+        assert idx.at(1.0) == 2  # last event at-or-before t
+        assert idx.at(99.0) == 4
+        assert idx.slice(1.0, 2.5) == slice(1, 3)
+        assert idx.count(0.0, 4.0) == 4  # half-open: t=4.0 excluded
+        assert list(idx.counts([0.0, 1.0, 3.0, 5.0])) == [1, 3, 1]
+
+    def test_rejects_malformed(self):
+        with pytest.raises(WorkloadError, match="sorted"):
+            TimeIndexer([1.0, 0.5])
+        with pytest.raises(WorkloadError, match="finite"):
+            TimeIndexer([0.0, np.nan])
+        with pytest.raises(WorkloadError, match="strictly increasing"):
+            TimeIndexer([0.0, 1.0]).counts([1.0, 1.0])
+
+
+# --------------------------------------------------------------------------- #
+# ingest: parsing and validation
+# --------------------------------------------------------------------------- #
+class TestIngest:
+    def test_csv_with_header_and_weights(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "timestamp,client,weight\n0.5,east,2.0\n1.5,west,1.0\n2.0,east,3.5\n"
+        )
+        trace = load_trace(path)
+        assert trace.events == 3
+        assert trace.client_ids == ("east", "west")
+        assert trace.total_weight == pytest.approx(6.5)
+        assert trace.span == (0.5, 2.0)
+
+    def test_csv_without_header_or_weight(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0.5,east\n1.5,west\n")
+        trace = load_trace(path)
+        assert trace.events == 2
+        assert np.all(trace.weights == 1.0)
+
+    def test_jsonl_field_aliases(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = [
+            {"t": 0.1, "client": "a"},
+            {"time": 0.2, "client_id": "b", "w": 2.0},
+            {"timestamp": 0.3, "client": "a", "weight": 3.0},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n\n")
+        trace = load_trace(path)
+        assert trace.events == 3
+        assert trace.client_ids == ("a", "b")
+        assert trace.total_weight == pytest.approx(6.0)
+
+    def test_gzip_transparent_even_mislabelled(self, tmp_path):
+        # A gzipped file without the .gz suffix still loads: the opener
+        # sniffs the magic bytes, not the name.
+        path = tmp_path / "t.csv"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0.5,east\n1.5,west\n")
+        trace = load_trace(path)
+        assert trace.events == 2
+
+    def test_bad_csv_row_names_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0.5,east\nnot-a-number,west\n")
+        with pytest.raises(TraceFormatError, match="line 2") as excinfo:
+            load_trace(path)
+        assert excinfo.value.line == 2
+
+    def test_wrong_column_count_names_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0.5,east\n1.0,west,1.0,extra\n")
+        with pytest.raises(TraceFormatError, match="line 2"):
+            load_trace(path)
+
+    def test_bad_jsonl_rows(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"t": 0.5, "client": "a"}\n{"t": 1.0}\n')
+        with pytest.raises(TraceFormatError, match="line 2.*client"):
+            load_trace(path)
+        path.write_text('{"t": 0.5, "client": "a"}\nnot json\n')
+        with pytest.raises(TraceFormatError, match="line 2.*JSON"):
+            load_trace(path)
+        path.write_text('{"client": "a"}\n')
+        with pytest.raises(TraceFormatError, match="timestamp"):
+            load_trace(path)
+
+    def test_out_of_order_rejected_unless_sorted(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1.5,east\n0.5,west\n")
+        with pytest.raises(TraceFormatError, match="earlier than") as excinfo:
+            load_trace(path)
+        assert excinfo.value.line == 2
+        trace = load_trace(path, sort=True)
+        assert list(trace.times) == [0.5, 1.5]
+        assert trace.client_ids[trace.client_codes[0]] == "west"
+
+    def test_post_parse_errors_name_the_file_line_past_the_header(self, tmp_path):
+        # Out-of-order and bad-weight checks run after header/blank rows
+        # were skipped; the reported line must still be the file's.
+        path = tmp_path / "t.csv"
+        path.write_text("timestamp,client,weight\n1.5,east,1.0\n0.5,west,1.0\n")
+        with pytest.raises(TraceFormatError, match="line 3.*earlier than"):
+            load_trace(path)
+        path.write_text("timestamp,client,weight\n\n0.5,east,0.0\n")
+        with pytest.raises(TraceFormatError, match="line 3.*weight") as excinfo:
+            load_trace(path)
+        assert excinfo.value.line == 3
+
+    def test_rejects_nonpositive_weights_and_nonfinite_times(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0.5,east,0.0\n")
+        with pytest.raises(TraceFormatError, match="weight"):
+            load_trace(path)
+        path.write_text("nan,east\n")
+        with pytest.raises(TraceFormatError, match="finite"):
+            load_trace(path)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("timestamp,client\n")
+        with pytest.raises(TraceFormatError, match="no events"):
+            load_trace(path)
+
+    def test_unknown_extension_needs_format(self, tmp_path):
+        path = tmp_path / "t.log"
+        path.write_text("0.5,east\n")
+        with pytest.raises(TraceFormatError, match="infer"):
+            load_trace(path)
+        assert load_trace(path, format="csv").events == 1
+
+    def test_file_round_trip_csv_and_jsonl(self, tmp_path):
+        trace = make_trace([0.5, 1.0, 2.0], [0, 1, 0], [1.0, 2.0, 1.5])
+        for name in ("t.csv", "t.jsonl", "t.csv.gz", "t.jsonl.gz"):
+            path = tmp_path / name
+            if name.startswith("t.csv"):
+                trace.to_csv(path)
+            else:
+                trace.to_jsonl(path)
+            back = load_trace(path)
+            assert back.events == trace.events
+            np.testing.assert_allclose(back.times, trace.times)
+            np.testing.assert_allclose(back.weights, trace.weights)
+            assert [back.client_ids[c] for c in back.client_codes] == [
+                trace.client_ids[c] for c in trace.client_codes
+            ]
+
+
+# --------------------------------------------------------------------------- #
+# epoch detection and rate estimation
+# --------------------------------------------------------------------------- #
+class TestEpochDetection:
+    def test_flat_trace_yields_single_epoch(self):
+        rng = np.random.default_rng(11)
+        trace = make_trace(np.sort(rng.uniform(0.0, 50.0, size=4000)))
+        model = detect_epochs(trace)
+        assert model.epoch_count == 1
+        assert model.method == "detected"
+
+    def test_boundary_lands_on_known_changepoint(self):
+        # Rate 50 -> 150 at t=60 over [0, 120]; the detected boundary must
+        # land within two histogram bin widths of the true changepoint.
+        rng = np.random.default_rng(5)
+        from repro.workloads.distributions import inversion_poisson_arrivals
+
+        times = inversion_poisson_arrivals(
+            rng, [0.0, 60.0, 120.0], [50.0, 150.0]
+        )
+        trace = make_trace(times)
+        model = detect_epochs(trace)
+        assert model.epoch_count == 2
+        bin_width = trace.duration / 256
+        assert abs(model.boundaries[1] - 60.0) <= 2 * bin_width
+        # and the estimated per-epoch rates match the generating ones
+        assert model.total_rates[0] == pytest.approx(50.0, rel=0.1)
+        assert model.total_rates[1] == pytest.approx(150.0, rel=0.1)
+
+    def test_min_segment_guard_caps_epochs(self):
+        rng = np.random.default_rng(9)
+        from repro.workloads.distributions import inversion_poisson_arrivals
+
+        times = inversion_poisson_arrivals(
+            rng,
+            [0.0, 30.0, 60.0, 90.0, 120.0],
+            [40.0, 160.0, 40.0, 160.0],
+        )
+        trace = make_trace(times)
+        model = detect_epochs(trace, max_epochs=2)
+        assert model.epoch_count <= 2
+
+    def test_fixed_epochs_grid_and_mass_conservation(self):
+        trace = make_trace(
+            [0.0, 1.0, 2.0, 3.0, 4.0], [0, 0, 1, 1, 0], [1.0, 1.0, 2.0, 2.0, 1.0]
+        )
+        model = fixed_epochs(trace, 4)
+        np.testing.assert_allclose(model.boundaries, [0.0, 1.0, 2.0, 3.0, 4.0])
+        # every event's weight lands in exactly one epoch (the final event
+        # clamps into the last epoch)
+        assert (model.rates * model.widths[:, None]).sum() == pytest.approx(
+            trace.total_weight
+        )
+
+    def test_zero_span_trace_rejected(self):
+        trace = make_trace([1.0, 1.0, 1.0])
+        with pytest.raises(WorkloadError, match="zero-length"):
+            fixed_epochs(trace, 2)
+        with pytest.raises(WorkloadError, match="zero-length"):
+            detect_epochs(trace)
+
+    def test_deterministic_rates_on_even_grid(self):
+        # 1 event per time unit for client "a", 2 per unit for client "b".
+        times = np.concatenate([np.arange(0.0, 10.0, 1.0), np.arange(0.0, 10.0, 0.5)])
+        codes = np.concatenate([np.zeros(10, dtype=int), np.ones(20, dtype=int)])
+        order = np.argsort(times, kind="stable")
+        trace = Trace(times[order], codes[order], np.ones(times.size), ("a", "b"))
+        model = fixed_epochs(trace, 1)
+        assert model.rates[0, 0] == pytest.approx(10 / trace.duration)
+        assert model.rates[0, 1] == pytest.approx(20 / trace.duration)
+
+
+# --------------------------------------------------------------------------- #
+# the round-trip property: estimate(export(trajectory))
+# --------------------------------------------------------------------------- #
+class TestRoundTrip:
+    TOLERANCE_SIGMA = 5.0
+
+    def _assert_rates_match(self, model, trajectory, duration):
+        members = [set(p.tree.client_ids) for p in trajectory]
+        for j, cid in enumerate(model.client_ids):
+            for t, (problem, present) in enumerate(zip(trajectory, members)):
+                true = (
+                    float(problem.tree.client(cid).requests)
+                    if cid in present
+                    else 0.0
+                )
+                sigma = np.sqrt(max(true, 1.0) / duration)
+                assert abs(model.rates[t, j] - true) <= (
+                    self.TOLERANCE_SIGMA * sigma + 0.5
+                ), f"client {cid} epoch {t}: {model.rates[t, j]} vs {true}"
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rate_churn_round_trip(self, tree, seed):
+        trajectory = rate_churn(tree, 5, churn=0.4, magnitude=0.6, seed=seed)
+        duration = 8.0
+        trace = sample_trace(
+            trajectory, np.random.default_rng(100 + seed), epoch_duration=duration
+        )
+        model = fixed_epochs(trace, len(trajectory))
+        # the fixed grid recovers the generating boundaries (trimmed to the
+        # first/last event, which lie within one epoch of the true edges)
+        assert model.epoch_count == len(trajectory)
+        assert trace.duration <= duration * len(trajectory)
+        self._assert_rates_match(model, trajectory, duration)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_seasonal_round_trip(self, tree, seed):
+        trajectory = seasonal(tree, 6, amplitude=0.4, period=4.0)
+        duration = 8.0
+        trace = sample_trace(
+            trajectory, np.random.default_rng(seed), epoch_duration=duration
+        )
+        model = fixed_epochs(trace, len(trajectory))
+        self._assert_rates_match(model, trajectory, duration)
+
+    def test_problem_forks_feed_the_incremental_resolver(self, tree):
+        from repro.api import solve_sequence
+
+        trajectory = rate_churn(tree, 4, churn=0.3, seed=2)
+        trace = sample_trace(
+            trajectory, np.random.default_rng(8), epoch_duration=10.0
+        )
+        model = fixed_epochs(trace, 4)
+        epochs = model.problems(tree)
+        assert len(epochs) == 4
+        # structure-shared forks: same node ids, rates from the trace
+        assert epochs[0].tree.client_ids == tree.client_ids
+        incremental = solve_sequence(epochs, policy="multiple", mode="incremental")
+        scratch = solve_sequence(epochs, policy="multiple", mode="scratch")
+        assert incremental.costs == scratch.costs
+
+    def test_unknown_client_rejected_against_tree(self, tree):
+        trace = make_trace([0.0, 1.0, 2.0], [0, 0, 0])  # client "c0"
+        trace = Trace(
+            trace.times, trace.client_codes, trace.weights, ("not-a-client",)
+        )
+        model = fixed_epochs(trace, 2)
+        with pytest.raises(TraceFormatError, match="not-a-client"):
+            model.problems(tree)
+
+    def test_sample_trace_rejects_degenerate_inputs(self, tree):
+        with pytest.raises(WorkloadError, match="no epochs"):
+            sample_trace([], np.random.default_rng(0))
+        with pytest.raises(WorkloadError, match="epoch_duration"):
+            sample_trace([tree], np.random.default_rng(0), epoch_duration=0.0)
+        silent = tree.with_requests({c: 0.0 for c in tree.client_ids})
+        with pytest.raises(WorkloadError, match="all zero"):
+            sample_trace([silent], np.random.default_rng(0))
+
+
+# --------------------------------------------------------------------------- #
+# replay: arrival schedules and sequence simulation spans
+# --------------------------------------------------------------------------- #
+class TestReplay:
+    def test_arrival_schedule_rescales_horizon_and_rate(self):
+        rng = np.random.default_rng(21)
+        from repro.workloads.distributions import inversion_poisson_arrivals
+
+        times = inversion_poisson_arrivals(rng, [0.0, 40.0, 80.0], [30.0, 90.0])
+        trace = make_trace(times)
+        model = fixed_epochs(trace, 2)
+        schedule = model.arrival_schedule(
+            np.random.default_rng(4), horizon=2.0, mean_rate=100.0
+        )
+        assert schedule.size > 0
+        assert schedule[0] >= 0.0 and schedule[-1] <= 2.0
+        assert np.all(np.diff(schedule) >= 0)
+        # expected count = mean_rate * horizon = 200; allow 5 sigma
+        assert abs(schedule.size - 200) <= 5 * np.sqrt(200)
+        # the second half must be busier (90 vs 30 source intensity)
+        first = int(np.searchsorted(schedule, 1.0))
+        assert schedule.size - first > first
+
+    def test_arrival_schedule_validates(self):
+        trace = make_trace([0.0, 1.0, 2.0])
+        model = fixed_epochs(trace, 1)
+        with pytest.raises(WorkloadError, match="horizon"):
+            model.arrival_schedule(np.random.default_rng(0), horizon=-1.0)
+        with pytest.raises(WorkloadError, match="mean_rate"):
+            model.arrival_schedule(np.random.default_rng(0), mean_rate=np.inf)
+
+    def test_simulate_sequence_carries_spans(self, tree):
+        from repro.api import solve_sequence
+
+        trajectory = rate_churn(tree, 3, churn=0.2, seed=5)
+        trace = sample_trace(
+            trajectory, np.random.default_rng(6), epoch_duration=10.0
+        )
+        model = fixed_epochs(trace, 3)
+        epochs = model.problems(tree)
+        result = solve_sequence(epochs, policy="multiple", on_error="none")
+        spans = list(zip(model.boundaries[:-1], model.boundaries[1:]))
+        replay = simulate_sequence(epochs, result.solutions, spans=spans)
+        assert replay.spans is not None
+        assert len(replay.spans) == 3
+        durations = replay.epoch_durations()
+        assert sum(durations) == pytest.approx(trace.duration)
+        assert "epochs replayed over" in replay.summary()
+        weighted = replay.time_weighted_mean_latency()
+        if any(sim is not None for sim in replay.epochs):
+            assert weighted is not None and weighted >= 0.0
+
+    def test_simulate_sequence_span_mismatch_rejected(self, tree):
+        from repro.api import solve_sequence
+
+        trajectory = rate_churn(tree, 2, churn=0.2, seed=5)
+        result = solve_sequence(trajectory, policy="multiple", on_error="none")
+        with pytest.raises(ValueError, match="spans"):
+            simulate_sequence(
+                trajectory, result.solutions, spans=[(0.0, 1.0)]
+            )
+        with pytest.raises(ValueError, match="start <= end"):
+            simulate_sequence(
+                trajectory, result.solutions, spans=[(0.0, 1.0), (3.0, 2.0)]
+            )
+
+    def test_loadgen_accepts_explicit_arrivals(self):
+        from repro.serving.loadgen import LoadgenConfig, build_schedule
+
+        config = LoadgenConfig(tenants=2, size=12, horizon=1.0, rate=20.0)
+        explicit = np.array([0.0, 0.1, 0.5, 0.9])
+        arrivals, picks, tenants = build_schedule(config, arrivals=explicit)
+        np.testing.assert_allclose(arrivals, explicit)
+        assert picks.size == explicit.size
+        assert len(tenants) == 2
+        with pytest.raises(WorkloadError, match="sorted"):
+            build_schedule(config, arrivals=np.array([0.5, 0.1]))
+        with pytest.raises(WorkloadError, match="finite"):
+            build_schedule(config, arrivals=np.array([0.1, np.nan]))
+
+
+# --------------------------------------------------------------------------- #
+# TraceSummary result protocol + CLI surface
+# --------------------------------------------------------------------------- #
+class TestTraceSummaryAndCli:
+    def test_summary_round_trips_through_result_protocol(self):
+        trace = make_trace([0.0, 1.0, 2.0, 3.0], [0, 1, 0, 1])
+        model = fixed_epochs(trace, 2)
+        summary = model.summary(path="demo.jsonl")
+        clone = result_from_json(summary.to_json())
+        assert isinstance(clone, TraceSummary)
+        assert clone.to_dict() == summary.to_dict()
+        assert "4 events" in clone.describe()
+        assert "epoch 0" in clone.rate_table()
+
+    def test_trace_info_cli(self, tmp_path, capsys):
+        trace = make_trace(np.linspace(0.0, 9.0, 40), np.arange(40) % 2)
+        path = tmp_path / "t.jsonl"
+        trace.to_jsonl(path)
+        assert main(["trace", "info", str(path), "--epochs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 epoch(s) (fixed)" in out
+        assert main(["trace", "info", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["type"] == "trace_summary"
+        assert payload["events"] == 40
+        decoded = result_from_json(json.dumps(payload))
+        assert isinstance(decoded, TraceSummary)
+
+    def test_trace_info_cli_rejects_malformed(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("0.5,east\nbroken,west\n")
+        assert main(["trace", "info", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "line 2" in err
+
+    def test_dynamic_trace_cli(self, tmp_path, capsys, tree):
+        tree_path = tmp_path / "tree.json"
+        save_tree(tree, tree_path)
+        base = as_base_problem(tree)
+        trace = sample_trace(
+            [base, base], np.random.default_rng(3), epoch_duration=8.0
+        )
+        trace_path = tmp_path / "t.csv"
+        trace.to_csv(trace_path)
+        code = main(
+            [
+                "dynamic",
+                str(tree_path),
+                "--trace",
+                str(trace_path),
+                "--simulate",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code in (0, 2)
+        payload = json.loads(captured.out)
+        assert payload["trajectory"] == "trace"
+        assert payload["trace"]["events"] == trace.events
+        assert len(payload["trace"]["boundaries"]) >= 2
+        assert "replay" in payload
+
+    def test_loadtest_trace_cli(self, tmp_path, capsys):
+        trace = make_trace(np.sort(np.random.default_rng(1).uniform(0, 10, 500)))
+        path = tmp_path / "t.jsonl"
+        trace.to_jsonl(path)
+        code = main(
+            [
+                "loadtest",
+                "--trace",
+                str(path),
+                "--horizon",
+                "0.3",
+                "--rate",
+                "60",
+                "--tenants",
+                "2",
+                "--size",
+                "12",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["type"] == "loadtest_report"
+        assert payload["served"] == payload["scheduled"]
