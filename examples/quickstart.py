@@ -95,6 +95,8 @@ def main() -> None:
     print()
     lp_bounds_on_sequences()
     print()
+    qos_classes()
+    print()
     serving()
 
 
@@ -351,6 +353,83 @@ def lp_bounds_on_sequences() -> None:
         label = f"gap {gap:.3f}" if gap is not None else "no gap"
         print(f"    epoch {epoch}: cost {cost:g} vs bound {bound:g} ({label})")
     print("  (a gap of 1.000 means the heuristic provably matched the optimum)")
+
+
+def qos_classes() -> None:
+    """QoS classes: multi-metric links, tenant classes, the IPFP bound.
+
+    Links can carry a full ``QoSMetrics`` annotation (latency, jitter,
+    loss, bandwidth); ``ClassedConstraintSet`` groups clients into
+    gold/silver/bronze service classes whose weighted **path score**
+    replaces the single-metric QoS bound (monotone classes ride the same
+    memoised threshold machinery as distance/latency QoS, on all three
+    engines).  ``bound(method="ipfp")`` is the matching fast fractional
+    lower bound -- iterative proportional fitting over the client x
+    server pair arrays, re-targetable across epochs without touching a
+    simplex.  From the shell: ``repro generate --metrics`` and ``repro
+    solve --bounds --bound-method ipfp``.
+    """
+    from dataclasses import replace
+
+    from repro.core.constraints import ClassedConstraintSet
+    from repro.core.problem import replica_cost_problem
+    from repro.core.tree import TreeNetwork
+    from repro.qos.metrics import annotate_tree, split_by_class
+    from repro.workloads.generator import generate_tree
+
+    print("QoS classes: multi-metric links, service classes, the IPFP bound")
+    tree = annotate_tree(
+        generate_tree(size=60, target_load=0.3, homogeneous=False, seed=11),
+        seed=11,
+    )
+    constraints = ClassedConstraintSet.standard(tree, seed=11)
+    mix = ", ".join(
+        f"{name}: {sum(1 for _, n in constraints.assignments if n == name)}"
+        for name in (cls.name for cls in constraints.classes)
+    )
+    print(f"  classes: {mix} (assigned by {type(constraints).__name__}.standard)")
+
+    # Give every client a score budget of 90% of its own root-path score:
+    # nearby servers stay eligible, the farthest ancestors drop out.
+    budgets = {
+        client.id: 0.9
+        * max(s for _, s in constraints.iter_ancestor_scores(tree, client.id))
+        for client in tree.clients()
+    }
+    clients = [
+        replace(c, qos=budgets[c.id]) if budgets[c.id] > 0 else c
+        for c in tree.clients()
+    ]
+    tree = TreeNetwork(list(tree.nodes()), clients, list(tree.links()))
+    # Replica Cost keeps the heterogeneous capacities (s_j = W_j).
+    problem = replica_cost_problem(tree, constraints=constraints)
+
+    session = PlacementSession(problem)
+    placed = session.solve()
+    ipfp = session.bound(method="ipfp")
+    mixed = session.bound(method="mixed")
+    print(f"  joint solve: {placed.describe()}")
+    print(
+        f"  bounds: ipfp {ipfp.result.value:g} <= mixed {mixed.result.value:g}"
+        f" <= cost {placed.cost:g}"
+        f" (ipfp gap {placed.cost / ipfp.result.value:.3f})"
+    )
+
+    # Carving each class into its own sub-problem (reserved bandwidth
+    # share, provisioned gold headroom) prices per-class isolation: the
+    # summed per-class costs over-provision relative to the joint solve.
+    carved = split_by_class(
+        problem, dict(constraints.assignments), constraints.classes
+    )
+    total = 0.0
+    for name, sub in carved.items():
+        solution = PlacementSession(sub).solve()
+        total += solution.cost
+        print(f"    class {name}: cost {solution.cost:g}")
+    print(
+        f"  isolation price: sum {total:g} vs joint {placed.cost:g} "
+        f"({total / placed.cost:.2f}x)"
+    )
 
 
 def serving() -> None:

@@ -78,13 +78,13 @@ class FastRequestState(RequestState):
         #: subclasses whose metric the thresholds cannot represent (e.g. a
         #: non-monotone override) -- the latter matches the dict engine
         #: call for call.
-        from repro.core.constraints import ConstraintSet
+        from repro.core.index import supports_qos_thresholds
 
         constraints = problem.constraints
         self._qos_thresholds = None
         self._qos_check = None
         if constraints.has_qos:
-            if type(constraints) is ConstraintSet:
+            if supports_qos_thresholds(constraints):
                 self._qos_thresholds = index.qos_depth_thresholds(problem)
             else:
                 self._qos_check = problem.qos_satisfied

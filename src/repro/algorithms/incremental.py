@@ -513,10 +513,15 @@ class IncrementalBounder:
     :func:`repro.lp.bounds.lp_lower_bound` build, so the per-epoch bounds
     are exactly the from-scratch bounds (cross-validated by the test
     suite).
+
+    ``method="ipfp"`` swaps the LP program for the scaling-based
+    :class:`~repro.lp.ipfp.IPFPProgram`; the reuse ladder is identical
+    (same ``with_requests`` contract), and a re-targeted epoch reproduces
+    the from-scratch IPFP value bit for bit.
     """
 
     MODES = ("incremental", "scratch")
-    METHODS = ("mixed", "rational")
+    METHODS = ("mixed", "rational", "ipfp")
 
     def __init__(
         self,

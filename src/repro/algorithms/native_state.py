@@ -305,6 +305,7 @@ class NativeRequestState(FastRequestState):
         self.amounts: Dict[Tuple[NodeId, NodeId], float] = {}
 
         from repro.core.constraints import ConstraintSet
+        from repro.core.index import supports_qos_thresholds
 
         constraints = problem.constraints
         self._qos_thresholds = None
@@ -314,6 +315,18 @@ class NativeRequestState(FastRequestState):
                 self._qos_thresholds = _qos_threshold_array(
                     index, problem, kernels, arrays
                 )
+            elif supports_qos_thresholds(constraints):
+                # Monotone subclass (e.g. a classed metric set): the
+                # thresholds come from the generic Python walk -- the
+                # values, not their computation, are what the kernels
+                # consume -- mirrored into the index's native cache so
+                # sibling states and epoch forks share one array.
+                key = ("native", constraints)
+                cached = index.qos_threshold_cache.get(key)
+                if cached is None:
+                    cached = array("q", index.qos_depth_thresholds(problem))
+                    index.qos_threshold_cache[key] = cached
+                self._qos_thresholds = cached
             else:
                 self._qos_check = problem.qos_satisfied
 

@@ -85,6 +85,23 @@ special case) when the tree is small or optimal cost matters more than
 footprint: shard-local solving trades a bounded amount of placement
 sharing across the cut for locality.
 
+Lower bounds scale along their own ladder.  The paper's refined bound
+(``method="mixed"``: integer placement, rational assignment) is the
+tightest and the slowest; the fully rational relaxation (``"rational"``)
+drops the integrality; and ``method="ipfp"`` (:mod:`repro.lp.ipfp`) skips
+the LP solver entirely, lower-bounding the transportation relaxation by
+Lagrangian duality with an iterative-proportional-fitting scaling loop
+over the same :class:`~repro.lp.variables.VariableSpace` pair arrays.
+IPFP is the per-epoch gap estimate of choice on dynamic workloads: a
+rate-only epoch re-targets the resident program (same ``with_requests``
+contract as the LP bounds) and reproduces the cold-run value bit for bit,
+at a fraction of a rebuild-and-resolve LP epoch
+(``benchmarks/test_ipfp_bound.py`` pins the >= 5x one-shot win and the
+churn-trajectory win; the ``trivial <= ipfp <= mixed`` sandwich is
+asserted across the instance matrix).  Every method is reachable from
+:meth:`PlacementSession.bound`, :func:`lower_bound`,
+:func:`bound_sequence` and ``repro solve/compare/dynamic --bounds``.
+
 For *many* tenants behind one process, :mod:`repro.serving` turns the
 session model into a service: a :class:`~repro.serving.pool.SessionPool`
 keeps resident sessions keyed by content fingerprint
@@ -753,7 +770,10 @@ def bound_sequence(
     method:
         ``"mixed"`` (default) -- the paper's refined bound: integer
         placement, rational assignment.  ``"rational"`` -- the fully
-        rational relaxation (cheaper, looser).
+        rational relaxation (cheaper, looser).  ``"ipfp"`` -- the
+        scaling-based Lagrangian bound of :mod:`repro.lp.ipfp` (no LP
+        solve at all; looser still, but near-heuristic speed and the same
+        rate-only re-targeting across epochs).
     mode:
         ``"incremental"`` (default) -- reuse the bound of unchanged epochs,
         re-target the cached program via
@@ -768,10 +788,10 @@ def bound_sequence(
         raise ValueError(
             f"unknown mode {mode!r}; expected one of ('incremental', 'scratch')"
         )
-    if method not in ("mixed", "rational"):
+    if method not in ("mixed", "rational", "ipfp"):
         raise ValueError(
             f"unknown lower-bound method {method!r}; expected one of "
-            f"('mixed', 'rational')"
+            f"('mixed', 'rational', 'ipfp')"
         )
 
     session: Optional[PlacementSession] = None
@@ -804,9 +824,9 @@ def lower_bound(
 
     ``method`` selects the refined bound of the paper (``"mixed"``: integer
     placement variables, rational assignments), the fully rational
-    relaxation (``"rational"``) or the purely combinatorial bound
-    (``"trivial"``, no LP solve at all).  A shim over
-    :meth:`PlacementSession.bound`.
+    relaxation (``"rational"``), the IPFP Lagrangian bound (``"ipfp"``) or
+    the purely combinatorial bound (``"trivial"``, no LP solve at all).  A
+    shim over :meth:`PlacementSession.bound`.
     """
     session = PlacementSession(instance, constraints=constraints, kind=kind)
     return session.bound(method=method).value

@@ -90,6 +90,19 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--load", type=float, default=0.5, help="target load factor lambda")
     gen.add_argument("--heterogeneous", action="store_true", help="mix server classes")
     gen.add_argument("--seed", type=int, default=None, help="random seed")
+    gen.add_argument(
+        "--metrics",
+        action="store_true",
+        help="annotate every link with multi-metric QoS attributes "
+        "(latency/jitter/loss/bandwidth; see repro.qos.metrics)",
+    )
+    gen.add_argument(
+        "--bandwidth",
+        type=float,
+        default=None,
+        metavar="BW",
+        help="give every link this finite bandwidth (default: unbounded)",
+    )
 
     slv = sub.add_parser("solve", help="solve a tree JSON file under one policy")
     slv.add_argument("tree", help="tree JSON file (see the generate sub-command)")
@@ -117,6 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="partition the tree into N subtree shards, solve each on its own "
         "sliced index and reconcile at the cut (default: whole-tree)",
+    )
+    slv.add_argument(
+        "--bounds",
+        action="store_true",
+        help="also compute the lower bound (--bound-method) and the "
+        "cost-vs-bound gap",
+    )
+    slv.add_argument(
+        "--bound-method",
+        choices=("mixed", "rational", "ipfp", "trivial"),
+        default="mixed",
+        help="lower-bound method used by --bounds (default: mixed)",
     )
 
     batch = sub.add_parser(
@@ -161,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--bounds",
         action="store_true",
         help="also compute the LP lower bound and per-policy cost-vs-bound gaps",
+    )
+    cmp.add_argument(
+        "--bound-method",
+        choices=("mixed", "rational", "ipfp", "trivial"),
+        default="mixed",
+        help="lower-bound method used by --bounds (default: mixed)",
     )
     cmp.add_argument(
         "--json",
@@ -238,6 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="track the per-epoch LP lower bound (incremental program patching) "
         "and report cost-vs-bound gaps",
+    )
+    dyn.add_argument(
+        "--bound-method",
+        choices=("mixed", "rational", "ipfp"),
+        default="mixed",
+        help="per-epoch lower-bound method used by --bounds (default: mixed; "
+        "ipfp re-targets at heuristic speed)",
     )
     dyn.add_argument(
         "--campaign",
@@ -457,6 +495,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated op cycle per tenant from solve/bound/update "
         "(default: solve,bound)",
     )
+    load.add_argument(
+        "--op-mix",
+        default=None,
+        metavar="OP=W,...",
+        help="weighted op mix sampled per arrival instead of the --ops "
+        "cycle, e.g. 'solve=3,bound=1' (per-tenant jittered weights)",
+    )
     load.add_argument("--seed", type=int, default=0, help="schedule seed")
     load.add_argument(
         "--trace",
@@ -529,6 +574,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 size=args.size,
                 target_load=args.load,
                 homogeneous=not args.heterogeneous,
+                link_bandwidth=args.bandwidth,
+                link_metrics=args.metrics,
             )
         )
         save_tree(tree, args.output)
@@ -553,14 +600,33 @@ def _dispatch(args: argparse.Namespace) -> int:
             else:
                 print(f"no solution: {error}")
             return 2
+        bound = session.bound(method=args.bound_method) if args.bounds else None
         if args.json:
-            print(result.to_json(indent=2))
+            payload = result.to_dict()
+            if bound is not None:
+                # An extra key on the solve payload: from_dict round-trips
+                # ignore it, so the result protocol is unaffected.
+                payload["bound"] = bound.result.to_dict()
+            print(json.dumps(payload, indent=2, sort_keys=True))
             return 0
         solution = result.solution
         print(solution.summary(problem))
         for node_id in solution.placement.sorted():
             load = solution.assignment.server_load(node_id)
             print(f"  replica on {node_id}: load {load:g} / {problem.capacity(node_id):g}")
+        if bound is not None:
+            value = bound.result.value
+            if bound.result.feasible and value > 0:
+                gap = solution.cost(problem) / value - 1.0
+                print(
+                    f"lower bound ({args.bound_method}): {value:g} "
+                    f"| gap {gap:.3f}"
+                )
+            else:
+                print(
+                    f"lower bound ({args.bound_method}): "
+                    + ("infeasible" if not bound.result.feasible else f"{value:g}")
+                )
         return 0
 
     if args.command == "batch":
@@ -608,7 +674,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "compare":
         problem = _load_problem(args.tree, counting=args.counting)
-        results = compare_policies(problem, bounds=args.bounds)
+        results = compare_policies(
+            problem, bounds=args.bounds, bound_method=args.bound_method
+        )
         if args.json:
             print(results.to_json(indent=2))
             return 0
@@ -629,7 +697,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.bounds and results.bound is not None:
             value = results.bound.value
             print(
-                "LP lower bound (Multiple relaxation): "
+                f"{args.bound_method} lower bound (Multiple relaxation): "
                 + ("infeasible" if not results.bound.feasible else f"{value:g}")
             )
         return 0
@@ -703,6 +771,7 @@ def _dispatch_dynamic(args: argparse.Namespace) -> int:
             ("--shards", args.shards is None),
             ("--region-depth", args.region_depth == 1),
             ("--trace", args.trace is None),
+            ("--bound-method", args.bound_method == "mixed"),
         ):
             if not inactive:
                 ignored.append(flag)
@@ -899,7 +968,7 @@ def _run_dynamic_sequence(
     if args.bounds:
         from repro.api import bound_sequence
 
-        bounds = bound_sequence(epochs, policy=args.policy)
+        bounds = bound_sequence(epochs, policy=args.policy, method=args.bound_method)
         gaps = bounds.gaps(result.costs)
     if args.json:
         payload = result.to_dict()
@@ -1079,6 +1148,25 @@ def _dispatch_loadtest(args: argparse.Namespace) -> int:
     from repro.serving.server import ReproServer
 
     ops = tuple(op.strip() for op in args.ops.split(",") if op.strip())
+    op_mix = None
+    if args.op_mix is not None:
+        op_mix = {}
+        for part in args.op_mix.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            op, separator, weight = part.partition("=")
+            try:
+                if not separator:
+                    raise ValueError
+                op_mix[op.strip()] = float(weight)
+            except ValueError:
+                print(
+                    f"error: malformed --op-mix entry {part!r}; "
+                    "expected OP=WEIGHT pairs like 'solve=3,bound=1'",
+                    file=sys.stderr,
+                )
+                return 1
     try:
         config = LoadgenConfig(
             tenants=args.tenants,
@@ -1088,6 +1176,7 @@ def _dispatch_loadtest(args: argparse.Namespace) -> int:
             burst=args.burst,
             batch=args.batch,
             ops=ops,
+            op_mix=op_mix,
             seed=args.seed,
         )
     except ValueError as error:
@@ -1203,6 +1292,17 @@ def _dispatch_doctor(args: argparse.Namespace) -> int:
             engines[engine] = {"ok": True, "state": type(state).__name__}
 
     status = kernel_status()
+    try:
+        from repro.lp.ipfp import ipfp_bound, ipfp_defaults
+
+        probe_bound = ipfp_bound(probe)
+        ipfp = {
+            "available": True,
+            "probe_value": probe_bound.value,
+            "defaults": ipfp_defaults(),
+        }
+    except Exception as error:  # report, never crash the doctor
+        ipfp = {"available": False, "error": f"{type(error).__name__}: {error}"}
     report = {
         "type": "doctor",
         "default_engine": get_default_engine(),
@@ -1210,6 +1310,7 @@ def _dispatch_doctor(args: argparse.Namespace) -> int:
         "engines": engines,
         "native_kernels": status,
         "native_cache_dir": str(kernel_cache_dir()),
+        "ipfp": ipfp,
     }
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -1227,6 +1328,15 @@ def _dispatch_doctor(args: argparse.Namespace) -> int:
     else:
         print(f"native kernels: unavailable ({status.get('error')})")
     print(f"native cache dir: {report['native_cache_dir']}")
+    if ipfp.get("available"):
+        defaults = ipfp["defaults"]
+        print(
+            "ipfp bound: available ("
+            + ", ".join(f"{key}={value}" for key, value in sorted(defaults.items()))
+            + ")"
+        )
+    else:
+        print(f"ipfp bound: unavailable ({ipfp.get('error')})")
     return 0
 
 

@@ -14,16 +14,30 @@ The paper (Section 2.2) distinguishes three families of constraints:
 and how QoS distances are measured.  Problem simplifications of
 Section 2.2.3 (*Replica Cost*, *Replica Counting*) correspond to specific
 constraint sets exposed as convenience constructors.
+
+:class:`ClassedConstraintSet` extends the model past the paper: clients
+belong to tenant :class:`~repro.qos.metrics.ServiceClass`\\ es and each
+client's QoS bound applies to its class's weighted multi-metric **path
+score** (:mod:`repro.qos.metrics`) instead of a single hop/latency count.
+With non-negative class weights the score is monotone along root paths, so
+the classed set rides the same memoised depth-threshold machinery as the
+built-in modes (all three engines keep their shared ``can_cover``/sweep
+path); non-monotone weights fall back to the documented per-pair
+eligibility check.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.core.tree import NodeId, TreeNetwork
 
-__all__ = ["QoSMode", "ConstraintSet"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.qos.metrics import ServiceClass
+
+__all__ = ["QoSMode", "ConstraintSet", "ClassedConstraintSet"]
 
 
 class QoSMode(enum.Enum):
@@ -35,6 +49,9 @@ class QoSMode(enum.Enum):
     DISTANCE = "distance"
     #: Latency: the metric is the sum of link communication times.
     LATENCY = "latency"
+    #: Weighted multi-metric path score (requires a
+    #: :class:`ClassedConstraintSet`, which carries the class weights).
+    SCORE = "score"
 
     @classmethod
     def parse(cls, value) -> "QoSMode":
@@ -102,6 +119,11 @@ class ConstraintSet:
             return 0.0
         if self.qos_mode is QoSMode.DISTANCE:
             return float(tree.distance(client_id, server_id))
+        if self.qos_mode is QoSMode.SCORE:
+            raise ValueError(
+                "the 'score' QoS mode carries per-class metric weights and "
+                "requires a ClassedConstraintSet, not a plain ConstraintSet"
+            )
         return tree.latency(client_id, server_id)
 
     def allowed_servers(self, tree: TreeNetwork, client_id: NodeId):
@@ -125,4 +147,195 @@ class ConstraintSet:
         else:
             parts.append(f"QoS={self.qos_mode.value}")
         parts.append("bandwidth limited" if self.enforce_bandwidth else "unbounded links")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class ClassedConstraintSet(ConstraintSet):
+    """Multi-metric QoS with tenant service classes.
+
+    Every client belongs to one :class:`~repro.qos.metrics.ServiceClass`
+    (via ``assignments``, falling back to ``default_class``); its QoS
+    bound ``q_i`` applies to the class's scalar **path score** -- the
+    weighted, scale-normalised combination of the accumulated
+    latency/jitter/loss/bandwidth metrics of the links between the
+    client and a candidate server (:mod:`repro.qos.metrics`).
+
+    With every class's weights non-negative (:attr:`monotone_path_metric`)
+    the score is non-decreasing toward the root, so eligibility is a
+    depth threshold per client and the instance runs on the memoised
+    threshold machinery of :class:`repro.core.index.TreeIndex` -- the
+    same shared ``can_cover``/sweep code path of all three engines.
+    Negative weights (a class that *prefers* longer paths on some axis)
+    are legal but non-monotone: those instances use the documented
+    per-pair fallback (``qos_satisfied`` per candidate pair).
+
+    The set is frozen and hashable; its auto-generated ``repr`` is
+    deterministic, which is what
+    :func:`repro.serving.fingerprint.problem_fingerprint` hashes for
+    subclassed constraint sets.
+    """
+
+    qos_mode: QoSMode = QoSMode.SCORE
+    enforce_bandwidth: bool = False
+    classes: Tuple["ServiceClass", ...] = ()
+    assignments: Tuple[Tuple[NodeId, str], ...] = ()
+    default_class: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qos_mode", QoSMode.parse(self.qos_mode))
+        if self.qos_mode is not QoSMode.SCORE:
+            raise ValueError(
+                "ClassedConstraintSet measures QoS as a per-class path "
+                f"score; qos_mode must be 'score', got {self.qos_mode.value!r}"
+            )
+        classes = tuple(self.classes)
+        if not classes:
+            raise ValueError("ClassedConstraintSet needs at least one class")
+        names = [cls.name for cls in classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate service class names in {names}")
+        object.__setattr__(self, "classes", classes)
+        default = self.default_class or names[0]
+        if default not in names:
+            raise ValueError(
+                f"default_class {default!r} is not one of {names}"
+            )
+        object.__setattr__(self, "default_class", default)
+        assignments = tuple(
+            sorted(
+                ((client, str(name)) for client, name in self.assignments),
+                key=lambda pair: (repr(pair[0]), pair[1]),
+            )
+        )
+        known = set(names)
+        seen: Dict[NodeId, str] = {}
+        for client, name in assignments:
+            if name not in known:
+                raise ValueError(
+                    f"client {client!r} assigned to unknown class {name!r}"
+                )
+            if client in seen and seen[client] != name:
+                raise ValueError(
+                    f"client {client!r} assigned to both {seen[client]!r} "
+                    f"and {name!r}"
+                )
+            seen[client] = name
+        object.__setattr__(self, "assignments", assignments)
+
+    # -- convenience constructors --------------------------------------- #
+    @classmethod
+    def standard(
+        cls,
+        tree: Optional[TreeNetwork] = None,
+        *,
+        classes: Optional[Sequence["ServiceClass"]] = None,
+        enforce_bandwidth: bool = False,
+        seed: int = 0,
+    ) -> "ClassedConstraintSet":
+        """The gold/silver/bronze default mix over ``tree``'s clients.
+
+        Clients are assigned deterministically (seeded shuffle, then
+        round-robin over the classes in priority order); with no tree,
+        every client falls to ``default_class``.
+        """
+        import random
+
+        from repro.qos.metrics import DEFAULT_CLASSES
+
+        chosen = tuple(classes) if classes is not None else DEFAULT_CLASSES
+        ordered = sorted(chosen, key=lambda entry: (entry.priority, entry.name))
+        assignments: Tuple[Tuple[NodeId, str], ...] = ()
+        if tree is not None:
+            client_ids = sorted(tree.client_ids, key=repr)
+            random.Random(seed).shuffle(client_ids)
+            assignments = tuple(
+                (client, ordered[position % len(ordered)].name)
+                for position, client in enumerate(client_ids)
+            )
+        return cls(
+            enforce_bandwidth=enforce_bandwidth,
+            classes=chosen,
+            assignments=assignments,
+            default_class=ordered[-1].name,
+        )
+
+    # -- class lookup ---------------------------------------------------- #
+    def _lookup(self) -> Tuple[Dict[str, "ServiceClass"], Dict[NodeId, str]]:
+        cached = getattr(self, "_lookup_cache", None)
+        if cached is None:
+            cached = (
+                {cls.name: cls for cls in self.classes},
+                dict(self.assignments),
+            )
+            object.__setattr__(self, "_lookup_cache", cached)
+        return cached
+
+    def class_named(self, name: str) -> "ServiceClass":
+        """The :class:`~repro.qos.metrics.ServiceClass` called ``name``."""
+        by_name, _ = self._lookup()
+        try:
+            return by_name[name]
+        except KeyError:
+            raise ValueError(f"unknown service class {name!r}") from None
+
+    def class_of(self, client_id: NodeId) -> "ServiceClass":
+        """The class serving ``client_id`` (``default_class`` if unassigned)."""
+        by_name, assigned = self._lookup()
+        return by_name[assigned.get(client_id, self.default_class)]
+
+    # -- queries --------------------------------------------------------- #
+    @property
+    def monotone_path_metric(self) -> bool:
+        """True when every class's path score is monotone along root paths.
+
+        The supports-thresholds predicate of
+        :func:`repro.core.index.supports_qos_thresholds` keys off this:
+        monotone classed sets take the memoised threshold walk, the rest
+        take the per-pair fallback.
+        """
+        return all(entry.monotone for entry in self.classes)
+
+    def iter_ancestor_scores(self, tree: TreeNetwork, client_id: NodeId):
+        """Yield ``(ancestor, path_score)`` bottom-up for ``client_id``.
+
+        One shared accumulation (see
+        :func:`repro.qos.metrics.iter_ancestor_scores`) keeps the
+        threshold walk, the per-pair metric and ``allowed_servers``
+        bit-identical.
+        """
+        from repro.qos.metrics import iter_ancestor_scores
+
+        return iter_ancestor_scores(tree, client_id, self.class_of(client_id))
+
+    def qos_metric(self, tree: TreeNetwork, client_id: NodeId, server_id: NodeId) -> float:
+        """The client's class path score from ``client_id`` to ``server_id``."""
+        for ancestor, score in self.iter_ancestor_scores(tree, client_id):
+            if ancestor == server_id:
+                return score
+        from repro.core.exceptions import TreeStructureError
+
+        raise TreeStructureError(
+            f"{server_id!r} is not an ancestor of {client_id!r}"
+        )
+
+    def allowed_servers(self, tree: TreeNetwork, client_id: NodeId):
+        """Ancestors whose path score meets the client's bound (no early
+        break: correct for monotone and non-monotone weights alike)."""
+        bound = tree.client(client_id).qos
+        return tuple(
+            ancestor
+            for ancestor, score in self.iter_ancestor_scores(tree, client_id)
+            if score <= bound
+        )
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        names = "/".join(entry.name for entry in self.classes)
+        parts = [f"QoS=score ({names})"]
+        if not self.monotone_path_metric:
+            parts.append("non-monotone")
+        parts.append(
+            "bandwidth limited" if self.enforce_bandwidth else "unbounded links"
+        )
         return ", ".join(parts)

@@ -36,7 +36,27 @@ from typing import Dict, Iterable, List, Tuple
 from repro.core.exceptions import TreeStructureError
 from repro.core.tree import NodeId, TreeNetwork
 
-__all__ = ["TreeIndex"]
+__all__ = ["TreeIndex", "supports_qos_thresholds"]
+
+
+def supports_qos_thresholds(constraints) -> bool:
+    """Can ``constraints``' eligibility be captured by per-client depth
+    thresholds?
+
+    True for the exact built-in
+    :class:`~repro.core.constraints.ConstraintSet` with an active QoS mode
+    (hop distance and cumulative latency are monotone toward the root) and
+    for any subclass declaring a truthy ``monotone_path_metric`` (e.g. a
+    :class:`~repro.core.constraints.ClassedConstraintSet` whose class
+    weights are all non-negative).  Everything else -- notably subclasses
+    with non-monotone metrics -- must keep per-pair ``qos_satisfied``
+    filtering: one depth threshold cannot represent their eligible sets.
+    """
+    from repro.core.constraints import ConstraintSet, QoSMode
+
+    if type(constraints) is ConstraintSet:
+        return constraints.qos_mode in (QoSMode.DISTANCE, QoSMode.LATENCY)
+    return bool(getattr(constraints, "monotone_path_metric", False))
 
 
 class TreeIndex:
@@ -408,23 +428,28 @@ class TreeIndex:
         path order), so boundary cases agree bit-for-bit.  Client bounds
         live on the tree, so results are memoised per QoS mode.
 
-        Only defined for the exact built-in :class:`ConstraintSet` -- a
-        subclass may override the metric with a non-monotone rule that no
-        single depth threshold can represent, so callers must keep per-pair
-        ``qos_satisfied`` filtering for those (raises ``ValueError``).
+        Defined for the exact built-in :class:`ConstraintSet` and for any
+        subclass that declares a monotone path metric (truthy
+        ``monotone_path_metric``, e.g. a
+        :class:`~repro.core.constraints.ClassedConstraintSet` with
+        non-negative class weights) -- see
+        :func:`supports_qos_thresholds`.  A subclass with a non-monotone
+        metric cannot be represented by a single depth threshold, so
+        callers must keep per-pair ``qos_satisfied`` filtering for those
+        (raises ``ValueError``).  Built-in modes memoise per QoS mode;
+        subclasses memoise per constraints object (frozen and hashable).
         """
-        from repro.core.constraints import ConstraintSet, QoSMode
+        from repro.core.constraints import ConstraintSet
 
         constraints = problem.constraints
-        if type(constraints) is not ConstraintSet or constraints.qos_mode not in (
-            QoSMode.DISTANCE,
-            QoSMode.LATENCY,
-        ):
+        if not supports_qos_thresholds(constraints):
             raise ValueError(
-                "qos_depth_thresholds only supports the built-in distance/latency "
-                "constraint set; filter with problem.qos_satisfied instead"
+                "qos_depth_thresholds only supports the built-in "
+                "distance/latency constraint set and monotone subclasses; "
+                "filter with problem.qos_satisfied instead"
             )
-        key: object = constraints.qos_mode
+        builtin = type(constraints) is ConstraintSet
+        key: object = constraints.qos_mode if builtin else constraints
         thresholds = self.qos_threshold_cache.get(key)
         if thresholds is not None:
             return thresholds
@@ -432,6 +457,32 @@ class TreeIndex:
         tree = self.tree
         depth_map = tree._depth
         thresholds = []
+        if not builtin:
+            # Generic monotone subclass walk: the subclass yields its own
+            # (ancestor, score) accumulation, reproduced operation for
+            # operation by its qos_metric so boundary cases agree
+            # bit-for-bit with the per-pair fallback.
+            scores_of = getattr(constraints, "iter_ancestor_scores", None)
+            for ci, client_id in enumerate(self.client_order):
+                bound = tree._clients[client_id].qos
+                best = self.client_depth[ci]  # sentinel: nothing eligible
+                if scores_of is not None:
+                    pairs = scores_of(tree, client_id)
+                else:  # monotone subclass without the bulk iterator
+                    pairs = (
+                        (a, constraints.qos_metric(tree, client_id, a))
+                        for a in self.client_ancestors[ci]
+                    )
+                for ancestor, score in pairs:
+                    if score <= bound:
+                        best = depth_map[ancestor]
+                    else:
+                        break  # monotone metric: everything above fails
+                thresholds.append(best)
+            self.qos_threshold_cache[key] = thresholds
+            return thresholds
+        from repro.core.constraints import QoSMode
+
         by_distance = constraints.qos_mode is QoSMode.DISTANCE
         uplink = self.uplink_comm
         for ci, client_id in enumerate(self.client_order):

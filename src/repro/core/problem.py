@@ -129,10 +129,9 @@ class ReplicaPlacementProblem:
         tree, see :meth:`TreeIndex.qos_depth_thresholds`).  Non-standard
         constraint subclasses keep the seed's per-pair filtering.
         """
-        from repro.core.constraints import ConstraintSet
-        from repro.core.index import TreeIndex
+        from repro.core.index import TreeIndex, supports_qos_thresholds
 
-        if type(self.constraints) is not ConstraintSet:
+        if not supports_qos_thresholds(self.constraints):
             return self.constraints.allowed_servers(self.tree, client_id)
         tree = self.tree
         index = TreeIndex.for_tree(tree)

@@ -73,16 +73,22 @@ def tree_to_dict(tree: TreeNetwork) -> Dict[str, Any]:
             }
             for client in tree.clients()
         ],
-        "links": [
-            {
-                "child": link.child,
-                "parent": link.parent,
-                "comm_time": link.comm_time,
-                "bandwidth": _encode_bound(link.bandwidth),
-            }
-            for link in tree.links()
-        ],
+        "links": [_link_to_dict(link) for link in tree.links()],
     }
+
+
+def _link_to_dict(link: Link) -> Dict[str, Any]:
+    entry = {
+        "child": link.child,
+        "parent": link.parent,
+        "comm_time": link.comm_time,
+        "bandwidth": _encode_bound(link.bandwidth),
+    }
+    # Omitted (rather than null) when absent so pre-metric tree files and
+    # their digests stay byte-identical.
+    if link.metrics is not None:
+        entry["metrics"] = link.metrics.to_dict()
+    return entry
 
 
 def tree_from_dict(payload: Dict[str, Any]) -> TreeNetwork:
@@ -105,16 +111,23 @@ def tree_from_dict(payload: Dict[str, Any]) -> TreeNetwork:
         )
         for entry in payload["clients"]
     ]
-    links = [
-        Link(
-            child=entry["child"],
-            parent=entry["parent"],
-            comm_time=float(entry.get("comm_time", 1.0)),
-            bandwidth=_decode_bound(entry.get("bandwidth")),
-        )
-        for entry in payload["links"]
-    ]
+    links = [_link_from_dict(entry) for entry in payload["links"]]
     return TreeNetwork(nodes, clients, links)
+
+
+def _link_from_dict(entry: Dict[str, Any]) -> Link:
+    metrics = entry.get("metrics")
+    if metrics is not None:
+        from repro.qos.metrics import QoSMetrics
+
+        metrics = QoSMetrics.from_dict(metrics)
+    return Link(
+        child=entry["child"],
+        parent=entry["parent"],
+        comm_time=float(entry.get("comm_time", 1.0)),
+        bandwidth=_decode_bound(entry.get("bandwidth")),
+        metrics=metrics,
+    )
 
 
 def save_tree(tree: TreeNetwork, path: Union[str, Path]) -> Path:
@@ -133,12 +146,28 @@ def load_tree(path: Union[str, Path]) -> TreeNetwork:
 def constraints_to_dict(constraints: ConstraintSet) -> Dict[str, Any]:
     """Serialise a constraint set to a JSON-compatible dictionary.
 
-    Only plain :class:`ConstraintSet` instances round-trip; a subclass
-    carries behaviour (custom metrics, non-monotone filters) that no JSON
-    payload can reproduce, so serialising one raises
+    Plain :class:`ConstraintSet` instances and the built-in
+    :class:`~repro.core.constraints.ClassedConstraintSet` (whose behaviour
+    is fully determined by its data: classes, assignments, default) both
+    round-trip.  Any other subclass carries behaviour (custom metrics,
+    non-monotone filters) that no JSON payload can reproduce, so
+    serialising one raises
     :class:`~repro.core.exceptions.SerializationError` instead of silently
     downgrading it to the base semantics.
     """
+    from repro.core.constraints import ClassedConstraintSet
+
+    if type(constraints) is ClassedConstraintSet:
+        return {
+            "type": "classed",
+            "qos_mode": constraints.qos_mode.value,
+            "enforce_bandwidth": constraints.enforce_bandwidth,
+            "classes": [entry.to_dict() for entry in constraints.classes],
+            "assignments": [
+                [client, name] for client, name in constraints.assignments
+            ],
+            "default_class": constraints.default_class,
+        }
     if type(constraints) is not ConstraintSet:
         raise SerializationError(
             f"cannot serialise constraint set of type "
@@ -153,6 +182,24 @@ def constraints_to_dict(constraints: ConstraintSet) -> Dict[str, Any]:
 
 def constraints_from_dict(payload: Dict[str, Any]) -> ConstraintSet:
     """Rebuild a constraint set from :func:`constraints_to_dict` output."""
+    tag = payload.get("type", "base")
+    if tag == "classed":
+        from repro.core.constraints import ClassedConstraintSet
+        from repro.qos.metrics import ServiceClass
+
+        return ClassedConstraintSet(
+            qos_mode=QoSMode.parse(payload.get("qos_mode", "score")),
+            enforce_bandwidth=bool(payload.get("enforce_bandwidth", False)),
+            classes=tuple(
+                ServiceClass.from_dict(entry) for entry in payload.get("classes", ())
+            ),
+            assignments=tuple(
+                (entry[0], entry[1]) for entry in payload.get("assignments", ())
+            ),
+            default_class=str(payload.get("default_class", "")),
+        )
+    if tag != "base":
+        raise SerializationError(f"unknown constraint-set payload type {tag!r}")
     return ConstraintSet(
         qos_mode=QoSMode.parse(payload.get("qos_mode", "none")),
         enforce_bandwidth=bool(payload.get("enforce_bandwidth", False)),

@@ -24,9 +24,12 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.exceptions import TreeStructureError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.qos.metrics import QoSMetrics
 
 NodeId = Hashable
 
@@ -120,12 +123,20 @@ class Link:
     bandwidth:
         Maximum number of requests per time unit the link can carry
         (``BW_l``).  ``math.inf`` disables the constraint.
+    metrics:
+        Optional multi-metric QoS annotation
+        (:class:`repro.qos.metrics.QoSMetrics`: latency, jitter, loss,
+        residual bandwidth) consumed by the classed constraint sets of
+        :class:`repro.core.constraints.ClassedConstraintSet`.  ``None``
+        (the default) makes the link behave like the pre-metric model
+        (latency = ``comm_time``, loss-free, bandwidth = ``bandwidth``).
     """
 
     child: NodeId
     parent: NodeId
     comm_time: float = 1.0
     bandwidth: float = math.inf
+    metrics: Optional["QoSMetrics"] = None
 
     def __post_init__(self) -> None:
         if self.comm_time < 0:

@@ -20,6 +20,8 @@ Contents
 * :mod:`repro.lp.solver` -- thin wrappers around the scipy backends;
 * :mod:`repro.lp.bounds` -- the paper's refined lower bound and the fully
   rational relaxation;
+* :mod:`repro.lp.ipfp` -- the fast iterative-proportional-fitting
+  Lagrangian bound on the transportation relaxation (``method="ipfp"``);
 * :mod:`repro.lp.exact` -- exact ILP solutions (small instances), returning
   regular :class:`~repro.core.solution.Solution` objects.
 """
@@ -38,9 +40,21 @@ from repro.lp.bounds import (
     lp_lower_bound,
     rational_relaxation_bound,
 )
+from repro.lp.ipfp import (
+    IPFPConfig,
+    IPFPProgram,
+    ipfp_bound,
+    ipfp_defaults,
+    ipfp_program,
+)
 from repro.lp.exact import exact_solution, exact_cost
 
 __all__ = [
+    "IPFPConfig",
+    "IPFPProgram",
+    "ipfp_bound",
+    "ipfp_defaults",
+    "ipfp_program",
     "VariableSpace",
     "LinearProgramData",
     "build_program",

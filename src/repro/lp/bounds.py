@@ -50,11 +50,16 @@ class LowerBoundResult:
     feasible:
         Whether the Multiple formulation admits a solution.
     method:
-        ``"mixed"`` (integer placement, rational assignment) or
-        ``"rational"`` (full relaxation).
+        ``"mixed"`` (integer placement, rational assignment),
+        ``"rational"`` (full relaxation) or ``"ipfp"`` (Lagrangian bound of
+        the transportation relaxation, see :mod:`repro.lp.ipfp`).
     policy:
         The policy whose formulation was relaxed (always Multiple by
         default).
+    certificate:
+        Human-readable infeasibility certificate (``ipfp`` only): which
+        client or subtree makes the instance infeasible.  ``None`` for
+        feasible instances and for the LP methods.
     """
 
     value: float
@@ -62,6 +67,7 @@ class LowerBoundResult:
     method: str
     policy: Policy
     objective: Optional[float] = None
+    certificate: Optional[str] = None
 
     def __float__(self) -> float:  # pragma: no cover - convenience
         return self.value
@@ -70,25 +76,30 @@ class LowerBoundResult:
         """JSON-compatible payload (part of the result protocol)."""
         from repro.core.results import encode_float
 
-        return {
+        payload = {
             "value": encode_float(self.value),
             "feasible": self.feasible,
             "method": self.method,
             "policy": self.policy.value,
             "objective": encode_float(self.objective),
         }
+        if self.certificate is not None:
+            payload["certificate"] = self.certificate
+        return payload
 
     @classmethod
     def from_dict(cls, payload) -> "LowerBoundResult":
         """Rebuild a bound from a :meth:`to_dict` payload."""
         from repro.core.results import decode_float
 
+        certificate = payload.get("certificate")
         return cls(
             value=decode_float(payload["value"]),
             feasible=bool(payload["feasible"]),
             method=str(payload["method"]),
             policy=Policy.parse(payload["policy"]),
             objective=decode_float(payload.get("objective")),
+            certificate=None if certificate is None else str(certificate),
         )
 
 
@@ -125,8 +136,14 @@ def bound_program(
     The epoch bounder of :mod:`repro.algorithms.incremental` keeps this
     program across epochs and re-targets it with
     :meth:`~repro.lp.formulation.LinearProgramData.with_requests` whenever
-    only request rates moved.
+    only request rates moved.  ``method="ipfp"`` returns an
+    :class:`~repro.lp.ipfp.IPFPProgram`, which exposes the same
+    ``with_requests`` re-targeting contract.
     """
+    if method == "ipfp":
+        from repro.lp.ipfp import ipfp_program
+
+        return ipfp_program(problem, policy=policy)
     if method not in ("mixed", "rational"):
         raise ValueError(f"unknown lower-bound method {method!r}")
     return build_program(
@@ -144,6 +161,8 @@ def bound_for_program(
     time_limit: Optional[float] = None,
 ) -> LowerBoundResult:
     """Solve an already-assembled bound program (see :func:`bound_program`)."""
+    if method == "ipfp":
+        return program.solve(time_limit=time_limit)
     result = solve_program(program, time_limit=time_limit)
     return _to_bound(result, method=method, policy=program.policy)
 

@@ -90,20 +90,21 @@ class VariableSpace:
     # bulk pair layout
     # ------------------------------------------------------------------ #
     def _build_pair_arrays(self, problem: ReplicaPlacementProblem, index: TreeIndex) -> None:
-        from repro.core.constraints import ConstraintSet
+        from repro.core.index import supports_qos_thresholds
 
         n_clients = index.n_clients
         client_depth = np.asarray(index.client_depth, dtype=np.intp)
         anc_pos, anc_offsets = index.client_ancestor_positions()
 
         constraints = problem.constraints
-        builtin = type(constraints) is ConstraintSet
+        thresholded = supports_qos_thresholds(constraints)
         if not constraints.has_qos:
             # Every ancestor is eligible: chains are full prefixes.
             counts = client_depth.copy()
             prefix = True
-        elif builtin:
-            # Monotone metrics: eligible servers are the chain prefix whose
+        elif thresholded:
+            # Monotone metrics (built-in modes and monotone classed sets):
+            # eligible servers are the chain prefix whose
             # depth stays at or above the memoised threshold.
             thresholds = np.asarray(index.qos_depth_thresholds(problem), dtype=np.intp)
             counts = client_depth - thresholds

@@ -1,12 +1,24 @@
-"""QoS extension: distance- and latency-based service bounds.
+"""QoS extension: distance/latency bounds, multi-metric classes, analysis.
 
 The core problem model (:mod:`repro.core.constraints`) already enforces QoS
 when a :class:`~repro.core.constraints.ConstraintSet` requests it; this
-package adds the analysis helpers used by the QoS-aware experiments:
+package adds the richer layers on top:
 
+* :mod:`repro.qos.metrics` -- multi-metric edge annotations
+  (:class:`~repro.qos.metrics.QoSMetrics`: latency/jitter/loss/bandwidth),
+  per-class score normalisation (:class:`~repro.qos.metrics.MetricWeights`
+  / :class:`~repro.qos.metrics.MetricScales`) and tenant
+  :class:`~repro.qos.metrics.ServiceClass` definitions with rate
+  multipliers and reserved bandwidth fractions.  The constraint-set
+  integration is :class:`repro.core.constraints.ClassedConstraintSet`.
 * :mod:`repro.qos.analysis` -- per-client QoS reachability (which ancestors
   are in range, the tightest feasible bound), tree-level QoS feasibility
   pre-checks and solution-level QoS statistics.
+
+Import note: this ``__init__`` may import :mod:`repro.qos.analysis` (which
+imports :mod:`repro.core.constraints`) but the reverse edge is lazy --
+``core.constraints`` only reaches :mod:`repro.qos.metrics` from inside
+method bodies, never at module scope, so there is no import cycle.
 """
 
 from repro.qos.analysis import (
@@ -15,10 +27,32 @@ from repro.qos.analysis import (
     qos_feasibility_report,
     qos_statistics,
 )
+from repro.qos.metrics import (
+    DEFAULT_CLASSES,
+    DEFAULT_SCALES,
+    MetricScales,
+    MetricWeights,
+    QoSMetrics,
+    ServiceClass,
+    annotate_tree,
+    iter_ancestor_scores,
+    path_metrics,
+    split_by_class,
+)
 
 __all__ = [
     "reachable_servers",
     "tightest_feasible_qos",
     "qos_feasibility_report",
     "qos_statistics",
+    "QoSMetrics",
+    "MetricWeights",
+    "MetricScales",
+    "ServiceClass",
+    "DEFAULT_SCALES",
+    "DEFAULT_CLASSES",
+    "annotate_tree",
+    "iter_ancestor_scores",
+    "path_metrics",
+    "split_by_class",
 ]

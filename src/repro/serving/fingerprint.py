@@ -102,14 +102,29 @@ def _structural_hasher(
         client = tree.client(client_id)
         update(f"c:{client_id!r}".encode())
         update(_float_bytes(client.qos))
-    links: List[Tuple[str, str, float, float]] = [
-        (repr(link.child), repr(link.parent), link.comm_time, link.bandwidth)
+    links: List[Tuple[str, str, float, float, object]] = [
+        (
+            repr(link.child),
+            repr(link.parent),
+            link.comm_time,
+            link.bandwidth,
+            link.metrics,
+        )
         for link in tree.links()
     ]
-    for child_repr, parent_repr, comm_time, bandwidth in sorted(links):
+    links.sort(key=lambda entry: entry[:4])
+    for child_repr, parent_repr, comm_time, bandwidth, metrics in links:
         update(f"l:{child_repr}>{parent_repr}".encode())
         update(_float_bytes(comm_time))
         update(_float_bytes(bandwidth))
+        if metrics is not None:
+            # Only annotated links contribute, so pre-metric trees keep
+            # their historical digests.
+            update(b"m")
+            update(_float_bytes(metrics.latency))
+            update(_float_bytes(metrics.jitter))
+            update(_float_bytes(metrics.loss))
+            update(_float_bytes(metrics.bandwidth))
     return digest
 
 

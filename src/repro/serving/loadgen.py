@@ -52,6 +52,13 @@ class LoadgenConfig:
     amplitude ``burst`` and period ``period`` seconds, so the server sees
     genuine bursts instead of a metronome.  ``batch`` caps how many due
     arrivals one envelope may carry (1 = the unbatched protocol).
+
+    Ops come from the deterministic per-tenant ``ops`` cycle by default.
+    ``op_mix`` replaces the cycle with a weighted draw *per arrival*
+    (e.g. ``{"solve": 3, "bound": 1}``): each tenant gets its own slightly
+    jittered copy of the weights, so the traffic resembles a fleet of
+    real tenants with similar-but-not-identical workloads rather than
+    ``tenants`` copies of one script.
     """
 
     tenants: int = 4
@@ -62,6 +69,7 @@ class LoadgenConfig:
     period: float = 1.0
     batch: int = 1
     ops: Tuple[str, ...] = ("solve", "bound")
+    op_mix: Optional[Mapping[str, float]] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -81,6 +89,22 @@ class LoadgenConfig:
                 f"unsupported loadgen ops {sorted(unknown)}; "
                 "choose from solve/bound/update"
             )
+        if self.op_mix is not None:
+            if not self.op_mix:
+                raise ValueError("op_mix must weight at least one op")
+            unknown = set(self.op_mix) - {"solve", "bound", "update"}
+            if unknown:
+                raise ValueError(
+                    f"unsupported op_mix ops {sorted(unknown)}; "
+                    "choose from solve/bound/update"
+                )
+            for op, weight in self.op_mix.items():
+                weight = float(weight)
+                if not (weight > 0 and np.isfinite(weight)):
+                    raise ValueError(
+                        f"op_mix weight for {op!r} must be a positive finite "
+                        f"number, got {weight!r}"
+                    )
 
 
 @register_result
@@ -166,6 +190,9 @@ class _Tenant:
     client_ids: List[Any]
     fingerprint: Optional[str] = None
     next_op: int = 0
+    #: ``(op names, probabilities)`` of this tenant's jittered op mix;
+    #: ``None`` keeps the deterministic ``ops`` cycle.
+    mix: Optional[Tuple[Tuple[str, ...], np.ndarray]] = None
 
 
 def build_schedule(
@@ -212,6 +239,10 @@ def build_schedule(
         if arrivals.size > 1 and np.any(np.diff(arrivals) < 0):
             raise WorkloadError("arrival times must be sorted (non-decreasing)")
     picks = rng.integers(0, config.tenants, size=arrivals.size)
+    mix_ops: Optional[Tuple[str, ...]] = None
+    if config.op_mix is not None:
+        mix_ops = tuple(sorted(config.op_mix))
+        mix_base = np.asarray([float(config.op_mix[op]) for op in mix_ops])
     tenants: List[_Tenant] = []
     for index in range(config.tenants):
         tree = TreeGenerator(config.seed * 1009 + index).generate(
@@ -220,10 +251,18 @@ def build_schedule(
         problem = ReplicaPlacementProblem(
             tree=tree, kind=ProblemKind.REPLICA_COUNTING
         )
+        mix = None
+        if mix_ops is not None:
+            # Per-tenant jitter (up to +/-25% per weight) off the shared
+            # schedule rng, so the whole draw stays pinned by config.seed.
+            jitter = 1.0 + 0.25 * (2.0 * rng.random(len(mix_ops)) - 1.0)
+            weights = mix_base * jitter
+            mix = (mix_ops, weights / weights.sum())
         tenants.append(
             _Tenant(
                 problem_payload=problem_to_dict(problem),
                 client_ids=[client.id for client in tree.clients()],
+                mix=mix,
             )
         )
     return arrivals, picks, tenants
@@ -232,8 +271,12 @@ def build_schedule(
 def _make_item(
     tenant: _Tenant, rng: np.random.Generator, ops: Sequence[str]
 ) -> Dict[str, Any]:
-    """The next request envelope of ``tenant``'s op cycle."""
-    op = ops[tenant.next_op % len(ops)]
+    """The next request envelope: sampled op mix, or the ``ops`` cycle."""
+    if tenant.mix is not None:
+        mix_ops, probabilities = tenant.mix
+        op = mix_ops[int(rng.choice(len(mix_ops), p=probabilities))]
+    else:
+        op = ops[tenant.next_op % len(ops)]
     tenant.next_op += 1
     item: Dict[str, Any] = {"op": op}
     if tenant.fingerprint is not None:

@@ -90,8 +90,9 @@ SESSION_MODES = {"incremental": "exact", "patch": "patch", "scratch": "scratch"}
 #: (booleans keep the historical always/never semantics).
 RESOLVE_MODES = (True, False, "always", "on_saturation")
 
-#: lower-bound methods the session accepts (``"trivial"`` needs no LP).
-BOUND_METHODS = ("mixed", "rational", "trivial")
+#: lower-bound methods the session accepts (``"trivial"`` needs no LP;
+#: ``"ipfp"`` is the scaling-based Lagrangian bound of :mod:`repro.lp.ipfp`).
+BOUND_METHODS = ("mixed", "rational", "trivial", "ipfp")
 
 
 def as_problem(
@@ -859,7 +860,9 @@ class PlacementSession:
         The default Multiple relaxation is a valid lower bound for every
         policy (the paper's choice).  ``method`` is ``"mixed"`` (integer
         placement, rational assignment -- the refined bound), ``"rational"``
-        (full relaxation) or ``"trivial"`` (combinatorial, no LP solve).
+        (full relaxation), ``"ipfp"`` (fast Lagrangian bound of the
+        transportation relaxation, no LP solve) or ``"trivial"``
+        (combinatorial, no LP solve).
         """
         if method not in BOUND_METHODS:
             raise ValueError(f"unknown lower-bound method {method!r}")

@@ -151,6 +151,12 @@ class GeneratorConfig:
         When set, every link carries this finite bandwidth (used by the
         bandwidth-constrained LP experiments and benchmarks); ``None``
         leaves links uncapacitated (``math.inf``).
+    link_metrics:
+        When ``True``, every link is annotated with multi-metric QoS
+        attributes (:class:`~repro.qos.metrics.QoSMetrics`: latency
+        jittered around ``link_comm_time``, plus jitter/loss/bandwidth
+        draws via :func:`repro.qos.metrics.annotate_tree`), ready for
+        :class:`~repro.core.constraints.ClassedConstraintSet` instances.
     """
 
     size: int = 50
@@ -166,6 +172,7 @@ class GeneratorConfig:
     qos_hops: Optional[Tuple[int, int]] = None
     link_comm_time: float = 1.0
     link_bandwidth: Optional[float] = None
+    link_metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.size < 3:
@@ -331,7 +338,14 @@ class TreeGenerator:
             )
             for name in client_names
         )
-        return TreeNetwork(nodes, clients, links)
+        tree = TreeNetwork(nodes, clients, links)
+        if config.link_metrics:
+            from repro.qos.metrics import annotate_tree
+
+            # The annotation seed comes from this generator's stream, so one
+            # TreeGenerator seed still pins the whole draw.
+            tree = annotate_tree(tree, seed=int(rng.integers(2**31)))
+        return tree
 
     # ------------------------------------------------------------------ #
     def generate_many(

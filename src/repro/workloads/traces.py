@@ -24,9 +24,10 @@ The pipeline has three stages:
 **Epoch detection**
     :func:`detect_epochs` places epoch boundaries where traffic actually
     moves: per-bin event mass feeds a sliding-window mean-shift score (a
-    Poisson z-statistic of the left-vs-right window means) and a greedy
-    changepoint pass accepts boundaries in score order under a
-    minimum-segment guard.  :func:`fixed_epochs` is the deterministic
+    Poisson z-statistic of the left-vs-right window means, combined with
+    weight-share-weighted per-client scores so antiphase client shifts
+    that conserve total rate are still caught) and a greedy changepoint
+    pass accepts boundaries in score order under a minimum-segment guard.  :func:`fixed_epochs` is the deterministic
     equal-width fallback.  Both estimate piecewise-constant per-client
     rates per epoch and return a :class:`TraceEpochs`, whose
     :meth:`~TraceEpochs.problems` emits the epoch sequence as
@@ -746,8 +747,19 @@ def detect_epochs(
     with ``l`` and ``r`` the mean mass of the ``window`` bins left and
     right of the edge, the score is ``|r - l| / sqrt((l + r + 1) / window)``
     -- a Poisson z-statistic (the ``+ 1`` is a continuity guard for empty
-    windows).  A greedy changepoint pass then accepts edges in descending
-    score order, subject to ``score >= threshold``, a spacing of at least
+    windows).
+
+    The total-mass statistic is blind to *antiphase* shifts -- two clients
+    trading traffic while the aggregate stays flat -- so each edge also
+    gets a **weighted per-client score**: the same z-statistic computed on
+    each heavy client's own binned mass (the top clients by weight share,
+    capped at 32 so a million-client log stays one bincount), combined as
+    the weight-share-weighted mean.  An edge's final score is the maximum
+    of the total-mass and per-client scores, so a rebalancing boundary that
+    conserves total rate still clears ``threshold``.
+
+    A greedy changepoint pass then accepts edges in descending score
+    order, subject to ``score >= threshold``, a spacing of at least
     ``min_segment`` bins from every accepted edge and the span ends (the
     minimum-segment guard), and at most ``max_epochs - 1`` cuts.
 
@@ -789,6 +801,35 @@ def detect_epochs(
         left = (prefix[candidates] - prefix[candidates - window]) / window
         right = (prefix[candidates + window] - prefix[candidates]) / window
         scores = np.abs(right - left) / np.sqrt((left + right + 1.0) / window)
+
+        # Weighted per-client component: an antiphase shift (clients trade
+        # traffic, total stays flat) scores ~0 above, so also score each
+        # heavy client's own mass curve and take the share-weighted mean.
+        n_clients = len(trace.client_ids)
+        if n_clients > 1:
+            client_mass = np.bincount(
+                trace.client_codes, weights=trace.weights, minlength=n_clients
+            )
+            heavy = np.argsort(client_mass, kind="stable")[::-1][:32]
+            heavy = heavy[client_mass[heavy] > 0]
+            if heavy.size > 1:
+                shares = client_mass[heavy] / client_mass[heavy].sum()
+                rows = np.full(n_clients, -1, dtype=np.intp)
+                rows[heavy] = np.arange(heavy.size)
+                keep = rows[trace.client_codes] >= 0
+                flat = rows[trace.client_codes[keep]] * bins + slots[keep]
+                per = np.bincount(
+                    flat, weights=trace.weights[keep], minlength=heavy.size * bins
+                ).reshape(heavy.size, bins)
+                cpre = np.concatenate(
+                    (np.zeros((heavy.size, 1)), np.cumsum(per, axis=1)), axis=1
+                )
+                c_left = (cpre[:, candidates] - cpre[:, candidates - window]) / window
+                c_right = (cpre[:, candidates + window] - cpre[:, candidates]) / window
+                c_scores = np.abs(c_right - c_left) / np.sqrt(
+                    (c_left + c_right + 1.0) / window
+                )
+                scores = np.maximum(scores, shares @ c_scores)
         for pick in np.argsort(scores, kind="stable")[::-1]:
             if scores[pick] < threshold or len(cuts) >= max_epochs - 1:
                 break
